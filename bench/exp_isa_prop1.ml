@@ -1,0 +1,139 @@
+(* E10 — Proposition 3 (Appendix A): ISA has polynomial SDD size;
+   E11 — Proposition 1: circuit treewidth is computable;
+   E12 — Theorem 1: rectangle covers from structured circuits. *)
+
+let run () =
+  Table.section "E10 — Proposition 3: ISA on the Figure 4 vtree";
+  let rows =
+    List.map
+      (fun n ->
+        let mgr, node = Isa.compile n in
+        let size = Sdd.size mgr node in
+        let semantics = if n <= 18 then Table.fb (Isa.check_semantics n) else "-" in
+        [
+          Table.fi n;
+          Table.fi size;
+          Table.fi (int_of_float (Isa.size_bound n));
+          Table.ff (log (float_of_int size) /. log (float_of_int n));
+          semantics;
+        ])
+      [ 5; 18 ]
+  in
+  Table.print
+    ~title:"canonical SDD of ISA_n on the vtree of Figure 4"
+    ~header:[ "n"; "sdd size"; "n^13/5"; "log_n(size)"; "correct" ]
+    rows;
+  Table.note
+    "the canonical (compressed) SDD is larger at n = 18 than the paper's \
+     bound — compression is not monotone in size (cf. Van den Broeck & \
+     Darwiche 2015); the polynomial-size claim concerns the explicit \
+     uncompressed construction, built next.";
+  let rows =
+    List.map
+      (fun n ->
+        let t = Isa_explicit.build n in
+        [
+          Table.fi n;
+          Table.fi (Isa_explicit.size t);
+          Table.fi (Isa_explicit.distinct_gates t);
+          Table.fi (Isa_explicit.paper_gate_bound n);
+          Table.fi (int_of_float (Isa.size_bound n));
+          Table.fb (Isa_explicit.check_semantics n);
+          Table.fb (Result.is_ok (Isa_explicit.validate t));
+        ])
+      [ 5; 18 ]
+  in
+  Table.print
+    ~title:"the explicit Appendix A construction (Claims 5-6), uncompressed"
+    ~header:
+      [ "n"; "elements"; "distinct gates"; "paper bound"; "n^13/5"; "correct"; "valid SD" ]
+    rows;
+  Table.note
+    "explicit beats canonical at n = 18; for n = 261 the accounting gives \
+     <= %d gates (3^(m+1)+1 = %d small terms x 2n+2 inputs), infeasible to \
+     materialize but polynomial as claimed."
+    (Isa_explicit.paper_gate_bound 261)
+    (Isa_explicit.small_term_count 261);
+  (* OBDD contrast: ISA is the classical OBDD-hard candidate. *)
+  let rows =
+    List.map
+      (fun n ->
+        let f = Families.isa n in
+        let order = Boolfun.variables f in
+        let m = Bdd.manager order in
+        let node = Bdd.of_boolfun m f in
+        [ Table.fi n; Table.fi (Bdd.size m node); Table.fi (Bdd.width m node) ])
+      [ 5; 18 ]
+  in
+  Table.print
+    ~title:"OBDD of ISA_n (natural order), for contrast"
+    ~header:[ "n"; "obdd size"; "obdd width" ]
+    rows;
+
+  Table.section "E11 — Proposition 1: circuit treewidth is computable";
+  (* All sixteen 2-variable functions, decided by the bounded search. *)
+  let rows =
+    List.filter_map
+      (fun code ->
+        let f =
+          Boolfun.of_fun [ "x"; "y" ] (fun a ->
+              let i =
+                (if Boolfun.Smap.find "x" a then 1 else 0)
+                lor if Boolfun.Smap.find "y" a then 2 else 0
+              in
+              (code lsr i) land 1 = 1)
+        in
+        let support = Boolfun.support f in
+        let ctw = Ctw.ctw_tiny f in
+        Some
+          [
+            Printf.sprintf "f%02d" code;
+            String.concat "," support;
+            Table.fi ctw;
+            Table.fb (ctw <= 2);
+          ])
+      (List.init 16 Fun.id)
+  in
+  Table.print
+    ~title:"circuit treewidth of every 2-variable function (bounded search)"
+    ~header:[ "function"; "support"; "ctw"; "<= 2" ]
+    rows;
+  Table.note
+    "constants and literals have ctw 0; read-once functions ctw 1; xor and \
+     iff need variable reuse, ctw 2.  The Prop. 1 gadget encoding \
+     round-trips (tested in the suite); the MSO decision procedure is \
+     replaced by a bounded exhaustive search, exact on these instances.";
+
+  Table.section "E12 — Theorem 1: covers extracted at every vtree node";
+  let rows =
+    List.map
+      (fun seed ->
+        let f = Boolfun.random ~seed (Families.xs 4) in
+        let vt = Vtree.random ~seed:(seed + 5) (Families.xs 4) in
+        let m = Sdd.manager vt in
+        let node = Compile.sdd_of_boolfun m f in
+        let size = Sdd.size m node in
+        (* Lemma 3 covers at each vtree node's variable block. *)
+        let worst =
+          List.fold_left
+            (fun acc v ->
+              let y = Vtree.vars_below vt v in
+              let cover = Rectangles.cover_of_function f y in
+              let ok = Rectangles.is_disjoint_cover f cover in
+              if not ok then max_int
+              else Stdlib.max acc (List.length cover))
+            0 (Vtree.nodes vt)
+        in
+        [
+          Printf.sprintf "random-%d" seed;
+          Table.fi size;
+          Table.fi worst;
+          Table.fb (worst <= Stdlib.max size 2 * 2);
+        ])
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Table.print
+    ~title:
+      "minimal disjoint covers (Lemma 3) vs compiled size (Theorem 1 bound)"
+    ~header:[ "function"; "sdd size"; "max cover"; "cover = O(size)" ]
+    rows

@@ -1,0 +1,140 @@
+(* E8 — Theorem 5: inversions imply 2^Ω(n/k) deterministic structured
+   size; E9 — Theorem 2 and eq. (8): exact communication ranks. *)
+
+(* Best canonical SDD size over several vtrees; the input arrives as a
+   circuit so that functions beyond truth-table reach stay compilable. *)
+let best_sdd_size circuit seeds =
+  let vars = Circuit.variables circuit in
+  let candidates =
+    Vtree.balanced vars :: Vtree.right_linear vars
+    :: List.map (fun seed -> Vtree.random ~seed vars) seeds
+  in
+  let semantic =
+    if List.length vars <= 16 then Some (Circuit.to_boolfun circuit) else None
+  in
+  List.fold_left
+    (fun acc vt ->
+      let m = Sdd.manager vt in
+      let node =
+        match semantic with
+        | Some f -> Compile.sdd_of_boolfun m f
+        | None -> Sdd.compile_circuit m circuit
+      in
+      Stdlib.min acc (Sdd.size m node))
+    max_int candidates
+
+let run () =
+  Table.section "E8 — Theorem 5: H-function lineages need exponential SDDs";
+  let rows =
+    List.map
+      (fun n ->
+        let h0 = Generators.h0_circuit n in
+        let size = best_sdd_size h0 [ 7; 8; 9 ] in
+        [
+          Printf.sprintf "H0_{1,%d}" n;
+          Table.fi (Circuit.num_vars h0);
+          Table.fi size;
+          Table.ff (log (float_of_int size) /. log 2.0);
+          Table.ff (log (float_of_int size) /. log 2.0 /. float_of_int n);
+        ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Table.print
+    ~title:"best SDD size over several vtrees for H0_{k,n} (k = 1)"
+    ~header:[ "function"; "vars"; "sdd size"; "log2"; "log2/n" ]
+    rows;
+  Table.note
+    "log2(size)/n approaches a positive constant: the 2^Ω(n/k) lower bound \
+     of Theorem 5 (here k = 1) is matched by the measured growth.";
+
+  (* Longer inversion chains: the cofactor family for k = 2. *)
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (name, c) ->
+            let size = best_sdd_size c [ 17; 18 ] in
+            [
+              name;
+              Table.fi (Circuit.num_vars c);
+              Table.fi size;
+              Table.ff (log (float_of_int size) /. log 2.0);
+            ])
+          [
+            (Printf.sprintf "H0_{2,%d}" n, Generators.h0_circuit n);
+            (Printf.sprintf "H1_{2,%d}" n, Generators.hi_circuit ~i:1 n);
+            (Printf.sprintf "H2_{2,%d}" n, Generators.hk_circuit ~k:2 n);
+          ])
+      [ 2; 3; 4 ]
+  in
+  Table.print
+    ~title:"the cofactor family of a length-2 inversion (Lemma 7 shape)"
+    ~header:[ "function"; "vars"; "sdd size"; "log2" ]
+    rows;
+
+  (* The actual lineage of the inversion query on a real database: a
+     single structured representation must serve all its cofactors. *)
+  let rows =
+    List.map
+      (fun n ->
+        let db = Pdb.complete_rst n in
+        let lineage = Lineage.circuit (Ucq.of_string "R(x), S(x,y), T(y)") db in
+        let size = best_sdd_size lineage [ 21; 22; 23 ] in
+        [
+          Table.fi n;
+          Table.fi (Circuit.num_vars lineage);
+          Table.fi size;
+          Table.ff (log (float_of_int size) /. log 2.0);
+        ])
+      [ 1; 2; 3; 4 ]
+  in
+  Table.print
+    ~title:"lineage of R(x),S(x,y),T(y) over the complete database"
+    ~header:[ "n"; "vars"; "sdd size"; "log2" ]
+    rows;
+
+  (* Lemma 7, extensionally: the lineage of the length-k inversion query
+     restricts to every H^i_{k,n}. *)
+  let rows =
+    List.map
+      (fun (k, n) ->
+        [
+          Ucq.to_string (Jha_suciu.query k);
+          Table.fi n;
+          Table.fb (Jha_suciu.check_lemma7 ~k n);
+        ])
+      [ (1, 2); (1, 3); (2, 2) ]
+  in
+  Table.print
+    ~title:"Lemma 7: F(b_i, .) = H^i_{k,n} for all i = 0..k"
+    ~header:[ "query"; "n"; "all cofactors match" ]
+    rows;
+
+  Table.section "E9 — Theorem 2 and eq. (8): exact communication ranks";
+  let rows =
+    List.map
+      (fun n ->
+        let rank = Comm.disjointness_rank n in
+        let cover =
+          List.length
+            (Rectangles.cover_of_function (Families.disjointness n) (Families.xs n))
+        in
+        [
+          Table.fi n;
+          Table.fi rank;
+          Table.fi (1 lsl n);
+          Table.fb (rank = 1 lsl n);
+          Table.fi cover;
+          Table.fb (cover >= rank);
+        ])
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  Table.print
+    ~title:
+      "rank(cm(D_n, X_n, Y_n)) = 2^n; the Lemma 3 cover meets the bound"
+    ~header:[ "n"; "rank"; "2^n"; "= 2^n"; "lemma3 cover"; ">= rank" ]
+    rows;
+  Table.note
+    "every disjoint rectangle cover of D_n under (X_n, Y_n) needs >= 2^n \
+     rectangles (Theorem 2), which drives the Claim 3 / Claim 4 counting \
+     in the proof of Theorem 5."

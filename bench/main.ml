@@ -1,0 +1,38 @@
+(* Experiment harness: regenerates every figure/claim of the paper as a
+   table (experiments E1-E12 of DESIGN.md), then optionally runs the
+   Bechamel micro-benchmarks.
+
+     dune exec bench/main.exe               -- all experiment tables
+     dune exec bench/main.exe -- E8         -- selected experiments
+     dune exec bench/main.exe -- --bechamel -- micro-benchmarks too *)
+
+let experiments =
+  [
+    ([ "E1" ], "Figure 1: width panorama", Exp_panorama.run);
+    ([ "E2"; "E3" ], "Figures 2-3: query compilation", Exp_queries.run);
+    ([ "E4"; "E5"; "E6"; "E7" ], "Lemma 1, Theorems 3-4, width bounds", Exp_compile.run);
+    ([ "E8"; "E9" ], "Theorem 5 and Theorem 2 lower bounds", Exp_lower_bounds.run);
+    ([ "E10"; "E11"; "E12" ], "ISA, Prop. 1 computability, Theorem 1", Exp_isa_prop1.run);
+    ([ "E13"; "E16" ], "vtree ablation, pathwidth specialisation, SDD-to-OBDD", Exp_vtree.run);
+    ([ "E14" ], "Tseitin route vs direct compilation", Exp_routes.run);
+  ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let bechamel = List.mem "--bechamel" args in
+  let selected = List.filter (fun a -> a <> "--bechamel") args in
+  let wanted (ids, _, _) =
+    selected = [] || List.exists (fun s -> List.mem s ids) selected
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun ((_, name, run) as e) ->
+      if wanted e then begin
+        let t = Unix.gettimeofday () in
+        run ();
+        Printf.printf "\n  [%s finished in %.1fs]\n" name
+          (Unix.gettimeofday () -. t)
+      end)
+    experiments;
+  if bechamel then Micro.run ();
+  Printf.printf "\nAll experiments done in %.1fs.\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,38 @@
+(* Aligned plain-text tables for the experiment reports. *)
+
+let print ~title ~header rows =
+  Printf.printf "\n== %s\n" title;
+  let all = header :: rows in
+  let cols = List.length header in
+  let width j =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row j with
+        | Some cell -> Stdlib.max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    let cells =
+      List.mapi
+        (fun j cell ->
+          let w = List.nth widths j in
+          cell ^ String.make (w - String.length cell) ' ')
+        row
+    in
+    Printf.printf "  %s\n" (String.concat "  " cells)
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let note fmt = Printf.ksprintf (fun s -> Printf.printf "  %s\n" s) fmt
+
+let section fmt =
+  Printf.ksprintf (fun s -> Printf.printf "\n%s\n%s\n" s (String.make (String.length s) '=')) fmt
+
+let fi = string_of_int
+let fb b = if b then "yes" else "no"
+let ff f = Printf.sprintf "%.2f" f
+let fbig = Bigint.to_string

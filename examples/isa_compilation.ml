@@ -1,0 +1,24 @@
+(* Appendix A (Proposition 3): the indirect storage access function has
+   polynomial-size SDDs, on the specific vtree of Figure 4.
+
+   Run with:  dune exec examples/isa_compilation.exe *)
+
+let () =
+  List.iter
+    (fun n ->
+      match Families.isa_params n with
+      | None -> ()
+      | Some (k, m) ->
+        Printf.printf "=== ISA_%d  (k = %d address bits, m = %d pointer bits)\n" n k m;
+        let vt = Isa.vtree n in
+        if n <= 6 then Printf.printf "Figure 4 vtree: %s\n" (Vtree.to_string vt);
+        let mgr, node = Isa.compile n in
+        Printf.printf "SDD size %d (width %d) vs n^(13/5) = %.0f\n"
+          (Sdd.size mgr node) (Sdd.width mgr node) (Isa.size_bound n);
+        if n <= 18 then
+          Printf.printf "matches the ISA semantics: %b\n" (Isa.check_semantics n);
+        Printf.printf "model count: %s of 2^%d\n"
+          (Bigint.to_string (Sdd.model_count mgr node))
+          n;
+        print_newline ())
+    [ 5; 18 ]

@@ -1,0 +1,55 @@
+(* The paper's main pipeline (Result 1) end to end:
+
+     circuit of small treewidth
+       -> tree decomposition of its gates
+       -> nice decomposition -> vtree               (Lemma 1)
+       -> factor width fw(F,T)                      (Definition 2)
+       -> canonical det. structured NNF C_{F,T}     (Theorem 3)
+       -> canonical SDD S_{F,T}                     (Theorem 4)
+
+   with every width and size compared against the paper's bounds.
+
+   Run with:  dune exec examples/treewidth_pipeline.exe *)
+
+let analyze name circuit =
+  Printf.printf "=== %s\n" name;
+  Printf.printf "circuit: %d gates, %d variables\n" (Circuit.size circuit)
+    (Circuit.num_vars circuit);
+  let g = Circuit.underlying_graph circuit in
+  let tw_ub, td = Circuit.treewidth_upper circuit in
+  Printf.printf "underlying graph: %d vertices, %d edges; treewidth <= %d\n"
+    (Ugraph.num_vertices g) (Ugraph.num_edges g) tw_ub;
+  let vt = Lemma1.vtree_of_decomposition circuit td in
+  Printf.printf "Lemma 1 vtree: %s\n" (Vtree.to_string vt);
+  let f = Circuit.to_boolfun circuit in
+  let fw = Factor_width.fw f vt in
+  Printf.printf "factor width fw(F,T) = %d  (Lemma 1 bound for bag size %d: %s)\n"
+    fw (tw_ub + 1)
+    (Bigint.to_string (Lemma1.bound ~bag_size:(tw_ub + 1)));
+  let compiled = Compile.cnnf f vt in
+  Printf.printf
+    "C_{F,T}: %d gates, fiw = %d  (fiw <= fw^2 = %d: %b; Theorem 3 bound %d)\n"
+    (Circuit.size compiled.Compile.circuit)
+    compiled.Compile.fiw (fw * fw)
+    (Bounds.ineq22 ~fw ~fiw:compiled.Compile.fiw)
+    (Compile.theorem3_size_bound ~k:compiled.Compile.fiw ~n:(Circuit.num_vars circuit));
+  Printf.printf "C_{F,T} is a deterministic structured NNF: %b\n"
+    (Snnf.is_d_sdnnf compiled.Compile.circuit vt);
+  let m = Sdd.manager vt in
+  let sdd = Compile.sdd_of_boolfun m f in
+  Printf.printf "S_{F,T}: size %d, sdw = %d  (sdw <= 2^(2fw+1): %b)\n"
+    (Sdd.size m sdd) (Sdd.width m sdd)
+    (Bounds.ineq29 ~fw ~sdw:(Sdd.width m sdd));
+  Printf.printf "S_{F,T} computes F: %b\n"
+    (Boolfun.equal (Sdd.to_boolfun m sdd) (Boolfun.lift f (Vtree.variables vt)));
+  let tw_compiled, bound = Bounds.prop2_witness compiled in
+  Printf.printf
+    "Proposition 2 witness: tw(C_{F,T}) <= %d <= 3*fiw = %d: %b\n\n" tw_compiled
+    bound (tw_compiled <= bound)
+
+let () =
+  analyze "chain of implications (pathwidth O(1))" (Generators.chain_implications 8);
+  analyze "parity chain" (Generators.parity_chain 6);
+  analyze "bounded-window random circuit"
+    (Generators.random_window ~seed:7 ~window:3 ~vars:6 ~gates:10);
+  analyze "ladder with 2 tracks" (Generators.ladder ~tracks:2 3)

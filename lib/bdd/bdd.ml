@@ -1,0 +1,428 @@
+(* Reduced OBDDs with hash-consing.
+
+   Node 0 is the false terminal, node 1 the true terminal.  Internal
+   nodes are triples (level, lo, hi) with lo <> hi (reduction) and are
+   unique (sharing), so semantic equality of functions is handle
+   equality. *)
+
+type t = int
+
+type manager = {
+  vars : string array;                     (* level -> variable *)
+  level_of : (string, int) Hashtbl.t;
+  mutable level : int array;               (* node -> level *)
+  mutable lo : int array;
+  mutable hi : int array;
+  mutable count : int;
+  unique : (int * int * int, int) Hashtbl.t;
+  apply_cache : (int * int * int, int) Hashtbl.t;  (* (opcode, a, b) *)
+  not_cache : (int, int) Hashtbl.t;
+}
+
+let terminal_level = max_int
+
+let manager order =
+  if order = [] then invalid_arg "Bdd.manager: empty order";
+  if List.length (List.sort_uniq compare order) <> List.length order then
+    invalid_arg "Bdd.manager: duplicate variables";
+  let vars = Array.of_list order in
+  let level_of = Hashtbl.create 16 in
+  Array.iteri (fun i v -> Hashtbl.add level_of v i) vars;
+  let cap = 1024 in
+  let m =
+    {
+      vars;
+      level_of;
+      level = Array.make cap terminal_level;
+      lo = Array.make cap 0;
+      hi = Array.make cap 0;
+      count = 2;
+      unique = Hashtbl.create 1024;
+      apply_cache = Hashtbl.create 1024;
+      not_cache = Hashtbl.create 256;
+    }
+  in
+  m.lo.(0) <- 0;
+  m.hi.(0) <- 0;
+  m.lo.(1) <- 1;
+  m.hi.(1) <- 1;
+  m
+
+let order m = Array.to_list m.vars
+let num_nodes_allocated m = m.count
+
+let false_ _ = 0
+let true_ _ = 1
+
+let grow m =
+  let cap = Array.length m.level in
+  if m.count >= cap then begin
+    let cap' = cap * 2 in
+    let extend a d =
+      let a' = Array.make cap' d in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    m.level <- extend m.level terminal_level;
+    m.lo <- extend m.lo 0;
+    m.hi <- extend m.hi 0
+  end
+
+let mk m level lo hi =
+  if lo = hi then lo
+  else begin
+    match Hashtbl.find_opt m.unique (level, lo, hi) with
+    | Some id -> id
+    | None ->
+      grow m;
+      let id = m.count in
+      m.count <- m.count + 1;
+      m.level.(id) <- level;
+      m.lo.(id) <- lo;
+      m.hi.(id) <- hi;
+      Hashtbl.add m.unique (level, lo, hi) id;
+      id
+  end
+
+let var m v =
+  let l = Hashtbl.find m.level_of v in
+  mk m l 0 1
+
+let equal (a : t) (b : t) = a = b
+
+(* Binary apply; opcodes identify the boolean op for the cache. *)
+let rec apply m opcode op a b =
+  if a <= 1 && b <= 1 then (if op (a = 1) (b = 1) then 1 else 0)
+  else begin
+    match Hashtbl.find_opt m.apply_cache (opcode, a, b) with
+    | Some r -> r
+    | None ->
+      let la = m.level.(a) and lb = m.level.(b) in
+      let l = Stdlib.min la lb in
+      let a0, a1 = if la = l then (m.lo.(a), m.hi.(a)) else (a, a) in
+      let b0, b1 = if lb = l then (m.lo.(b), m.hi.(b)) else (b, b) in
+      let r0 = apply m opcode op a0 b0 in
+      let r1 = apply m opcode op a1 b1 in
+      let r = mk m l r0 r1 in
+      Hashtbl.add m.apply_cache (opcode, a, b) r;
+      r
+  end
+
+let rec not_ m a =
+  if a = 0 then 1
+  else if a = 1 then 0
+  else begin
+    match Hashtbl.find_opt m.not_cache a with
+    | Some r -> r
+    | None ->
+      let r = mk m m.level.(a) (not_ m m.lo.(a)) (not_ m m.hi.(a)) in
+      Hashtbl.add m.not_cache a r;
+      r
+  end
+
+let and_ m = apply m 0 ( && )
+let or_ m = apply m 1 ( || )
+let xor_ m = apply m 2 ( <> )
+let implies m a b = or_ m (not_ m a) b
+let iff m a b = not_ m (xor_ m a b)
+let ite m c a b = or_ m (and_ m c a) (and_ m (not_ m c) b)
+
+let rec restrict_level m a l value =
+  if a <= 1 then a
+  else if m.level.(a) > l then a
+  else if m.level.(a) = l then (if value then m.hi.(a) else m.lo.(a))
+  else begin
+    (* memoless: restriction is cheap relative to our sizes *)
+    mk m m.level.(a)
+      (restrict_level m m.lo.(a) l value)
+      (restrict_level m m.hi.(a) l value)
+  end
+
+let restrict m a v value = restrict_level m a (Hashtbl.find m.level_of v) value
+
+let exists_ m v a = or_ m (restrict m a v false) (restrict m a v true)
+let forall m v a = and_ m (restrict m a v false) (restrict m a v true)
+
+let of_boolfun m f =
+  List.iter
+    (fun v ->
+      if not (Hashtbl.mem m.level_of v) then
+        invalid_arg ("Bdd.of_boolfun: variable not in order: " ^ v))
+    (Boolfun.variables f);
+  (* Shannon expansion along the manager order restricted to f's vars. *)
+  let module FM = Map.Make (struct
+    type nonrec t = Boolfun.t
+
+    let compare = Boolfun.compare_strict
+  end) in
+  let cache = ref FM.empty in
+  let rec go f =
+    match Boolfun.is_const f with
+    | Some true -> 1
+    | Some false -> 0
+    | None ->
+      (match FM.find_opt f !cache with
+       | Some r -> r
+       | None ->
+         (* Branch on f's topmost variable in the manager order. *)
+         let v =
+           List.fold_left
+             (fun best v ->
+               match best with
+               | None -> Some v
+               | Some b ->
+                 if Hashtbl.find m.level_of v < Hashtbl.find m.level_of b then Some v
+                 else best)
+             None
+             (Boolfun.support f)
+         in
+         let v = Option.get v in
+         let r0 = go (Boolfun.restrict f [ (v, false) ]) in
+         let r1 = go (Boolfun.restrict f [ (v, true) ]) in
+         let r = mk m (Hashtbl.find m.level_of v) r0 r1 in
+         cache := FM.add f r !cache;
+         r)
+  in
+  go f
+
+let to_boolfun m a =
+  let vars = order m in
+  Boolfun.of_fun vars (fun asg ->
+      let rec follow a =
+        if a = 0 then false
+        else if a = 1 then true
+        else if Boolfun.Smap.find m.vars.(m.level.(a)) asg then follow m.hi.(a)
+        else follow m.lo.(a)
+      in
+      follow a)
+
+let compile_circuit m c =
+  let n = Circuit.size c in
+  let res = Array.make n 0 in
+  for i = 0 to n - 1 do
+    res.(i) <-
+      (match Circuit.gate c i with
+       | Circuit.Var v -> var m v
+       | Circuit.Const b -> if b then 1 else 0
+       | Circuit.Not j -> not_ m res.(j)
+       | Circuit.And js ->
+         List.fold_left (fun acc j -> and_ m acc res.(j)) 1 js
+       | Circuit.Or js ->
+         List.fold_left (fun acc j -> or_ m acc res.(j)) 0 js)
+  done;
+  res.(Circuit.output c)
+
+let reachable m a =
+  let seen = Hashtbl.create 64 in
+  let rec go a =
+    if a > 1 && not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      go m.lo.(a);
+      go m.hi.(a)
+    end
+  in
+  go a;
+  seen
+
+let size m a = Hashtbl.length (reachable m a)
+
+let level_profile m a =
+  let counts = Array.make (Array.length m.vars) 0 in
+  Hashtbl.iter
+    (fun n () -> counts.(m.level.(n)) <- counts.(m.level.(n)) + 1)
+    (reachable m a);
+  Array.to_list (Array.mapi (fun i c -> (m.vars.(i), c)) counts)
+
+let width m a =
+  List.fold_left (fun acc (_, c) -> Stdlib.max acc c) 0 (level_profile m a)
+
+let model_count m a =
+  let nvars = Array.length m.vars in
+  let cache = Hashtbl.create 64 in
+  (* count a l = number of models over levels l..nvars-1, where a's level
+     is >= l. *)
+  let rec count a l =
+    if a = 0 then Bigint.zero
+    else if a = 1 then Bigint.pow2 (nvars - l)
+    else begin
+      let la = m.level.(a) in
+      let key = (a, l) in
+      match Hashtbl.find_opt cache key with
+      | Some r -> r
+      | None ->
+        let below =
+          Bigint.add (count m.lo.(a) (la + 1)) (count m.hi.(a) (la + 1))
+        in
+        let r = Bigint.mul (Bigint.pow2 (la - l)) below in
+        Hashtbl.add cache key r;
+        r
+    end
+  in
+  count a 0
+
+let probability m a weight =
+  let cache = Hashtbl.create 64 in
+  (* pr a l = probability over levels l.. (skipped levels integrate out) *)
+  let rec pr a l =
+    if a = 0 then 0.0
+    else if a = 1 then 1.0
+    else begin
+      let la = m.level.(a) in
+      if la > l then pr a la
+      else begin
+        match Hashtbl.find_opt cache a with
+        | Some r -> r
+        | None ->
+          let w = weight m.vars.(la) in
+          let r =
+            (w *. pr m.hi.(a) (la + 1)) +. ((1.0 -. w) *. pr m.lo.(a) (la + 1))
+          in
+          Hashtbl.add cache a r;
+          r
+      end
+    end
+  in
+  pr a 0
+
+let probability_ratio m a weight =
+  let cache = Hashtbl.create 64 in
+  let rec pr a =
+    if a = 0 then Ratio.zero
+    else if a = 1 then Ratio.one
+    else begin
+      match Hashtbl.find_opt cache a with
+      | Some r -> r
+      | None ->
+        let w = weight m.vars.(m.level.(a)) in
+        let r =
+          Ratio.add
+            (Ratio.mul w (pr m.hi.(a)))
+            (Ratio.mul (Ratio.sub Ratio.one w) (pr m.lo.(a)))
+        in
+        Hashtbl.add cache a r;
+        r
+    end
+  in
+  pr a
+
+let any_model m a =
+  if a = 0 then None
+  else begin
+    let rec go a acc =
+      if a = 1 then List.rev acc
+      else if m.hi.(a) <> 0 then go m.hi.(a) ((m.vars.(m.level.(a)), true) :: acc)
+      else go m.lo.(a) ((m.vars.(m.level.(a)), false) :: acc)
+    in
+    Some (go a [])
+  end
+
+let is_const _ a = if a = 0 then Some false else if a = 1 then Some true else None
+
+(* ------------------------------------------------------------------ *)
+(* Reordering by rebuild                                               *)
+(* ------------------------------------------------------------------ *)
+
+let transfer src node dst =
+  let memo = Hashtbl.create 64 in
+  let rec go a =
+    if a = 0 then 0
+    else if a = 1 then 1
+    else begin
+      match Hashtbl.find_opt memo a with
+      | Some r -> r
+      | None ->
+        let v = var dst src.vars.(src.level.(a)) in
+        let r = ite dst v (go src.hi.(a)) (go src.lo.(a)) in
+        Hashtbl.add memo a r;
+        r
+    end
+  in
+  go node
+
+(* Swap positions i and i+1 of the order, rebuild, keep if smaller. *)
+let sift m node =
+  let measure mgr nd = Hashtbl.length (reachable mgr nd) in
+  let rec climb mgr nd order =
+    let current = measure mgr nd in
+    let arr = Array.of_list order in
+    let n = Array.length arr in
+    let rec try_swaps i =
+      if i >= n - 1 then None
+      else begin
+        let arr' = Array.copy arr in
+        let tmp = arr'.(i) in
+        arr'.(i) <- arr'.(i + 1);
+        arr'.(i + 1) <- tmp;
+        let order' = Array.to_list arr' in
+        let mgr' = manager order' in
+        let nd' = transfer mgr nd mgr' in
+        if measure mgr' nd' < current then Some (mgr', nd', order')
+        else try_swaps (i + 1)
+      end
+    in
+    match try_swaps 0 with
+    | Some (mgr', nd', order') -> climb mgr' nd' order'
+    | None -> (mgr, nd, order)
+  in
+  climb m node (order m)
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive order search                                             *)
+(* ------------------------------------------------------------------ *)
+
+let permutations l =
+  let rec insert x = function
+    | [] -> [ [ x ] ]
+    | y :: rest as all ->
+      (x :: all) :: List.map (fun r -> y :: r) (insert x rest)
+  in
+  List.fold_left
+    (fun perms x -> List.concat_map (insert x) perms)
+    [ [] ] l
+
+let best_order ?(max_vars = 8) f =
+  let vars = Boolfun.variables f in
+  if vars = [] then ([], 0, 0)
+  else begin
+    if List.length vars > max_vars then
+      invalid_arg "Bdd.best_order: too many variables for exhaustive search";
+    let best = ref None in
+    List.iter
+      (fun ord ->
+        let m = manager ord in
+        let node = of_boolfun m f in
+        let w = width m node in
+        let s = size m node in
+        match !best with
+        | Some (_, bw, bs) when (bw, bs) <= (w, s) -> ()
+        | _ -> best := Some (ord, w, s))
+      (permutations vars);
+    Option.get !best
+  end
+
+let obdd_width ?max_vars f =
+  let _, w, _ = best_order ?max_vars f in
+  w
+
+let obdd_size_min ?(max_vars = 8) f =
+  let vars = Boolfun.variables f in
+  if vars = [] then 0
+  else begin
+    if List.length vars > max_vars then
+      invalid_arg "Bdd.obdd_size_min: too many variables";
+    List.fold_left
+      (fun acc ord ->
+        let m = manager ord in
+        Stdlib.min acc (size m (of_boolfun m f)))
+      max_int (permutations vars)
+  end
+
+let pp m ppf a =
+  let rec go ppf a =
+    if a = 0 then Format.pp_print_string ppf "F"
+    else if a = 1 then Format.pp_print_string ppf "T"
+    else
+      Format.fprintf ppf "(%s ? %a : %a)" m.vars.(m.level.(a)) go m.hi.(a) go
+        m.lo.(a)
+  in
+  go ppf a

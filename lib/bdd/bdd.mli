@@ -1,0 +1,113 @@
+(** Reduced ordered binary decision diagrams (OBDDs).
+
+    A manager fixes a variable order; nodes are hash-consed so that
+    equivalent functions share a unique representation (canonicity).
+    OBDD {e width} — the largest number of nodes labelled by the same
+    variable, the measure Jha and Suciu relate to circuit pathwidth — is
+    exposed directly, together with an exhaustive order search for small
+    functions so the function-level OBDD width (minimum over orders) can
+    be computed exactly. *)
+
+type manager
+type t
+(** A node handle, valid only with the manager that created it. *)
+
+(** {1 Manager} *)
+
+val manager : string list -> manager
+(** [manager order]: variable order as listed (first = topmost).
+    @raise Invalid_argument on duplicates or empty list. *)
+
+val order : manager -> string list
+val num_nodes_allocated : manager -> int
+
+(** {1 Constants, literals, connectives} *)
+
+val true_ : manager -> t
+val false_ : manager -> t
+val var : manager -> string -> t
+(** @raise Not_found if the variable is not in the order. *)
+
+val not_ : manager -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor_ : manager -> t -> t -> t
+val implies : manager -> t -> t -> t
+val iff : manager -> t -> t -> t
+val ite : manager -> t -> t -> t -> t
+
+val equal : t -> t -> bool
+(** Constant-time function equality (canonicity). *)
+
+(** {1 Quantification and restriction} *)
+
+val restrict : manager -> t -> string -> bool -> t
+val exists_ : manager -> string -> t -> t
+val forall : manager -> string -> t -> t
+
+(** {1 Compilation} *)
+
+val of_boolfun : manager -> Boolfun.t -> t
+(** The function's variables must all appear in the manager order. *)
+
+val to_boolfun : manager -> t -> Boolfun.t
+(** Over the full manager variable set (small managers only). *)
+
+val compile_circuit : manager -> Circuit.t -> t
+(** Bottom-up compilation by apply. *)
+
+(** {1 Measures} *)
+
+val size : manager -> t -> int
+(** Number of internal (decision) nodes reachable from the root. *)
+
+val width : manager -> t -> int
+(** Largest number of reachable nodes labelled by the same variable. *)
+
+val level_profile : manager -> t -> (string * int) list
+(** Nodes per variable, in order. *)
+
+val model_count : manager -> t -> Bigint.t
+(** Over the full manager variable set. *)
+
+val probability : manager -> t -> (string -> float) -> float
+(** Probability of the function when each variable is independently true
+    with the given probability. *)
+
+val probability_ratio : manager -> t -> (string -> Ratio.t) -> Ratio.t
+(** Exact rational version. *)
+
+val any_model : manager -> t -> (string * bool) list option
+(** Some partial assignment (over the decision variables on a path). *)
+
+(** {1 Reordering} *)
+
+val transfer : manager -> t -> manager -> t
+(** [transfer src node dst] rebuilds the function in another manager
+    (whose order must cover the variables of [node]).  Linear passes of
+    apply; the basis for reordering by rebuild. *)
+
+val sift : manager -> t -> manager * t * string list
+(** Greedy dynamic reordering: repeatedly try adjacent transpositions of
+    the variable order (rebuild-based), keep improvements in size, stop
+    at a local minimum.  Returns the new manager, the node, and the
+    order found.  Intended for medium OBDDs (up to a few thousand
+    nodes). *)
+
+(** {1 Function-level width (minimum over orders)} *)
+
+val best_order : ?max_vars:int -> Boolfun.t -> string list * int * int
+(** Exhaustive search over variable orders; returns (order, width, size)
+    minimizing width (ties broken by size).
+    @raise Invalid_argument beyond [max_vars] (default 8) variables. *)
+
+val obdd_width : ?max_vars:int -> Boolfun.t -> int
+(** The OBDD width of the function: minimum width over all orders. *)
+
+val obdd_size_min : ?max_vars:int -> Boolfun.t -> int
+(** Minimum OBDD size over all orders. *)
+
+(** {1 Inspection} *)
+
+val is_const : manager -> t -> bool option
+val pp : manager -> Format.formatter -> t -> unit

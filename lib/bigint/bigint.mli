@@ -1,0 +1,121 @@
+(** Arbitrary-precision signed integers.
+
+    A from-scratch replacement for [zarith] (not available in this
+    environment).  Values are immutable.  The representation is
+    sign-magnitude with little-endian base-2{^15} digits, which keeps all
+    intermediate products of the schoolbook algorithms inside OCaml's
+    native [int] range.
+
+    The library is used for exact model counts (which exceed [max_int]
+    already for functions of 63 variables) and for fraction-free Gaussian
+    elimination when computing communication-matrix ranks exactly
+    (Theorem 2 of the paper). *)
+
+type t
+
+(** {1 Constants} *)
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+(** {1 Construction and conversion} *)
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] iff [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure if the value does not fit in a native [int]. *)
+
+val of_string : string -> t
+(** Parses an optionally-signed decimal numeral.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+(** Decimal representation, with a leading ['-'] for negative values. *)
+
+val to_float : t -> float
+(** Nearest float; loses precision beyond 53 bits, returns [infinity]
+    past the float range. *)
+
+(** {1 Predicates and comparison} *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+(** {1 Arithmetic} *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], truncated division
+    (quotient rounded toward zero, [r] has the sign of [a]).
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val divexact : t -> t -> t
+(** Division known to be exact (used by Bareiss elimination).
+    @raise Invalid_argument if the division leaves a remainder. *)
+
+val gcd : t -> t -> t
+(** Non-negative greatest common divisor; [gcd zero zero = zero]. *)
+
+val pow : t -> int -> t
+(** [pow x k] for [k >= 0].  @raise Invalid_argument on negative [k]. *)
+
+val shift_left : t -> int -> t
+(** Multiplication by 2{^k}, [k >= 0]. *)
+
+val pow2 : int -> t
+(** [pow2 k] is 2{^k} for [k >= 0]. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+(** {1 Aggregation} *)
+
+val sum : t list -> t
+val product : t list -> t
+
+(** {1 Bit inspection} *)
+
+val num_bits : t -> int
+(** Bits in the magnitude; [num_bits zero = 0]. *)
+
+val testbit : t -> int -> bool
+(** [testbit x i] is bit [i] of the magnitude of [x]. *)
+
+(** {1 Formatting} *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Infix operators} *)
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+  val ( ~- ) : t -> t
+end

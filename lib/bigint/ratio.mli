@@ -1,0 +1,49 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept normalized: the denominator is positive and the
+    numerator and denominator are coprime.  Used for exact probability
+    computation over compiled circuits (weighted model counting with
+    rational tuple probabilities). *)
+
+type t
+
+val zero : t
+val one : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+
+val of_ints : int -> int -> t
+(** [of_ints a b] is [a/b]. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+
+val to_float : t -> float
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val sum : t list -> t
+val product : t list -> t
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( = ) : t -> t -> bool
+end

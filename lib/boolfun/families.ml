@@ -1,0 +1,104 @@
+let x i = Printf.sprintf "x%02d" i
+let y i = Printf.sprintf "y%02d" i
+let z i = Printf.sprintf "z%02d" i
+let zij i l m = Printf.sprintf "z%d_%02d_%02d" i l m
+
+let xs n = List.init n (fun i -> x (i + 1))
+let ys n = List.init n (fun i -> y (i + 1))
+let zs n = List.init n (fun i -> z (i + 1))
+
+let disjointness n =
+  Boolfun.and_list
+    (List.init n (fun i ->
+         Boolfun.or_
+           (Boolfun.not_ (Boolfun.var (x (i + 1))))
+           (Boolfun.not_ (Boolfun.var (y (i + 1))))))
+
+let parity n =
+  List.fold_left
+    (fun acc v -> Boolfun.xor_ acc (Boolfun.var v))
+    Boolfun.ff (xs n)
+
+let threshold k n =
+  Boolfun.of_fun (xs n) (fun a ->
+      let count = Boolfun.Smap.fold (fun _ b acc -> if b then acc + 1 else acc) a 0 in
+      count >= k)
+
+let majority n = threshold ((n / 2) + 1) n
+
+let implication = Boolfun.implies (Boolfun.var "x") (Boolfun.var "y")
+
+let conjunction n = Boolfun.and_list (List.map Boolfun.var (xs n))
+let disjunction n = Boolfun.or_list (List.map Boolfun.var (xs n))
+
+let chain_implications n =
+  Boolfun.and_list
+    (List.init (Stdlib.max 0 (n - 1)) (fun i ->
+         Boolfun.implies (Boolfun.var (x (i + 1))) (Boolfun.var (x (i + 2)))))
+
+let isa_params n =
+  (* Find k, m with 2^k * m = 2^m and n = k + 2^m. *)
+  let result = ref None in
+  for k = 1 to 24 do
+    for m = 1 to 24 do
+      if !result = None && (1 lsl k) * m = 1 lsl m && k + (1 lsl m) = n then
+        result := Some (k, m)
+    done
+  done;
+  !result
+
+let isa n =
+  match isa_params n with
+  | None -> invalid_arg (Printf.sprintf "Families.isa: %d is not a valid ISA size" n)
+  | Some (k, m) ->
+    let yvars = ys k in
+    let zvars = zs (1 lsl m) in
+    Boolfun.of_fun (yvars @ zvars) (fun a ->
+        (* Block index i-1 from the y bits (y1 is the most significant,
+           matching "the number whose binary representation is
+           (a1,...,ak)"). *)
+        let block = ref 0 in
+        List.iteri
+          (fun j v -> if Boolfun.Smap.find v a then block := !block lor (1 lsl (k - 1 - j)))
+          yvars;
+        (* Pointer j-1 from bits (b_{i,1}..b_{i,m}) = z_{(i-1)m+1..im}. *)
+        let ptr = ref 0 in
+        for j = 0 to m - 1 do
+          let zv = z ((!block * m) + j + 1) in
+          if Boolfun.Smap.find zv a then ptr := !ptr lor (1 lsl (m - 1 - j))
+        done;
+        Boolfun.Smap.find (z (!ptr + 1)) a)
+
+let pair_disjunction pairs =
+  Boolfun.or_list
+    (List.map (fun (a, b) -> Boolfun.and_ (Boolfun.var a) (Boolfun.var b)) pairs)
+
+let h0 ~k n =
+  ignore k;
+  pair_disjunction
+    (List.concat_map
+       (fun l -> List.init n (fun m -> (x l, zij 1 l (m + 1))))
+       (List.init n (fun l -> l + 1)))
+
+let hi ~k ~i n =
+  if i < 1 || i > k - 1 then invalid_arg "Families.hi: need 1 <= i <= k-1";
+  pair_disjunction
+    (List.concat_map
+       (fun l -> List.init n (fun m -> (zij i l (m + 1), zij (i + 1) l (m + 1))))
+       (List.init n (fun l -> l + 1)))
+
+let hk ~k n =
+  pair_disjunction
+    (List.concat_map
+       (fun l -> List.init n (fun m -> (zij k l (m + 1), y (m + 1))))
+       (List.init n (fun l -> l + 1)))
+
+let hidden_weighted_bit n =
+  Boolfun.of_fun (xs n) (fun a ->
+      let w = Boolfun.Smap.fold (fun _ b acc -> if b then acc + 1 else acc) a 0 in
+      w > 0 && Boolfun.Smap.find (x w) a)
+
+let equality n =
+  Boolfun.and_list
+    (List.init n (fun i ->
+         Boolfun.iff (Boolfun.var (x (i + 1))) (Boolfun.var (y (i + 1)))))

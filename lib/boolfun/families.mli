@@ -1,0 +1,66 @@
+(** Standard Boolean function families used throughout the paper's
+    constructions and experiments. *)
+
+(** {1 Variable naming helpers} *)
+
+val xs : int -> string list
+(** [xs n] = [["x1"; ...; "xn"]]. *)
+
+val ys : int -> string list
+val zs : int -> string list
+
+val x : int -> string
+val y : int -> string
+val z : int -> string
+
+val zij : int -> int -> int -> string
+(** [zij i l m] is the variable z{^i}{_l,m} of the H functions. *)
+
+(** {1 Families (semantic)} *)
+
+val disjointness : int -> Boolfun.t
+(** [disjointness n] is D{_n}(X{_n}, Y{_n}) = ⋀{_i}(¬x{_i} ∨ ¬y{_i})
+    (paper, eq. 7). *)
+
+val parity : int -> Boolfun.t
+(** XOR of x1..xn. *)
+
+val majority : int -> Boolfun.t
+val threshold : int -> int -> Boolfun.t
+(** [threshold k n]: at least [k] of x1..xn are true. *)
+
+val implication : Boolfun.t
+(** x → y, the running example (Examples 1–4) of the paper. *)
+
+val conjunction : int -> Boolfun.t
+val disjunction : int -> Boolfun.t
+
+val chain_implications : int -> Boolfun.t
+(** (x1 → x2) ∧ (x2 → x3) ∧ ... — a pathwidth-1 family. *)
+
+val isa_params : int -> (int * int) option
+(** [isa_params n] is [Some (k, m)] when [n = k + 2{^m}] with
+    [2{^k}·m = 2{^m}] — the well-formedness condition of Appendix A.
+    Valid sizes: 5 (k=1,m=2), 18 (k=2,m=4), 261 (k=5,m=8), ... *)
+
+val isa : int -> Boolfun.t
+(** The indirect storage access function ISA{_n} over variables
+    y1..yk, z1..z{_2{^m}} (Appendix A).  @raise Invalid_argument if [n]
+    is not a valid ISA size or too large to tabulate. *)
+
+val h0 : k:int -> int -> Boolfun.t
+(** H{^0}{_k,n}(X, Z¹) = ⋁{_l,m}(x{_l} ∧ z¹{_l,m}) (Section 4.1). *)
+
+val hi : k:int -> i:int -> int -> Boolfun.t
+(** H{^i}{_k,n}(Z{^i}, Z{^i+1}) = ⋁{_l,m}(z{^i}{_l,m} ∧ z{^i+1}{_l,m}),
+    for 1 ≤ i ≤ k-1. *)
+
+val hk : k:int -> int -> Boolfun.t
+(** H{^k}{_k,n}(Z{^k}, Y) = ⋁{_l,m}(z{^k}{_l,m} ∧ y{_m}). *)
+
+val hidden_weighted_bit : int -> Boolfun.t
+(** HWB{_n}: x{_w} where w = Σx{_i} (0 accepted as false); classically
+    hard for OBDDs. *)
+
+val equality : int -> Boolfun.t
+(** EQ{_n}(X, Y): x{_i} = y{_i} for all i. *)

@@ -1,0 +1,118 @@
+(** Boolean circuits over the standard basis (Section 2.1 of the paper).
+
+    A circuit is a DAG whose internal gates are unbounded-fanin AND/OR and
+    fanin-1 NOT, and whose sources are variables or constants.  Gates are
+    stored in a topologically ordered array: every wire points to a
+    strictly smaller index.  The {e circuit treewidth} interface exposes
+    the treewidth of the undirected graph underlying the DAG, which is the
+    quantity [tw(C)] of the paper. *)
+
+type gate =
+  | Var of string
+  | Const of bool
+  | Not of int
+  | And of int list
+  | Or of int list
+
+type t = private { gates : gate array; output : int }
+
+(** {1 Building} *)
+
+module Builder : sig
+  type b
+
+  val create : unit -> b
+
+  val var : b -> string -> int
+  val const : b -> bool -> int
+  val not_ : b -> int -> int
+  val and_ : b -> int list -> int
+  val or_ : b -> int list -> int
+  (** Gates are hash-consed: structurally equal gates share an index.
+      [and_ []] is the true constant, [or_ []] the false constant;
+      singleton AND/OR collapse to their argument. *)
+
+  val build : b -> int -> t
+  (** [build b out] finalizes with output gate [out], keeping only gates
+      reachable from [out]. *)
+end
+
+val of_gates : gate array -> int -> t
+(** Wraps an explicit gate array (checks topological order and ranges).
+    @raise Invalid_argument on a malformed circuit. *)
+
+(** {1 Basic inspection} *)
+
+val size : t -> int
+(** Number of gates (paper: |C|). *)
+
+val variables : t -> string list
+(** Sorted variable names appearing at input gates. *)
+
+val num_vars : t -> int
+val output : t -> int
+val gate : t -> int -> gate
+
+val fanin : t -> int -> int list
+val fanout_counts : t -> int array
+
+val is_nnf : t -> bool
+(** Negations applied only to variables or constants. *)
+
+(** {1 Semantics} *)
+
+val eval : t -> Boolfun.assignment -> bool
+
+val to_boolfun : t -> Boolfun.t
+(** The Boolean function computed by the circuit, over [variables c]
+    (bottom-up evaluation over truth tables; feasible for circuits with
+    at most ~22 variables). *)
+
+val equivalent : t -> t -> bool
+
+(** {1 Transformations} *)
+
+val to_nnf : t -> t
+(** Pushes negations to the inputs (De Morgan); preserves the function. *)
+
+val simplify : t -> t
+(** Constant propagation and flattening of nested same-op gates. *)
+
+val rename_vars : t -> (string * string) list -> t
+
+(** {1 Import} *)
+
+val of_cnf : (string * bool) list list -> t
+(** Clauses as lists of literals [(variable, polarity)]. *)
+
+val of_dnf : (string * bool) list list -> t
+
+val of_boolfun_dnf : Boolfun.t -> t
+(** The DNF whose terms are exactly the models (used as the initial
+    circuit-treewidth upper bound in Proposition 1). *)
+
+(** {1 Circuit treewidth (Section 3.1)} *)
+
+val underlying_graph : t -> Ugraph.t
+(** The undirected graph underlying the DAG: one vertex per gate, one
+    edge per wire. *)
+
+val treewidth_upper : t -> int * Treedec.t
+(** Heuristic treewidth upper bound of the underlying graph, with a
+    witnessing (connected) tree decomposition of the gates. *)
+
+val treewidth_exact : ?max_gates:int -> t -> int
+(** Exact treewidth of the underlying graph (small circuits only). *)
+
+val pathwidth_exact : ?max_gates:int -> t -> int
+
+(** {1 Text format}
+
+    S-expression syntax: [x], [true], [false], [(not e)], [(and e ...)],
+    [(or e ...)]. *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** @raise Invalid_argument on parse errors. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,98 @@
+type t = { num_vars : int; clauses : int list list }
+
+let var_name i = Printf.sprintf "v%04d" i
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let num_vars = ref (-1) in
+  let num_clauses = ref (-1) in
+  let clauses = ref [] in
+  let current = ref [] in
+  let malformed msg = invalid_arg ("Dimacs.parse: " ^ msg) in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "cnf"; v; c ] ->
+          (try
+             num_vars := int_of_string v;
+             num_clauses := int_of_string c
+           with Failure _ -> malformed "bad header numbers")
+        | _ -> malformed "bad problem line"
+      end
+      else begin
+        if !num_vars < 0 then malformed "clause before the problem line";
+        List.iter
+          (fun tok ->
+            match int_of_string_opt tok with
+            | None -> malformed ("bad literal: " ^ tok)
+            | Some 0 ->
+              clauses := List.rev !current :: !clauses;
+              current := []
+            | Some l ->
+              if abs l > !num_vars then malformed "literal out of range";
+              current := l :: !current)
+          (String.split_on_char ' ' line |> List.filter (fun s -> s <> ""))
+      end)
+    lines;
+  if !current <> [] then clauses := List.rev !current :: !clauses;
+  if !num_vars < 0 then malformed "missing problem line";
+  let clauses = List.rev !clauses in
+  if !num_clauses >= 0 && List.length clauses <> !num_clauses then
+    malformed
+      (Printf.sprintf "expected %d clauses, found %d" !num_clauses
+         (List.length clauses));
+  { num_vars = !num_vars; clauses }
+
+let parse_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse s
+
+let print t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" t.num_vars (List.length t.clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    t.clauses;
+  Buffer.contents buf
+
+let to_circuit t =
+  Circuit.of_cnf
+    (List.map
+       (fun clause -> List.map (fun l -> (var_name (abs l), l > 0)) clause)
+       t.clauses)
+
+let free_var_count t =
+  let used = Hashtbl.create 16 in
+  List.iter (List.iter (fun l -> Hashtbl.replace used (abs l) ())) t.clauses;
+  t.num_vars - Hashtbl.length used
+
+let of_clauses named =
+  let index = Hashtbl.create 16 in
+  let names = Hashtbl.create 16 in
+  let next = ref 0 in
+  let id v =
+    match Hashtbl.find_opt index v with
+    | Some i -> i
+    | None ->
+      incr next;
+      Hashtbl.add index v !next;
+      Hashtbl.add names !next v;
+      !next
+  in
+  let clauses =
+    List.map
+      (List.map (fun (v, polarity) ->
+           let i = id v in
+           if polarity then i else -i))
+      named
+  in
+  ({ num_vars = !next; clauses }, fun i -> Hashtbl.find names i)

@@ -1,0 +1,31 @@
+(** DIMACS CNF import/export.
+
+    Query lineages arrive as circuits, but the knowledge-compilation
+    ecosystem speaks DIMACS; this module bridges the two so the compilers
+    double as an exact model counter for standard benchmark files.
+    Variables [1..n] map to names ["v0001"..]. *)
+
+type t = { num_vars : int; clauses : int list list }
+(** Clauses as non-zero literals (negative = negated variable). *)
+
+val parse : string -> t
+(** Parses DIMACS CNF text ([c] comments, [p cnf V C] header).
+    @raise Invalid_argument on malformed input. *)
+
+val parse_file : string -> t
+
+val print : t -> string
+
+val var_name : int -> string
+(** Name of DIMACS variable [i ≥ 1]. *)
+
+val to_circuit : t -> Circuit.t
+(** CNF circuit over [var_name] variables.  Variables that appear in no
+    clause still count towards model counts via {!free_var_count}. *)
+
+val free_var_count : t -> int
+(** Declared variables that occur in no clause. *)
+
+val of_clauses : (string * bool) list list -> t * (int -> string)
+(** Converts named clauses to DIMACS numbering; returns the inverse
+    naming. *)

@@ -1,0 +1,181 @@
+open Circuit
+
+let chain_implications n =
+  let b = Builder.create () in
+  let clauses =
+    List.init (Stdlib.max 0 (n - 1)) (fun i ->
+        let xi = Builder.var b (Families.x (i + 1)) in
+        let xj = Builder.var b (Families.x (i + 2)) in
+        Builder.or_ b [ Builder.not_ b xi; xj ])
+  in
+  Builder.build b (Builder.and_ b clauses)
+
+let xor_gate b u v =
+  Builder.or_ b
+    [ Builder.and_ b [ u; Builder.not_ b v ];
+      Builder.and_ b [ Builder.not_ b u; v ] ]
+
+let parity_chain n =
+  let b = Builder.create () in
+  let acc = ref (Builder.const b false) in
+  for i = 1 to n do
+    acc := xor_gate b !acc (Builder.var b (Families.x i))
+  done;
+  Builder.build b !acc
+
+let ladder ~tracks n =
+  let b = Builder.create () in
+  (* State: [tracks] running gates.  Each stage rotates fresh variables in
+     and mixes adjacent tracks; all stage outputs are conjoined through a
+     running AND so the underlying graph stays path-like with bags of
+     size O(tracks). *)
+  let fresh stage t = Builder.var b (Printf.sprintf "v%02d_%02d" stage t) in
+  let state = ref (Array.init tracks (fun t -> fresh 0 t)) in
+  let acc = ref (Builder.const b true) in
+  for stage = 1 to n do
+    let prev = !state in
+    let next =
+      Array.init tracks (fun t ->
+          let v = fresh stage t in
+          let left = prev.(t) in
+          let right = prev.((t + 1) mod tracks) in
+          Builder.or_ b [ Builder.and_ b [ left; v ]; Builder.and_ b [ right; Builder.not_ b v ] ])
+    in
+    let stage_out = Builder.or_ b (Array.to_list next) in
+    acc := Builder.and_ b [ !acc; stage_out ];
+    state := next
+  done;
+  Builder.build b !acc
+
+let random_window ~seed ~window ~vars ~gates =
+  let st = Random.State.make [| seed; window; vars; gates |] in
+  let b = Builder.create () in
+  let recent = ref [] in
+  let push g =
+    recent := g :: !recent;
+    if List.length !recent > window then
+      recent := List.filteri (fun i _ -> i < window) !recent
+  in
+  let pick () =
+    let l = !recent in
+    List.nth l (Random.State.int st (List.length l))
+  in
+  (* Variables enter the window one stage at a time and a running
+     accumulator folds every stage into the output, so the function
+     depends on all variables while the underlying graph stays a
+     caterpillar of width O(window). *)
+  push (Builder.var b (Families.x 1));
+  let acc = ref (pick ()) in
+  let per_stage = Stdlib.max 1 (gates / Stdlib.max 1 vars) in
+  for i = 2 to vars do
+    push (Builder.var b (Families.x i));
+    for j = 1 to per_stage do
+      let a = pick () and c = pick () in
+      let g =
+        match Random.State.int st 3 with
+        | 0 -> Builder.and_ b [ a; c ]
+        | 1 -> Builder.or_ b [ a; c ]
+        | _ -> Builder.not_ b a
+      in
+      push g;
+      (* Alternate AND/OR and negate periodically so the accumulator does
+         not saturate to a constant. *)
+      let folded =
+        if (i + j) land 1 = 0 then Builder.or_ b [ !acc; g ]
+        else Builder.and_ b [ !acc; Builder.or_ b [ g; a ] ]
+      in
+      acc := (if (i + j) mod 3 = 0 then Builder.not_ b folded else folded)
+    done
+  done;
+  Builder.build b !acc
+
+let band_cnf ~width n =
+  let b = Builder.create () in
+  let clause i =
+    Builder.or_ b
+      (List.init width (fun j ->
+           let v = Builder.var b (Families.x (i + j)) in
+           if (i + j) land 1 = 0 then v else Builder.not_ b v))
+  in
+  let clauses = List.init (Stdlib.max 1 (n - width + 1)) (fun i -> clause (i + 1)) in
+  Builder.build b (Builder.and_ b clauses)
+
+let random_formula ~seed ~vars ~depth =
+  let st = Random.State.make [| seed; vars; depth; 31337 |] in
+  let b = Builder.create () in
+  let rec go depth =
+    if depth = 0 || Random.State.int st 4 = 0 then
+      Builder.var b (Families.x (1 + Random.State.int st vars))
+    else
+      match Random.State.int st 3 with
+      | 0 -> Builder.and_ b [ go (depth - 1); go (depth - 1) ]
+      | 1 -> Builder.or_ b [ go (depth - 1); go (depth - 1) ]
+      | _ -> Builder.not_ b (go (depth - 1))
+  in
+  Builder.build b (go depth)
+
+let pair_disjunction_circuit pairs =
+  let b = Builder.create () in
+  let terms =
+    List.map
+      (fun (u, v) -> Builder.and_ b [ Builder.var b u; Builder.var b v ])
+      pairs
+  in
+  Builder.build b (Builder.or_ b terms)
+
+let grid_pairs n f =
+  List.concat_map
+    (fun l -> List.init n (fun m -> f l (m + 1)))
+    (List.init n (fun l -> l + 1))
+
+let h0_circuit n =
+  pair_disjunction_circuit (grid_pairs n (fun l m -> (Families.x l, Families.zij 1 l m)))
+
+let hi_circuit ~i n =
+  pair_disjunction_circuit
+    (grid_pairs n (fun l m -> (Families.zij i l m, Families.zij (i + 1) l m)))
+
+let hk_circuit ~k n =
+  pair_disjunction_circuit (grid_pairs n (fun l m -> (Families.zij k l m, Families.y m)))
+
+let disjointness_circuit n =
+  let b = Builder.create () in
+  let clauses =
+    List.init n (fun i ->
+        Builder.or_ b
+          [ Builder.not_ b (Builder.var b (Families.x (i + 1)));
+            Builder.not_ b (Builder.var b (Families.y (i + 1))) ])
+  in
+  Builder.build b (Builder.and_ b clauses)
+
+let isa_circuit n =
+  match Families.isa_params n with
+  | None ->
+    invalid_arg (Printf.sprintf "Generators.isa_circuit: %d is not an ISA size" n)
+  | Some (k, m) ->
+    let b = Builder.create () in
+    let yv = Array.init k (fun j -> Builder.var b (Families.y (j + 1))) in
+    let zv = Array.init (1 lsl m) (fun j -> Builder.var b (Families.z (j + 1))) in
+    (* Selector: block i chosen iff y-bits spell i (y1 most significant). *)
+    let block_sel i =
+      Builder.and_ b
+        (List.init k (fun j ->
+             let bit = (i lsr (k - 1 - j)) land 1 in
+             if bit = 1 then yv.(j) else Builder.not_ b yv.(j)))
+    in
+    (* Pointer: with block i, cell j selected iff bits z_{i*m+1..(i+1)m}
+       spell j. *)
+    let cell_sel i j =
+      Builder.and_ b
+        (List.init m (fun t ->
+             let bit = (j lsr (m - 1 - t)) land 1 in
+             let zvar = zv.((i * m) + t) in
+             if bit = 1 then zvar else Builder.not_ b zvar))
+    in
+    let terms = ref [] in
+    for i = 0 to (1 lsl k) - 1 do
+      for j = 0 to (1 lsl m) - 1 do
+        terms := Builder.and_ b [ block_sel i; cell_sel i j; zv.(j) ] :: !terms
+      done
+    done;
+    Builder.build b (Builder.or_ b !terms)

@@ -1,0 +1,37 @@
+(** Circuit families and random generators with controlled treewidth.
+
+    These supply the workloads of experiments E1 and E4–E6: families whose
+    circuit treewidth is bounded by construction, plus the H-function
+    circuits of Section 4.1 at sizes beyond truth-table reach. *)
+
+val chain_implications : int -> Circuit.t
+(** (x1→x2) ∧ ... ∧ (x(n-1)→xn); pathwidth O(1). *)
+
+val parity_chain : int -> Circuit.t
+(** Parity of x1..xn as a chain of (a∧¬b)∨(¬a∧b) blocks; pathwidth O(1). *)
+
+val ladder : tracks:int -> int -> Circuit.t
+(** [ladder ~tracks n]: a conjunction of [n] stages, each mixing [tracks]
+    parallel running values with fresh variables; treewidth O(tracks). *)
+
+val random_window : seed:int -> window:int -> vars:int -> gates:int -> Circuit.t
+(** Random circuit in which every gate draws its inputs from the [window]
+    most recent gates, giving pathwidth (hence treewidth) ≤ [window]+1. *)
+
+val random_formula : seed:int -> vars:int -> depth:int -> Circuit.t
+(** Random tree-shaped formula (fan-out 1): treewidth at most 2. *)
+
+val band_cnf : width:int -> int -> Circuit.t
+(** [band_cnf ~width n]: the CNF ⋀ᵢ Cᵢ where clause Cᵢ ranges over the
+    [width] consecutive variables xᵢ..x(i+width-1) with alternating
+    signs.  Deterministic, non-trivial, pathwidth O(width). *)
+
+val h0_circuit : int -> Circuit.t
+(** Circuit for H⁰{_k,n} (independent of k). *)
+
+val hi_circuit : i:int -> int -> Circuit.t
+val hk_circuit : k:int -> int -> Circuit.t
+
+val disjointness_circuit : int -> Circuit.t
+val isa_circuit : int -> Circuit.t
+(** @raise Invalid_argument if the size is not a valid ISA size. *)

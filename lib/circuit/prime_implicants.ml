@@ -1,0 +1,87 @@
+type term = (string * bool) list
+
+let term_fun t =
+  Boolfun.and_list
+    (List.map (fun (v, b) -> if b then Boolfun.var v else Boolfun.not_ (Boolfun.var v)) t)
+
+let is_implicant f t =
+  (* t |= f, viewing both over the variables of f *)
+  let tf = Boolfun.lift (term_fun t) (Boolfun.variables f) in
+  Boolfun.equal (Boolfun.and_ tf f) tf
+
+let is_prime f t =
+  is_implicant f t
+  && not (Boolfun.equal f Boolfun.ff)
+  && List.for_all
+       (fun (v, _) -> not (is_implicant f (List.filter (fun (w, _) -> w <> v) t)))
+       t
+
+(* Quine–McCluskey: start from minterms as (mask, bits) pairs over the
+   variable array, repeatedly merge pairs differing in exactly one cared
+   bit, keep the unmerged ones as prime implicants. *)
+let of_boolfun f =
+  let vars = Array.of_list (Boolfun.variables f) in
+  let n = Array.length vars in
+  let minterms =
+    List.map
+      (fun m ->
+        let bits = ref 0 in
+        Array.iteri
+          (fun j v -> if Boolfun.Smap.find v m then bits := !bits lor (1 lsl j))
+          vars;
+        ((1 lsl n) - 1, !bits))
+      (Boolfun.models f)
+  in
+  let module PS = Set.Make (struct
+    type t = int * int
+
+    let compare = compare
+  end) in
+  let rec iterate current primes =
+    if PS.is_empty current then primes
+    else begin
+      let merged = ref PS.empty in
+      let used = Hashtbl.create 64 in
+      let items = PS.elements current in
+      List.iteri
+        (fun i (mask1, bits1) ->
+          List.iteri
+            (fun j (mask2, bits2) ->
+              if i < j && mask1 = mask2 then begin
+                let diff = bits1 lxor bits2 in
+                if diff land mask1 = diff && diff <> 0 && diff land (diff - 1) = 0
+                then begin
+                  merged := PS.add (mask1 land lnot diff, bits1 land lnot diff) !merged;
+                  Hashtbl.replace used (mask1, bits1) ();
+                  Hashtbl.replace used (mask2, bits2) ()
+                end
+              end)
+            items)
+        items;
+      let new_primes =
+        List.filter (fun it -> not (Hashtbl.mem used it)) items
+      in
+      iterate !merged (new_primes @ primes)
+    end
+  in
+  let primes = iterate (PS.of_list minterms) [] in
+  let to_term (mask, bits) =
+    let lits = ref [] in
+    for j = n - 1 downto 0 do
+      if mask land (1 lsl j) <> 0 then
+        lits := (vars.(j), bits land (1 lsl j) <> 0) :: !lits
+    done;
+    !lits
+  in
+  List.sort_uniq compare (List.map to_term primes)
+
+let to_circuit vars terms =
+  if terms = [] then Circuit.of_dnf []
+  else begin
+    ignore vars;
+    Circuit.of_dnf terms
+  end
+
+let covers f terms =
+  let d = Boolfun.or_list (List.map term_fun terms) in
+  Boolfun.equal (Boolfun.lift d (Boolfun.variables f)) f

@@ -1,0 +1,21 @@
+(** Prime implicants (IP forms).
+
+    The paper's Result 3 also separates prime-implicant forms from
+    deterministic structured NNFs; this module materializes IP forms so
+    that the separation experiment can report their sizes.  Uses the
+    Quine–McCluskey merge procedure; feasible for small variable counts. *)
+
+type term = (string * bool) list
+(** A term as a consistent set of literals; [[]] is the empty (true) term. *)
+
+val of_boolfun : Boolfun.t -> term list
+(** All prime implicants of the function, each term sorted by variable. *)
+
+val to_circuit : string list -> term list -> Circuit.t
+(** DNF circuit over the given variable set. *)
+
+val is_implicant : Boolfun.t -> term -> bool
+val is_prime : Boolfun.t -> term -> bool
+
+val covers : Boolfun.t -> term list -> bool
+(** The disjunction of the terms is equivalent to the function. *)

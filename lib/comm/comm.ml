@@ -1,0 +1,79 @@
+let matrix f x1 x2 =
+  let x1 = List.sort_uniq compare x1 and x2 = List.sort_uniq compare x2 in
+  let vars = Boolfun.variables f in
+  let both = List.sort compare (x1 @ x2) in
+  if both <> vars || List.exists (fun v -> List.mem v x2) x1 then
+    invalid_arg "Comm.matrix: (x1, x2) must partition the variables";
+  let rows = Boolfun.all_assignments x1 in
+  let cols = Boolfun.all_assignments x2 in
+  let merge a b = Boolfun.Smap.union (fun _ x _ -> Some x) a b in
+  Array.of_list
+    (List.map
+       (fun r ->
+         Array.of_list
+           (List.map (fun c -> if Boolfun.eval f (merge r c) then 1 else 0) cols))
+       rows)
+
+(* Fraction-free Gaussian elimination (Bareiss).  Works on a copy; exact
+   over the integers, hence computes the true rank over the rationals. *)
+let rank_bigint m =
+  let rows = Array.length m in
+  if rows = 0 then 0
+  else begin
+    let cols = Array.length m.(0) in
+    let a = Array.map Array.copy m in
+    let rank = ref 0 in
+    let prev_pivot = ref Bigint.one in
+    let row = ref 0 in
+    let col = ref 0 in
+    while !row < rows && !col < cols do
+      (* Find a pivot in the current column at or below !row. *)
+      let pivot_row = ref (-1) in
+      (try
+         for i = !row to rows - 1 do
+           if not (Bigint.is_zero a.(i).(!col)) then begin
+             pivot_row := i;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !pivot_row < 0 then incr col
+      else begin
+        if !pivot_row <> !row then begin
+          let tmp = a.(!row) in
+          a.(!row) <- a.(!pivot_row);
+          a.(!pivot_row) <- tmp
+        end;
+        let p = a.(!row).(!col) in
+        for i = !row + 1 to rows - 1 do
+          for j = !col + 1 to cols - 1 do
+            let v =
+              Bigint.sub
+                (Bigint.mul p a.(i).(j))
+                (Bigint.mul a.(i).(!col) a.(!row).(j))
+            in
+            a.(i).(j) <- Bigint.divexact v !prev_pivot
+          done;
+          a.(i).(!col) <- Bigint.zero
+        done;
+        prev_pivot := p;
+        incr rank;
+        incr row;
+        incr col
+      end
+    done;
+    !rank
+  end
+
+let rank m = rank_bigint (Array.map (Array.map Bigint.of_int) m)
+
+let cm_rank f x1 x2 = rank (matrix f x1 x2)
+
+let theorem2_bound f y =
+  let vars = Boolfun.variables f in
+  let y = List.filter (fun v -> List.mem v vars) (List.sort_uniq compare y) in
+  let rest = List.filter (fun v -> not (List.mem v y)) vars in
+  if y = [] || rest = [] then 1 else cm_rank f y rest
+
+let disjointness_rank n =
+  cm_rank (Families.disjointness n) (Families.xs n) (Families.ys n)

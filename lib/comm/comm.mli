@@ -1,0 +1,28 @@
+(** Communication matrices and exact rank (paper, Section 2.2).
+
+    The communication matrix of [F] relative to a partition [(X1, X2)]
+    has rows indexed by assignments of [X1] and columns by assignments of
+    [X2]; its real rank lower-bounds the size of any disjoint rectangle
+    cover with that partition (Theorem 2).  Rank is computed exactly by
+    fraction-free (Bareiss) Gaussian elimination over arbitrary-precision
+    integers. *)
+
+val matrix : Boolfun.t -> string list -> string list -> int array array
+(** [matrix f x1 x2]: the 0/1 communication matrix.  [x1] and [x2] must
+    partition the variables of [f].
+    @raise Invalid_argument otherwise. *)
+
+val rank : int array array -> int
+(** Exact rank over the rationals of an integer matrix. *)
+
+val rank_bigint : Bigint.t array array -> int
+
+val cm_rank : Boolfun.t -> string list -> string list -> int
+(** [rank (matrix f x1 x2)]. *)
+
+val theorem2_bound : Boolfun.t -> string list -> int
+(** Lower bound on disjoint rectangle covers of [f] with partition
+    [(y ∩ X, X \ y)]: the communication-matrix rank. *)
+
+val disjointness_rank : int -> int
+(** [rank(cm(D_n, X_n, Y_n))]; folklore (eq. 8) says this is [2^n]. *)

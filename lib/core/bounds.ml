@@ -1,0 +1,29 @@
+let ineq22 ~fw ~fiw = fiw <= fw * fw
+
+let ineq29 ~fw ~sdw =
+  (* 2^(2·fw+1) can overflow native ints for large fw; compare in Bigint. *)
+  Bigint.compare (Bigint.of_int sdw) (Bigint.pow2 ((2 * fw) + 1)) <= 0
+
+let lemma1_holds ~bag_size ~fw =
+  Bigint.compare (Bigint.of_int fw) (Lemma1.bound ~bag_size) <= 0
+
+let circuit_tw_upper c =
+  let g = Circuit.underlying_graph c in
+  let ub, _ = Treewidth.upper_bound g in
+  if ub <= 0 || Ugraph.num_vertices g > 16 then ub
+  else Treewidth.exact g
+
+let prop2_witness (compiled : Compile.cnnf) =
+  (circuit_tw_upper compiled.Compile.circuit, 3 * compiled.Compile.fiw)
+
+let prop2_holds compiled =
+  let tw, bound = prop2_witness compiled in
+  tw <= bound
+
+let sdd_ctw_witness m node =
+  let c = Sdd.to_nnf_circuit m node in
+  (circuit_tw_upper c, 3 * Stdlib.max 1 (Sdd.width m node))
+
+let sdd_ctw_holds m node =
+  let tw, bound = sdd_ctw_witness m node in
+  tw <= bound

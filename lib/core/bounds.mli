@@ -1,0 +1,28 @@
+(** The width inequalities of Section 3 as checkable statements.
+
+    The lower-bound directions (Propositions 2 and eq. 30) are stated in
+    the paper as [ctw(F)/3 ≤ fiw(F)] and [ctw(F)/3 ≤ sdw(F)]; their proofs
+    actually exhibit a tree decomposition of the compiled circuit of width
+    [≤ 3k], which is what we verify: the compiled object itself is a
+    treewidth witness. *)
+
+val ineq22 : fw:int -> fiw:int -> bool
+(** Equation (22), first inequality: [fiw(F,T) ≤ fw(F,T)²]. *)
+
+val ineq29 : fw:int -> sdw:int -> bool
+(** Equation (29), first inequality: [sdw(F,T) ≤ 2^(2·fw(F,T)+1)]. *)
+
+val lemma1_holds : bag_size:int -> fw:int -> bool
+(** [fw ≤ 2^((k+1)·2^k)] for a decomposition with bags of size [k]. *)
+
+val prop2_witness : Compile.cnnf -> int * int
+(** Proposition 2: returns (treewidth upper bound of the compiled
+    [C_{F,T}] circuit, [3·fiw]); the first should be ≤ the second. *)
+
+val prop2_holds : Compile.cnnf -> bool
+
+val sdd_ctw_witness : Sdd.manager -> Sdd.t -> int * int
+(** Equation (30) witness: (treewidth upper bound of the SDD exported as
+    an NNF circuit, [3·width]). *)
+
+val sdd_ctw_holds : Sdd.manager -> Sdd.t -> bool

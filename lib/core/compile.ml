@@ -1,0 +1,271 @@
+type cnnf = {
+  circuit : Circuit.t;
+  vtree : Vtree.t;
+  fiw_profile : (Vtree.node * int) list;
+  fiw : int;
+}
+
+(* For a pair of factors (G at w, G' at w') the product rectangle lies in
+   exactly one factor H at v (Lemma 2).  [pair_table] precomputes, for
+   each child factor, its contribution to the parent's assignment index,
+   so that the containing factor of a pair is a single array lookup. *)
+let pair_table analysis v =
+  let nf = Factor_width.at analysis v in
+  let parent_pos =
+    let tbl = Hashtbl.create 16 in
+    Array.iteri (fun j var -> Hashtbl.add tbl var j) nf.Factor_width.yvars;
+    tbl
+  in
+  let contribution (child : Factor_width.node_factors) =
+    (* Translate each child-factor representative index into its bits at
+       the parent's variable positions. *)
+    let child_to_parent =
+      Array.map
+        (fun var -> Hashtbl.find parent_pos var)
+        child.Factor_width.yvars
+    in
+    Array.map
+      (fun rep ->
+        let bits = ref 0 in
+        Array.iteri
+          (fun j p -> if (rep lsr j) land 1 = 1 then bits := !bits lor (1 lsl p))
+          child_to_parent;
+        !bits)
+      child.Factor_width.rep_idx
+  in
+  fun (left : Factor_width.node_factors) (right : Factor_width.node_factors) ->
+    let cl = contribution left and cr = contribution right in
+    fun g g' -> nf.Factor_width.ids.(cl.(g) lor cr.(g'))
+
+let cnnf f vt =
+  let analysis = Factor_width.analyze f vt in
+  let b = Circuit.Builder.create () in
+  (* memo.(v) maps factor index at v to its builder node C_{v,H}. *)
+  let memo = Array.make (Vtree.num_nodes vt) ([||] : int array) in
+  let profile = ref [] in
+  let rec build v =
+    if Array.length memo.(v) > 0 then ()
+    else begin
+      let nf = Factor_width.at analysis v in
+      let count = nf.Factor_width.count in
+      if Vtree.is_leaf vt v then begin
+        (* Equations (17)-(19): constant ⊤ for the single-factor case, the
+           two literals otherwise. *)
+        memo.(v) <-
+          (if count = 1 then [| Circuit.Builder.const b true |]
+           else begin
+             let x = Vtree.var_of_leaf vt v in
+             Array.map
+               (fun rep ->
+                 if rep land 1 = 1 then Circuit.Builder.var b x
+                 else Circuit.Builder.not_ b (Circuit.Builder.var b x))
+               nf.Factor_width.rep_idx
+           end)
+      end
+      else begin
+        let w = Vtree.left vt v and w' = Vtree.right vt v in
+        build w;
+        build w';
+        let nfw = Factor_width.at analysis w in
+        let nfw' = Factor_width.at analysis w' in
+        let containing = pair_table analysis v nfw nfw' in
+        (* Equation (20): one ∧-gate per factorized implicant; every
+           factor pair is an implicant of exactly one H at v. *)
+        let disjuncts = Array.make count [] in
+        let pair_count = ref 0 in
+        for g = 0 to nfw.Factor_width.count - 1 do
+          for g' = 0 to nfw'.Factor_width.count - 1 do
+            incr pair_count;
+            let h = containing g g' in
+            let gate = Circuit.Builder.and_ b [ memo.(w).(g); memo.(w').(g') ] in
+            disjuncts.(h) <- gate :: disjuncts.(h)
+          done
+        done;
+        profile := (v, !pair_count) :: !profile;
+        memo.(v) <- Array.map (fun gs -> Circuit.Builder.or_ b gs) disjuncts
+      end
+    end
+  in
+  let root = Vtree.root vt in
+  build root;
+  (* Equation (21): the root factor whose models induce the cofactor 1 is
+     F itself. *)
+  let nf_root = Factor_width.at analysis root in
+  (* The root factor computing F is the one whose representative is a
+     model of F (its induced cofactor over the empty set is the constant
+     1); if F is unsatisfiable no factor qualifies. *)
+  let f_index =
+    let found = ref (-1) in
+    for i = 0 to nf_root.Factor_width.count - 1 do
+      if !found < 0
+         && Boolfun.eval f (Factor_width.rep_assignment nf_root i)
+      then found := i
+    done;
+    !found
+  in
+  let out =
+    if f_index < 0 then Circuit.Builder.const b false
+    else memo.(root).(f_index)
+  in
+  let circuit = Circuit.Builder.build b out in
+  let fiw_profile = List.sort compare !profile in
+  let fiw = List.fold_left (fun acc (_, c) -> Stdlib.max acc c) 0 fiw_profile in
+  { circuit; vtree = vt; fiw_profile; fiw }
+
+let fiw f vt =
+  let analysis = Factor_width.analyze f vt in
+  List.fold_left
+    (fun acc v ->
+      if Vtree.is_leaf vt v then acc
+      else begin
+        let l = Factor_width.fw_at analysis (Vtree.left vt v) in
+        let r = Factor_width.fw_at analysis (Vtree.right vt v) in
+        Stdlib.max acc (l * r)
+      end)
+    0 (Vtree.nodes vt)
+
+let minimize_over_vtrees ~max_leaves score f =
+  let vars = Boolfun.variables f in
+  if vars = [] then invalid_arg "Compile: constant function has no vtree";
+  if List.length vars > max_leaves then
+    invalid_arg "Compile: too many variables for vtree enumeration";
+  let best = ref None in
+  List.iter
+    (fun vt ->
+      let w = score f vt in
+      match !best with
+      | Some (bw, _) when bw <= w -> ()
+      | _ -> best := Some (w, vt))
+    (Vtree.enumerate vars);
+  Option.get !best
+
+let fiw_min ?(max_leaves = 6) f = minimize_over_vtrees ~max_leaves fiw f
+
+(* ------------------------------------------------------------------ *)
+(* S_{F,T}: canonical SDD via factorized sentential decisions           *)
+(* ------------------------------------------------------------------ *)
+
+(* Subsets of factors are represented as bitmask strings so that memo
+   lookups hash in O(count/8) and the per-node grouping loop allocates
+   nothing per pair. *)
+let mask_get s i = (Char.code s.[i lsr 3] lsr (i land 7)) land 1 = 1
+
+let mask_set b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let mask_popcount s =
+  let pop = ref 0 in
+  String.iter
+    (fun c ->
+      let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+      pop := !pop + go (Char.code c) 0)
+    s;
+  !pop
+
+let singleton_mask count i =
+  let b = Bytes.make ((count + 7) / 8) '\x00' in
+  mask_set b i;
+  Bytes.unsafe_to_string b
+
+let sdd_of_boolfun m f =
+  let vt = Sdd.vtree m in
+  let analysis = Factor_width.analyze f vt in
+  (* memo per node: factor-subset bitmask -> SDD node computing the
+     disjunction of those factors. *)
+  let memos =
+    Array.init (Vtree.num_nodes vt) (fun _ -> Hashtbl.create 8)
+  in
+  (* Per node: the pair matrix h_of.(g).(g') giving the parent factor
+     containing the product of child factors g, g' (Lemma 2). *)
+  let matrices = Array.make (Vtree.num_nodes vt) None in
+  let matrix_at v nfw nfw' =
+    match matrices.(v) with
+    | Some mx -> mx
+    | None ->
+      let containing = pair_table analysis v nfw nfw' in
+      let nl = nfw.Factor_width.count in
+      let nr = nfw'.Factor_width.count in
+      let mx = Array.init nl (fun g -> Array.init nr (fun g' -> containing g g')) in
+      matrices.(v) <- Some mx;
+      mx
+  in
+  let rec build v subset =
+    match Hashtbl.find_opt memos.(v) subset with
+    | Some r -> r
+    | None ->
+      let nf = Factor_width.at analysis v in
+      let count = nf.Factor_width.count in
+      let popcount = mask_popcount subset in
+      let r =
+        if popcount = 0 then Sdd.false_ m
+        else if popcount = count then Sdd.true_ m
+        else if Vtree.is_leaf vt v then begin
+          (* count = 2 here (otherwise the subset is full or empty):
+             the factor's representative fixes the literal's polarity. *)
+          let i = if mask_get subset 0 then 0 else 1 in
+          let x = Vtree.var_of_leaf vt v in
+          Sdd.literal m x (nf.Factor_width.rep_idx.(i) land 1 = 1)
+        end
+        else begin
+          let w = Vtree.left vt v and w' = Vtree.right vt v in
+          let nfw = Factor_width.at analysis w in
+          let nfw' = Factor_width.at analysis w' in
+          let mx = matrix_at v nfw nfw' in
+          let nl = nfw.Factor_width.count in
+          let nr = nfw'.Factor_width.count in
+          (* For each factor G at w, the set S_G of factors G' at w' whose
+             product with G lands inside the requested union of factors;
+             group the G's by equal S_G (eq. 27). *)
+          let groups = Hashtbl.create 8 in
+          let order = ref [] in
+          for g = 0 to nl - 1 do
+            let s_g = Bytes.make ((nr + 7) / 8) '\x00' in
+            let row = mx.(g) in
+            for g' = 0 to nr - 1 do
+              if mask_get subset row.(g') then mask_set s_g g'
+            done;
+            let key = Bytes.unsafe_to_string s_g in
+            match Hashtbl.find_opt groups key with
+            | Some ps -> mask_set ps g
+            | None ->
+              let ps = Bytes.make ((nl + 7) / 8) '\x00' in
+              mask_set ps g;
+              Hashtbl.add groups key ps;
+              order := key :: !order
+          done;
+          (* Equation (27): the (P_i, S_i) pairs form an exhaustive,
+             pairwise-disjoint sentential decision, so the canonical node
+             can be built directly. *)
+          Sdd.decision m v
+            (List.map
+               (fun s_i ->
+                 let ps = Hashtbl.find groups s_i in
+                 (build w (Bytes.unsafe_to_string ps), build w' s_i))
+               !order)
+        end
+      in
+      Hashtbl.add memos.(v) subset r;
+      r
+  in
+  let root = Vtree.root vt in
+  let nf_root = Factor_width.at analysis root in
+  let f_index =
+    let found = ref (-1) in
+    for i = 0 to nf_root.Factor_width.count - 1 do
+      if !found < 0 && Boolfun.eval f (Factor_width.rep_assignment nf_root i)
+      then found := i
+    done;
+    !found
+  in
+  if f_index < 0 then Sdd.false_ m
+  else build root (singleton_mask nf_root.Factor_width.count f_index)
+
+let sdw f vt =
+  let m = Sdd.manager vt in
+  Sdd.width m (sdd_of_boolfun m f)
+
+let sdw_min ?(max_leaves = 6) f = minimize_over_vtrees ~max_leaves sdw f
+
+let theorem3_size_bound ~k ~n = (2 * n) + 1 + (3 * k * (n - 1))
+let theorem4_size_bound ~k ~n = (2 * (n + 1)) + (3 * k * (n - 1))

@@ -1,0 +1,51 @@
+(** The paper's compilers (Section 3.2).
+
+    {ul
+    {- [cnnf]: the canonical deterministic structured NNF [C_{F,T}] of
+       Section 3.2.1 (equations 17–21), built by recursion on the vtree
+       from factorized implicants.  Its per-node ∧-gate counts realize the
+       factorized implicant width [fiw] (Definition 4).}
+    {- [sdd_of_boolfun]: the canonical SDD [S_{F,T}] of Section 3.2.2
+       (equations 27–28), built by the factorized sentential decisions
+       [sd(F, H, Y, Y')].  Because the target manager is canonical, the
+       result coincides with any other compilation route for the same
+       function and vtree — which the tests exploit.}} *)
+
+type cnnf = {
+  circuit : Circuit.t;  (** deterministic structured NNF computing F *)
+  vtree : Vtree.t;
+  fiw_profile : (Vtree.node * int) list;
+      (** ∧-gates structured by each internal node (pre-sharing counts,
+          i.e. the number of factorized implicants at the node). *)
+  fiw : int;  (** [fiw(F, T)] = max of the profile (Definition 4). *)
+}
+
+val cnnf : Boolfun.t -> Vtree.t -> cnnf
+(** Builds [C_{F,T}].  The vtree may contain extra (dummy) variables. *)
+
+val fiw : Boolfun.t -> Vtree.t -> int
+(** [fiw(F,T)] without materializing the circuit: the number of
+    factorized implicants at a node [v] with children [w, w'] is exactly
+    [|factors(F, X_w)| · |factors(F, X_w')|]. *)
+
+val fiw_min : ?max_leaves:int -> Boolfun.t -> int * Vtree.t
+(** Exact [fiw(F)] by vtree enumeration (tiny functions only). *)
+
+val sdd_of_boolfun : Sdd.manager -> Boolfun.t -> Sdd.t
+(** Semantic compilation of [F] into the manager's canonical SDD via the
+    factorized sentential decision construction — polynomial in the factor
+    counts, unlike [Sdd.of_boolfun_naive].
+    @raise Invalid_argument if the manager's vtree misses variables. *)
+
+val sdw : Boolfun.t -> Vtree.t -> int
+(** [sdw(F,T)] (Definition 5): the width of the canonical SDD of [F]
+    with respect to [T]. *)
+
+val sdw_min : ?max_leaves:int -> Boolfun.t -> int * Vtree.t
+(** Exact SDD width [sdw(F)] by vtree enumeration (tiny functions). *)
+
+val theorem3_size_bound : k:int -> n:int -> int
+(** The gate-count accounting of Theorem 3: [2n + 1 + 3k(n-1)]. *)
+
+val theorem4_size_bound : k:int -> n:int -> int
+(** Theorem 4: [2(n+1) + 3k(n-1)]. *)

@@ -1,0 +1,260 @@
+type encoded = { graph : Ugraph.t; loops : int list; names : string list }
+
+(* Arity alphabet of the Proposition 1 encoding: variable x_i has arity i
+   (1-based in the circuit's sorted variable list), then ⊥, ⊤, ¬, ∧, ∨. *)
+let symbol_arity names gate =
+  let n = List.length names in
+  match gate with
+  | Circuit.Var x ->
+    let rec index i = function
+      | [] -> invalid_arg "Ctw.encode: unknown variable"
+      | y :: rest -> if x = y then i else index (i + 1) rest
+    in
+    index 1 names
+  | Circuit.Const false -> n + 1
+  | Circuit.Const true -> n + 2
+  | Circuit.Not _ -> n + 3
+  | Circuit.And _ -> n + 4
+  | Circuit.Or _ -> n + 5
+
+let encode c =
+  let names = Circuit.variables c in
+  let num_gates = Circuit.size c in
+  (* Count extra vertices: 2 per wire + arity per gate. *)
+  let wires = ref [] in
+  for i = 0 to num_gates - 1 do
+    List.iter (fun j -> wires := (j, i) :: !wires) (Circuit.fanin c i)
+  done;
+  let wires = List.rev !wires in
+  let arities = List.init num_gates (fun i -> symbol_arity names (Circuit.gate c i)) in
+  let total =
+    num_gates + (2 * List.length wires) + List.fold_left ( + ) 0 arities
+  in
+  let g = Ugraph.create total in
+  let next = ref num_gates in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let loops = ref [ Circuit.output c ] in
+  (* Wires g -> g' become paths g - h - h' - g' with a loop on h'. *)
+  List.iter
+    (fun (src, dst) ->
+      let h = fresh () in
+      let h' = fresh () in
+      Ugraph.add_edge g src h;
+      Ugraph.add_edge g h h';
+      Ugraph.add_edge g h' dst;
+      loops := h' :: !loops)
+    wires;
+  (* Stars identifying the gate symbols. *)
+  List.iteri
+    (fun i arity ->
+      for _ = 1 to arity do
+        Ugraph.add_edge g i (fresh ())
+      done)
+    arities;
+  { graph = g; loops = List.sort_uniq compare !loops; names }
+
+let decode e =
+  let g = e.graph in
+  let n = Ugraph.num_vertices g in
+  let has_loop = Array.make n false in
+  List.iter (fun v -> if v >= 0 && v < n then has_loop.(v) <- true) e.loops;
+  let degree = Array.init n (Ugraph.degree g) in
+  (* Star leaves: degree 1, no loop, and their neighbor has degree >= 1;
+     gate vertices: vertices with at least one star leaf.  Path vertices
+     have degree 2. *)
+  let exception Bad in
+  try
+    let star_count = Array.make n 0 in
+    for v = 0 to n - 1 do
+      if degree.(v) = 1 && not has_loop.(v) then begin
+        match Ugraph.neighbors g v with
+        | [ u ] -> star_count.(u) <- star_count.(u) + 1
+        | _ -> raise Bad
+      end
+    done;
+    let gates = List.filter (fun v -> star_count.(v) > 0) (Ugraph.vertices g) in
+    if gates = [] then raise Bad;
+    let is_gate = Array.make n false in
+    List.iter (fun v -> is_gate.(v) <- true) gates;
+    (* Recover wires: for a gate v, a neighbor h with degree 2 and no loop
+       starts a path v - h - h' - w; the loop on h' orients the wire
+       towards w. *)
+    let wires = ref [] in
+    List.iter
+      (fun v ->
+        List.iter
+          (fun h ->
+            if (not is_gate.(h)) && degree.(h) = 2 && not has_loop.(h) then begin
+              match List.filter (fun u -> u <> v) (Ugraph.neighbors g h) with
+              | [ h' ] when has_loop.(h') && degree.(h') = 2 ->
+                (match List.filter (fun u -> u <> h) (Ugraph.neighbors g h') with
+                 | [ w ] when is_gate.(w) -> wires := (v, w) :: !wires
+                 | _ -> raise Bad)
+              | [ h' ] when degree.(h') = 2 && not has_loop.(h') ->
+                (* h is the h' of a wire seen from the target side *)
+                ()
+              | _ -> raise Bad
+            end)
+          (Ugraph.neighbors g v))
+      gates;
+    let wires = !wires in
+    (* Output gate: the unique gate with a loop. *)
+    let output_gates = List.filter (fun v -> has_loop.(v)) gates in
+    let output =
+      match output_gates with [ v ] -> v | _ -> raise Bad
+    in
+    (* Symbols from star arities. *)
+    let nv = List.length e.names in
+    let gate_symbol v =
+      let a = star_count.(v) in
+      if a >= 1 && a <= nv then `Var (List.nth e.names (a - 1))
+      else if a = nv + 1 then `Const false
+      else if a = nv + 2 then `Const true
+      else if a = nv + 3 then `Not
+      else if a = nv + 4 then `And
+      else if a = nv + 5 then `Or
+      else raise Bad
+    in
+    (* Topological order over the recovered wires. *)
+    let fanins = Hashtbl.create 16 in
+    List.iter (fun v -> Hashtbl.add fanins v []) gates;
+    List.iter
+      (fun (src, dst) -> Hashtbl.replace fanins dst (src :: Hashtbl.find fanins dst))
+      wires;
+    let b = Circuit.Builder.create () in
+    let built = Hashtbl.create 16 in
+    let visiting = Hashtbl.create 16 in
+    let rec build v =
+      match Hashtbl.find_opt built v with
+      | Some r -> r
+      | None ->
+        if Hashtbl.mem visiting v then raise Bad (* cycle *)
+        else begin
+          Hashtbl.add visiting v ();
+          let ins = List.map build (Hashtbl.find fanins v) in
+          let r =
+            match (gate_symbol v, ins) with
+            | `Var x, [] -> Circuit.Builder.var b x
+            | `Const c, [] -> Circuit.Builder.const b c
+            | `Not, [ i ] -> Circuit.Builder.not_ b i
+            | `And, (_ :: _ :: _ as is) -> Circuit.Builder.and_ b is
+            | `Or, (_ :: _ :: _ as is) -> Circuit.Builder.or_ b is
+            | _ -> raise Bad
+          in
+          Hashtbl.remove visiting v;
+          Hashtbl.add built v r;
+          r
+        end
+    in
+    Some (Circuit.Builder.build b (build output))
+  with Bad | Not_found | Failure _ -> None
+
+let encoding_treewidth_matches c =
+  let e = encode c in
+  let tw_c =
+    let g = Circuit.underlying_graph c in
+    if Ugraph.num_vertices g <= 16 then Treewidth.exact g
+    else fst (Treewidth.upper_bound g)
+  in
+  let tw_e =
+    if Ugraph.num_vertices e.graph <= 16 then Treewidth.exact e.graph
+    else fst (Treewidth.upper_bound e.graph)
+  in
+  (* Loops do not affect treewidth; the appended paths and stars are trees
+     hanging off the circuit, so they only matter below treewidth 1. *)
+  tw_e = Stdlib.max tw_c 1 || tw_e = tw_c
+
+let circuit_tw c =
+  let g = Circuit.underlying_graph c in
+  if Ugraph.num_vertices g <= 16 then Treewidth.exact g
+  else fst (Treewidth.upper_bound g)
+
+let ctw_upper_dnf f = circuit_tw (Circuit.of_boolfun_dnf f)
+
+let ctw_upper_best f =
+  let candidates =
+    Circuit.of_boolfun_dnf f
+    ::
+    (match Prime_implicants.of_boolfun f with
+     | [] -> []
+     | pis -> [ Prime_implicants.to_circuit (Boolfun.variables f) pis ])
+    @
+    (match Boolfun.variables f with
+     | [] -> []
+     | vars ->
+       [ (Compile.cnnf f (Vtree.right_linear vars)).Compile.circuit;
+         (Compile.cnnf f (Vtree.balanced vars)).Compile.circuit ])
+  in
+  List.fold_left (fun acc c -> Stdlib.min acc (circuit_tw c)) max_int candidates
+
+let ctw_bounded_search ?(max_gates = 4) f =
+  let vars = Boolfun.support f in
+  if List.length vars > 3 then
+    invalid_arg "Ctw.ctw_bounded_search: at most 3 support variables";
+  let nv = List.length vars in
+  let best = ref None in
+  let record c =
+    if Boolfun.equal (Circuit.to_boolfun c) f then begin
+      let tw = circuit_tw c in
+      match !best with
+      | Some b when b <= tw -> ()
+      | _ -> best := Some tw
+    end
+  in
+  (* Base nodes: one input gate per support variable, or a constant when
+     there is no support. *)
+  (if nv = 0 then begin
+     let b = Circuit.Builder.create () in
+     let out = Circuit.Builder.const b (Boolfun.equal f Boolfun.tt) in
+     record (Circuit.Builder.build b out)
+   end
+   else begin
+     (* Enumerate gate lists: each internal gate is Not i, And (i, j) or
+        Or (i, j) over earlier nodes; the output is the last gate. *)
+     let rec extend gates_so_far remaining =
+       let num_nodes = nv + List.length gates_so_far in
+       (* Try finishing here (output = last node). *)
+       (if gates_so_far <> [] || nv = 1 then begin
+          let b = Circuit.Builder.create () in
+          let nodes = Array.make num_nodes 0 in
+          List.iteri (fun i x -> nodes.(i) <- Circuit.Builder.var b x) vars;
+          List.iteri
+            (fun k g ->
+              let i = nv + k in
+              nodes.(i) <-
+                (match g with
+                 | `Not a -> Circuit.Builder.not_ b nodes.(a)
+                 | `And (a, a') -> Circuit.Builder.and_ b [ nodes.(a); nodes.(a') ]
+                 | `Or (a, a') -> Circuit.Builder.or_ b [ nodes.(a); nodes.(a') ]))
+            (List.rev gates_so_far);
+          record (Circuit.Builder.build b nodes.(num_nodes - 1))
+        end);
+       if remaining > 0 then begin
+         for a = 0 to num_nodes - 1 do
+           extend (`Not a :: gates_so_far) (remaining - 1);
+           for a' = a + 1 to num_nodes - 1 do
+             extend (`And (a, a') :: gates_so_far) (remaining - 1);
+             extend (`Or (a, a') :: gates_so_far) (remaining - 1)
+           done
+         done
+       end
+     in
+     extend [] max_gates
+   end);
+  !best
+
+let ctw_tiny f =
+  match Boolfun.support f with
+  | [] -> 0
+  | [ x ] ->
+    (* x itself is a single input gate (treewidth 0); ¬x needs a NOT gate
+       and one wire (treewidth 1). *)
+    if Boolfun.equal f (Boolfun.var x) then 0 else 1
+  | _ ->
+    (match ctw_bounded_search ~max_gates:4 f with
+     | Some tw -> tw
+     | None -> ctw_upper_best f)

@@ -1,0 +1,50 @@
+(** Computability of circuit treewidth (paper, Proposition 1).
+
+    Proposition 1 encodes circuits as graphs-with-loops so that MSO
+    satisfiability over bounded-treewidth graphs (Seese) decides circuit
+    treewidth.  We implement the encoding and its inverse exactly as in
+    the proof, and replace the (never-meant-to-run) MSO machinery by a
+    bounded exhaustive search over circuit DAGs: exact on the instances it
+    is run on, with the paper's DNF circuit supplying the initial upper
+    bound. *)
+
+type encoded = {
+  graph : Ugraph.t;
+  loops : int list;  (** vertices carrying a loop *)
+  names : string list;  (** variable names, fixing the arity alphabet *)
+}
+
+val encode : Circuit.t -> encoded
+(** The Proposition 1 gadget graph: wires become loops-and-paths, gate
+    symbols become stars whose arity identifies the symbol. *)
+
+val decode : encoded -> Circuit.t option
+(** Inverse of {!encode} (up to gate renumbering); [None] if the graph is
+    not a well-formed encoding. *)
+
+val encoding_treewidth_matches : Circuit.t -> bool
+(** The treewidth of the encoding equals the treewidth of the circuit
+    for treewidth ≥ 1 (the gadgets are trees hanging off the circuit). *)
+
+val ctw_upper_dnf : Boolfun.t -> int
+(** Upper bound on [ctw(F)]: treewidth of the DNF circuit whose terms are
+    the models of [F] — the initial bound used in the proof. *)
+
+val ctw_upper_best : Boolfun.t -> int
+(** Better upper bound: minimum treewidth over several circuits computing
+    [F] (models-DNF, prime-implicant DNF, compiled [C_{F,T}] forms). *)
+
+val ctw_bounded_search : ?max_gates:int -> Boolfun.t -> int option
+(** Minimum treewidth over all circuits with at most [max_gates]
+    (default 4) internal gates over the function's support; [None] if no
+    circuit within the budget computes the function.  Feasible for
+    functions of ≤ 3 variables.  Monotone in the budget, and exact once
+    the budget reaches the size of some optimal-treewidth circuit. *)
+
+val ctw_tiny : Boolfun.t -> int
+(** Circuit treewidth for very small functions.  The value is provably
+    exact when it is 0 (constants and literals: the only edgeless
+    circuits) or 1 (any further circuit has an edge, so treewidth ≥ 1);
+    larger return values are the best upper bound within the default
+    search budget.
+    @raise Invalid_argument beyond 3 variables. *)

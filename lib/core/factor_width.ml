@@ -1,0 +1,97 @@
+type node_factors = {
+  count : int;
+  yvars : string array;
+  ids : int array;
+  rep_idx : int array;
+}
+
+type analysis = {
+  f : Boolfun.t;
+  vt : Vtree.t;
+  table : node_factors array;  (* indexed by vtree node id *)
+  materialized : (Boolfun.t * Boolfun.t) list option array;
+}
+
+let analyze f vt =
+  let fvars = Boolfun.variables f in
+  let tvars = Vtree.variables vt in
+  if not (List.for_all (fun v -> List.mem v tvars) fvars) then
+    invalid_arg "Factor_width.analyze: vtree misses variables of the function";
+  let table =
+    Array.init (Vtree.num_nodes vt) (fun v ->
+        let yvars, ids, rep_idx = Boolfun.factor_ids f (Vtree.vars_below vt v) in
+        { count = Array.length rep_idx; yvars; ids; rep_idx })
+  in
+  { f; vt; table; materialized = Array.make (Vtree.num_nodes vt) None }
+
+let at a v = a.table.(v)
+let function_of a = a.f
+let vtree_of a = a.vt
+
+let rep_bit nf g x =
+  let rec pos j =
+    if j >= Array.length nf.yvars then raise Not_found
+    else if nf.yvars.(j) = x then j
+    else pos (j + 1)
+  in
+  (nf.rep_idx.(g) lsr pos 0) land 1 = 1
+
+let rep_assignment nf g =
+  let a = ref Boolfun.Smap.empty in
+  Array.iteri
+    (fun j v -> a := Boolfun.Smap.add v ((nf.rep_idx.(g) lsr j) land 1 = 1) !a)
+    nf.yvars;
+  !a
+
+let factors_at a v =
+  match a.materialized.(v) with
+  | Some pairs -> pairs
+  | None ->
+    let pairs, _, _ = Boolfun.factors_indexed a.f (Vtree.vars_below a.vt v) in
+    a.materialized.(v) <- Some pairs;
+    pairs
+
+let factor_index a v asg =
+  let nf = a.table.(v) in
+  let idx = ref 0 in
+  Array.iteri
+    (fun j var -> if Boolfun.Smap.find var asg then idx := !idx lor (1 lsl j))
+    nf.yvars;
+  nf.ids.(!idx)
+
+let fw_at a v = a.table.(v).count
+
+let fw f vt =
+  let a = analyze f vt in
+  List.fold_left (fun acc v -> Stdlib.max acc (fw_at a v)) 0 (Vtree.nodes vt)
+
+let fw_min ?(max_leaves = 6) f =
+  let vars = Boolfun.variables f in
+  if vars = [] then (1, Vtree.right_linear [ "_dummy" ])
+  else begin
+    if List.length vars > max_leaves then
+      invalid_arg "Factor_width.fw_min: too many variables for enumeration";
+    let best = ref None in
+    List.iter
+      (fun vt ->
+        let w = fw f vt in
+        match !best with
+        | Some (bw, _) when bw <= w -> ()
+        | _ -> best := Some (w, vt))
+      (Vtree.enumerate vars);
+    Option.get !best
+  end
+
+let fw_min_heuristic ~seeds f =
+  let vars = Boolfun.variables f in
+  if vars = [] then (1, Vtree.right_linear [ "_dummy" ])
+  else begin
+    let candidates =
+      Vtree.right_linear vars :: Vtree.balanced vars
+      :: List.map (fun seed -> Vtree.random ~seed vars) seeds
+    in
+    let scored = List.map (fun vt -> (fw f vt, vt)) candidates in
+    List.fold_left
+      (fun (bw, bt) (w, t) -> if w < bw then (w, t) else (bw, bt))
+      (List.hd scored) (List.tl scored)
+  end

@@ -1,0 +1,55 @@
+(** Factor width of a Boolean function (paper, Definitions 1–2).
+
+    For a vtree [T] over [Z ⊇ X] and a function [F(X)], the factor width
+    [fw(F, T)] is the maximum over nodes [v ∈ T] of the number of factors
+    of [F] relative to [Z_v]; [fw(F)] is the minimum over vtrees.  This
+    module also precomputes, per vtree node, the factor partition tables
+    shared by the compilers of Section 3.2.  Factor functions themselves
+    are materialized lazily ({!factors_at}): the compilers only need the
+    integer partition data. *)
+
+type node_factors = {
+  count : int;  (** number of factors of [F] relative to [Z_v] *)
+  yvars : string array;  (** sorted [Z_v ∩ X] *)
+  ids : int array;  (** assignment index over [yvars] → factor index *)
+  rep_idx : int array;  (** factor index → a representative assignment index *)
+}
+
+type analysis
+(** Factor tables for every node of a vtree. *)
+
+val analyze : Boolfun.t -> Vtree.t -> analysis
+(** @raise Invalid_argument if the vtree misses variables of the
+    function. *)
+
+val at : analysis -> Vtree.node -> node_factors
+
+val function_of : analysis -> Boolfun.t
+val vtree_of : analysis -> Vtree.t
+
+val rep_bit : node_factors -> int -> string -> bool
+(** [rep_bit nf g x]: value of variable [x] in the representative
+    assignment of factor [g].  @raise Not_found if [x ∉ yvars]. *)
+
+val rep_assignment : node_factors -> int -> Boolfun.assignment
+(** The representative assignment of a factor, over [yvars]. *)
+
+val factors_at : analysis -> Vtree.node -> (Boolfun.t * Boolfun.t) list
+(** The factor/cofactor pairs at a node (materialized on demand;
+    expensive at nodes with many factors). *)
+
+val factor_index : analysis -> Vtree.node -> Boolfun.assignment -> int
+(** Index of the (unique) factor at the node whose models contain the
+    restriction of the assignment to [Z_v ∩ X]. *)
+
+val fw_at : analysis -> Vtree.node -> int
+val fw : Boolfun.t -> Vtree.t -> int
+(** [fw f t] = [max_v |factors(F, Z_v)|] (Definition 2). *)
+
+val fw_min : ?max_leaves:int -> Boolfun.t -> int * Vtree.t
+(** Exact [fw(F)] by enumeration over all vtrees for the function's
+    variables, with a witnessing vtree.
+    @raise Invalid_argument beyond [max_leaves] (default 6) variables. *)
+
+val fw_min_heuristic : seeds:int list -> Boolfun.t -> int * Vtree.t
+(** Best factor width over right-linear, balanced, and random vtrees. *)

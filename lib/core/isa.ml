@@ -1,0 +1,54 @@
+let vtree n =
+  match Families.isa_params n with
+  | None -> invalid_arg (Printf.sprintf "Isa.vtree: %d is not a valid ISA size" n)
+  | Some (k, m) ->
+    (* Left-linear subtree over z1..z_{2^m}. *)
+    let z_shape =
+      let rec extend acc j =
+        if j > 1 lsl m then acc
+        else extend (Vtree.N (acc, Vtree.L (Families.z j))) (j + 1)
+      in
+      extend (Vtree.L (Families.z 1)) 2
+    in
+    (* Right-linear spine over y1..yk ending in the z-subtree. *)
+    let rec spine j =
+      if j > k then z_shape else Vtree.N (Vtree.L (Families.y j), spine (j + 1))
+    in
+    Vtree.of_shape (spine 1)
+
+let compile n =
+  let vt = vtree n in
+  let m = Sdd.manager vt in
+  let node =
+    (* The factor-based semantic compiler is far faster than apply
+       compilation of the DNF-shaped ISA circuit; beyond truth-table
+       reach, fall back on apply. *)
+    if n <= 20 then Compile.sdd_of_boolfun m (Families.isa n)
+    else Sdd.compile_circuit m (Generators.isa_circuit n)
+  in
+  (m, node)
+
+let check_semantics n =
+  if n > 18 then invalid_arg "Isa.check_semantics: function too large to tabulate";
+  let m, node = compile n in
+  let f = Families.isa n in
+  if n <= 12 then Boolfun.equal (Sdd.to_boolfun m node) f
+  else begin
+    (* Exact model count plus randomized equivalence spot checks. *)
+    Bigint.equal (Sdd.model_count m node) (Boolfun.count_models f)
+    &&
+    let st = Random.State.make [| n; 987654321 |] in
+    let vars = Boolfun.variables f in
+    let ok = ref true in
+    for _ = 1 to 3000 do
+      let asg =
+        List.fold_left
+          (fun a v -> Boolfun.Smap.add v (Random.State.bool st) a)
+          Boolfun.Smap.empty vars
+      in
+      if Sdd.eval m node asg <> Boolfun.eval f asg then ok := false
+    done;
+    !ok
+  end
+
+let size_bound n = float_of_int n ** (13.0 /. 5.0)

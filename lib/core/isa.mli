@@ -1,0 +1,22 @@
+(** Proposition 3 (Appendix A): ISA has small SDD size.
+
+    Builds the vtree [T_n(Y_k, Z_m)] of Figure 4 — a right-linear spine
+    over the address variables y1..yk whose last right leaf is replaced by
+    a left-linear subtree over z1..z{_2{^m}} — and compiles ISA{_n} into
+    the canonical SDD for that vtree.  The paper's explicit construction
+    shows size O(n{^13/5}); the canonical SDD gives a concrete witness
+    whose growth the experiments compare against that bound. *)
+
+val vtree : int -> Vtree.t
+(** The Figure 4 vtree for a valid ISA size [n].
+    @raise Invalid_argument otherwise. *)
+
+val compile : int -> Sdd.manager * Sdd.t
+(** Canonical SDD of ISA{_n} on the Figure 4 vtree, via bottom-up apply
+    compilation of the ISA circuit. *)
+
+val check_semantics : int -> bool
+(** The compiled SDD computes ISA{_n} (tabulates; n ≤ 18 only). *)
+
+val size_bound : int -> float
+(** [n^(13/5)], the Proposition 3 bound (up to its constant). *)

@@ -1,0 +1,402 @@
+(* The Appendix A construction, literally: sentential decisions over the
+   Figure 4 vtree whose primes are small terms (Claims 5 and 6), with
+   structural sharing but no compression. *)
+
+type node = { id : int; shape : shape }
+
+and shape =
+  | True
+  | False
+  | Lit of string * bool
+  | Dec of Vtree.node * (node * node) list
+
+type t = {
+  n : int;
+  k : int;
+  m : int;
+  vt : Vtree.t;
+  root : node;
+  nodes : node list;  (* all distinct nodes, for traversals *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Builder with hash-consing                                           *)
+(* ------------------------------------------------------------------ *)
+
+type builder = {
+  mutable next : int;
+  unique : (Obj.t, node) Hashtbl.t;
+  mutable all : node list;
+}
+
+let new_builder () = { next = 0; unique = Hashtbl.create 1024; all = [] }
+
+let key_of_shape = function
+  | True -> Obj.repr `True
+  | False -> Obj.repr `False
+  | Lit (v, s) -> Obj.repr (`Lit (v, s))
+  | Dec (v, elems) ->
+    Obj.repr (`Dec (v, List.map (fun (p, s) -> (p.id, s.id)) elems))
+
+let mk b shape =
+  let key = key_of_shape shape in
+  match Hashtbl.find_opt b.unique key with
+  | Some node -> node
+  | None ->
+    let node = { id = b.next; shape } in
+    b.next <- b.next + 1;
+    b.all <- node :: b.all;
+    Hashtbl.add b.unique key node;
+    node
+
+(* ------------------------------------------------------------------ *)
+(* Terms over the z variables                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A term is a sorted ((z-index, sign) list); merging detects conflicts. *)
+let term_merge t1 t2 =
+  let rec go t1 t2 =
+    match (t1, t2) with
+    | [], t | t, [] -> Some t
+    | (j1, s1) :: r1, (j2, s2) :: r2 ->
+      if j1 < j2 then Option.map (fun r -> (j1, s1) :: r) (go r1 t2)
+      else if j2 < j1 then Option.map (fun r -> (j2, s2) :: r) (go t1 r2)
+      else if s1 = s2 then Option.map (fun r -> (j1, s1) :: r) (go r1 r2)
+      else None
+  in
+  go t1 t2
+
+(* Claim 6: implement a small term as a chain of sentential decisions
+   down the left-linear z-spine. *)
+let term_node b vt term_memo =
+  let rec build term =
+    match Hashtbl.find_opt term_memo term with
+    | Some node -> node
+    | None ->
+      let node =
+        match List.rev term with
+        | [] -> mk b True
+        | [ (j, s) ] -> mk b (Lit (Families.z j, s))
+        | (jmax, smax) :: rest_rev ->
+          let rest = List.rev rest_rev in
+          let vnode =
+            match Vtree.parent vt (Vtree.leaf_of_var vt (Families.z jmax)) with
+            | Some v -> v
+            | None -> invalid_arg "Isa_explicit: degenerate vtree"
+          in
+          (* Primes: every sign pattern over the remaining variables; the
+             matching pattern carries the literal on z_jmax, the others ⊥. *)
+          let vars = List.map fst rest in
+          let signs = List.map snd rest in
+          let lcount = List.length vars in
+          let elems = ref [] in
+          for pattern = 0 to (1 lsl lcount) - 1 do
+            let p_term =
+              List.mapi (fun i j -> (j, (pattern lsr i) land 1 = 1)) vars
+            in
+            let matches =
+              List.for_all2 (fun (_, s) s' -> s = s') p_term signs
+            in
+            let sub =
+              if matches then mk b (Lit (Families.z jmax, smax)) else mk b False
+            in
+            elems := (build p_term, sub) :: !elems
+          done;
+          mk b (Dec (vnode, List.rev !elems))
+      in
+      Hashtbl.add term_memo term node;
+      node
+  in
+  build
+
+(* ------------------------------------------------------------------ *)
+(* The construction                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let build n =
+  match Families.isa_params n with
+  | None -> invalid_arg (Printf.sprintf "Isa_explicit.build: %d is not an ISA size" n)
+  | Some (k, m) ->
+    let vt = Isa.vtree n in
+    let b = new_builder () in
+    let term_memo = Hashtbl.create 1024 in
+    let term = term_node b vt term_memo in
+    let cells = 1 lsl m in
+    let z_top =
+      match Vtree.parent vt (Vtree.leaf_of_var vt (Families.z cells)) with
+      | Some v -> v
+      | None -> assert false
+    in
+    (* Block i (0-based) owns variables i*m+1 .. (i+1)*m; its first
+       variable is the most significant pointer bit. *)
+    let block_vars i = List.init m (fun t -> (i * m) + t + 1) in
+    (* Claim 5: the sentential decision implementing the cofactor of ISA
+       at the address i, structured by the node above z_{2^m}. *)
+    let source i =
+      let elems = ref [] in
+      let add_elem prime_term sub = elems := (term prime_term, sub) :: !elems in
+      if i < (1 lsl k) - 1 then begin
+        (* The pointer block does not contain z_{2^m}. *)
+        let vars = block_vars i in
+        for p = 0 to cells - 1 do
+          let p_term =
+            List.mapi (fun t j -> (j, (p lsr (m - 1 - t)) land 1 = 1)) vars
+          in
+          let cell = p + 1 in
+          if cell = cells then add_elem p_term (mk b (Lit (Families.z cells, true)))
+          else begin
+            match List.assoc_opt cell p_term with
+            | Some s ->
+              (* The pointed cell is a pointer bit: its value is fixed. *)
+              add_elem p_term (if s then mk b True else mk b False)
+            | None ->
+              (match term_merge p_term [ (cell, true) ] with
+               | Some t -> add_elem t (mk b True)
+               | None -> ());
+              (match term_merge p_term [ (cell, false) ] with
+               | Some t -> add_elem t (mk b False)
+               | None -> ())
+          end
+        done
+      end
+      else begin
+        (* Last block: z_{2^m} is the least significant pointer bit (the
+           "orbit" case of Claim 5). *)
+        let front = List.init (m - 1) (fun t -> (i * m) + t + 1) in
+        for p = 0 to (1 lsl (m - 1)) - 1 do
+          let p_term =
+            List.mapi (fun t j -> (j, (p lsr (m - 2 - t)) land 1 = 1)) front
+          in
+          let j0 = (2 * p) + 1 and j1 = (2 * p) + 2 in
+          (* Free cell variables: the pointed cells not already fixed by
+             the pointer bits and distinct from z_{2^m}. *)
+          let free =
+            List.sort_uniq compare
+              (List.filter
+                 (fun j -> j <> cells && List.assoc_opt j p_term = None)
+                 [ j0; j1 ])
+          in
+          let rec extensions acc = function
+            | [] -> [ List.rev acc ]
+            | j :: rest ->
+              extensions ((j, true) :: acc) rest
+              @ extensions ((j, false) :: acc) rest
+          in
+          List.iter
+            (fun ext ->
+              match term_merge p_term ext with
+              | None -> ()
+              | Some prime_term ->
+                (* Value of the pointed cell when z_{2^m} = bm. *)
+                let value bm =
+                  let cell = if bm then j1 else j0 in
+                  if cell = cells then bm
+                  else
+                    match List.assoc_opt cell prime_term with
+                    | Some s -> s
+                    | None -> assert false
+                in
+                let sub =
+                  match (value false, value true) with
+                  | false, false -> mk b False
+                  | true, true -> mk b True
+                  | false, true -> mk b (Lit (Families.z cells, true))
+                  | true, false -> mk b (Lit (Families.z cells, false))
+                in
+                elems := (term prime_term, sub) :: !elems)
+            (extensions [] free)
+        done
+      end;
+      mk b (Dec (z_top, List.rev !elems))
+    in
+    (* Upper part: a complete decision tree over y1..yk (y1 most
+       significant), isomorphic to an OBDD with 2^k sources. *)
+    let rec upper j prefix =
+      if j > k then source prefix
+      else begin
+        let vnode =
+          match Vtree.parent vt (Vtree.leaf_of_var vt (Families.y j)) with
+          | Some v -> v
+          | None -> assert false
+        in
+        let hi = upper (j + 1) ((prefix lsl 1) lor 1) in
+        let lo = upper (j + 1) (prefix lsl 1) in
+        mk b
+          (Dec
+             ( vnode,
+               [
+                 (mk b (Lit (Families.y j, true)), hi);
+                 (mk b (Lit (Families.y j, false)), lo);
+               ] ))
+      end
+    in
+    let root = upper 1 0 in
+    { n; k; m; vt; root; nodes = b.all }
+
+(* ------------------------------------------------------------------ *)
+(* Measures and semantics                                              *)
+(* ------------------------------------------------------------------ *)
+
+let decisions t =
+  List.filter_map
+    (fun node -> match node.shape with Dec (v, elems) -> Some (v, elems) | _ -> None)
+    t.nodes
+
+let size t =
+  List.fold_left (fun acc (_, elems) -> acc + List.length elems) 0 (decisions t)
+
+let node_count t = List.length (decisions t)
+
+let distinct_gates t =
+  let seen = Hashtbl.create 1024 in
+  List.iter
+    (fun (_, elems) ->
+      List.iter (fun (p, s) -> Hashtbl.replace seen (p.id, s.id) ()) elems)
+    (decisions t);
+  Hashtbl.length seen
+
+let small_term_count n =
+  match Families.isa_params n with
+  | None -> invalid_arg "Isa_explicit.small_term_count: not an ISA size"
+  | Some (_, m) ->
+    let rec pow3 e = if e = 0 then 1 else 3 * pow3 (e - 1) in
+    pow3 (m + 1) + 1
+
+let paper_gate_bound n =
+  match Families.isa_params n with
+  | None -> invalid_arg "Isa_explicit.paper_gate_bound: not an ISA size"
+  | Some (k, _) -> (small_term_count n * ((2 * n) + 2)) + ((1 lsl (k + 1)) - 2)
+
+let width t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (v, elems) ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl v) in
+      Hashtbl.replace tbl v (cur + List.length elems))
+    (decisions t);
+  Hashtbl.fold (fun _ c acc -> Stdlib.max acc c) tbl 0
+
+let eval t asg =
+  let memo = Hashtbl.create 256 in
+  let rec go node =
+    match Hashtbl.find_opt memo node.id with
+    | Some r -> r
+    | None ->
+      let r =
+        match node.shape with
+        | True -> true
+        | False -> false
+        | Lit (v, s) -> Boolfun.Smap.find v asg = s
+        | Dec (_, elems) ->
+          let rec find = function
+            | [] -> false
+            (* primes cover only satisfiable patterns; missing = reject *)
+            | (p, s) :: rest -> if go p then go s else find rest
+          in
+          find elems
+      in
+      Hashtbl.add memo node.id r;
+      r
+  in
+  go t.root
+
+let check_semantics n =
+  if n > 18 then invalid_arg "Isa_explicit.check_semantics: too large to tabulate";
+  let t = build n in
+  let f = Families.isa n in
+  if n <= 12 then
+    Boolfun.equal f (Boolfun.of_fun (Boolfun.variables f) (fun asg -> eval t asg))
+  else begin
+    let st = Random.State.make [| n; 271828 |] in
+    let vars = Boolfun.variables f in
+    let ok = ref true in
+    for _ = 1 to 5000 do
+      let asg =
+        List.fold_left
+          (fun a v -> Boolfun.Smap.add v (Random.State.bool st) a)
+          Boolfun.Smap.empty vars
+      in
+      if eval t asg <> Boolfun.eval f asg then ok := false
+    done;
+    !ok
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec vars_of node =
+  match node.shape with
+  | True | False -> []
+  | Lit (v, _) -> [ v ]
+  | Dec (_, elems) ->
+    List.sort_uniq compare
+      (List.concat_map (fun (p, s) -> vars_of p @ vars_of s) elems)
+
+let rec fun_of node =
+  match node.shape with
+  | True -> Boolfun.tt
+  | False -> Boolfun.ff
+  | Lit (v, s) -> if s then Boolfun.var v else Boolfun.not_ (Boolfun.var v)
+  | Dec (_, elems) ->
+    Boolfun.or_list
+      (List.map (fun (p, s) -> Boolfun.and_ (fun_of p) (fun_of s)) elems)
+
+let validate t =
+  let check_decision (v, elems) =
+    let lv = Vtree.vars_below t.vt (Vtree.left t.vt v) in
+    let rv = Vtree.vars_below t.vt (Vtree.right t.vt v) in
+    let structured =
+      List.for_all
+        (fun (p, s) ->
+          List.for_all (fun x -> List.mem x lv) (vars_of p)
+          && List.for_all (fun x -> List.mem x rv) (vars_of s))
+        elems
+    in
+    if not structured then Error "element not structured by its vtree node"
+    else begin
+      let prime_vars =
+        List.sort_uniq compare (List.concat_map (fun (p, _) -> vars_of p) elems)
+      in
+      if List.length prime_vars > 16 then Ok () (* too large for semantic check *)
+      else begin
+        let primes = List.map (fun (p, _) -> Boolfun.lift (fun_of p) prime_vars) elems in
+        let union = Boolfun.or_list (Boolfun.const prime_vars false :: primes) in
+        let total =
+          List.fold_left (fun acc p -> acc + Boolfun.count_models_int p) 0 primes
+        in
+        if not (Boolfun.equal union (Boolfun.const prime_vars true)) then
+          Error "primes not exhaustive"
+        else if total <> 1 lsl List.length prime_vars then
+          Error "primes not pairwise disjoint"
+        else Ok ()
+      end
+    end
+  in
+  List.fold_left
+    (fun acc d -> Result.bind acc (fun () -> check_decision d))
+    (Ok ()) (decisions t)
+
+let to_nnf_circuit t =
+  let b = Circuit.Builder.create () in
+  let memo = Hashtbl.create 256 in
+  let rec go node =
+    match Hashtbl.find_opt memo node.id with
+    | Some r -> r
+    | None ->
+      let r =
+        match node.shape with
+        | True -> Circuit.Builder.const b true
+        | False -> Circuit.Builder.const b false
+        | Lit (v, true) -> Circuit.Builder.var b v
+        | Lit (v, false) -> Circuit.Builder.not_ b (Circuit.Builder.var b v)
+        | Dec (_, elems) ->
+          Circuit.Builder.or_ b
+            (List.map
+               (fun (p, s) -> Circuit.Builder.and_ b [ go p; go s ])
+               elems)
+      in
+      Hashtbl.add memo node.id r;
+      r
+  in
+  Circuit.Builder.build b (go t.root)

@@ -1,0 +1,82 @@
+let vtree_of_decomposition c td =
+  let g = Circuit.underlying_graph c in
+  (match Treedec.validate g td with
+   | Ok () -> ()
+   | Error msg ->
+     invalid_arg ("Lemma1.vtree_of_decomposition: invalid decomposition: " ^ msg));
+  if Circuit.variables c = [] then
+    invalid_arg "Lemma1.vtree_of_decomposition: circuit has no variables";
+  (* Variable of each input gate. *)
+  let var_of_gate i =
+    match Circuit.gate c i with Circuit.Var x -> Some x | _ -> None
+  in
+  let nice = Nice.of_treedec td in
+  (* Build the vtree shape: walk the nice decomposition; at the node
+     forgetting the input gate of variable x, hang the leaf x.  Dummy
+     leaves and unary chains are pruned on the fly. *)
+  let rec go (node : Nice.t) : Vtree.shape option =
+    match node.Nice.node with
+    | Nice.Leaf -> None
+    | Nice.Introduce (_, child) -> go child
+    | Nice.Forget (gate, child) ->
+      let below = go child in
+      (match var_of_gate gate with
+       | None -> below
+       | Some x ->
+         (match below with
+          | None -> Some (Vtree.L x)
+          | Some s -> Some (Vtree.N (s, Vtree.L x))))
+    | Nice.Join (a, b) ->
+      (match (go a, go b) with
+       | None, s | s, None -> s
+       | Some sa, Some sb -> Some (Vtree.N (sa, sb)))
+  in
+  match go nice with
+  | None -> assert false (* the circuit has variables, each forgotten once *)
+  | Some shape -> Vtree.of_shape shape
+
+let vtree_of_circuit ?(exact = false) c =
+  let g = Circuit.underlying_graph c in
+  let td =
+    if exact && Ugraph.num_vertices g <= 16 then Treewidth.exact_decomposition g
+    else Treewidth.decomposition g
+  in
+  (vtree_of_decomposition c td, Treedec.width td)
+
+let obdd_order_of_circuit ?(exact = false) c =
+  if Circuit.variables c = [] then
+    invalid_arg "Lemma1.obdd_order_of_circuit: circuit has no variables";
+  let g = Circuit.underlying_graph c in
+  let layout =
+    if exact && Ugraph.num_vertices g <= 16 then
+      snd (Treewidth.pathwidth_order g)
+    else
+      (* Heuristic layout: gate creation order.  Circuits built by a
+         left-to-right scan (chains, bands, windows) have their natural
+         low-separation layout along the gate indices. *)
+      Ugraph.vertices g
+  in
+  (* Variables in the order their input gates appear along the layout
+     (the order in which the path decomposition forgets them). *)
+  List.filter_map
+    (fun gate ->
+      match Circuit.gate c gate with Circuit.Var x -> Some x | _ -> None)
+    layout
+
+let bound ~bag_size:k = Bigint.pow2 ((k + 1) * (1 lsl k))
+let bound_ctw ~ctw:k = Bigint.pow2 ((k + 2) * (1 lsl (k + 1)))
+
+let check c =
+  if Circuit.num_vars c > 16 || Circuit.variables c = [] then None
+  else begin
+    let g = Circuit.underlying_graph c in
+    let td =
+      if Ugraph.num_vertices g <= 16 then Treewidth.exact_decomposition g
+      else Treewidth.decomposition g
+    in
+    let vt = vtree_of_decomposition c td in
+    let f = Circuit.to_boolfun c in
+    let measured = Factor_width.fw f vt in
+    let w = Treedec.width td in
+    Some (w, measured, bound ~bag_size:(w + 1))
+  end

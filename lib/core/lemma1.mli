@@ -1,0 +1,42 @@
+(** Lemma 1 of the paper: from a circuit of small treewidth to a vtree of
+    small factor width.
+
+    The construction takes a nice tree decomposition of the circuit's
+    gates (rooted at an empty bag, so each gate — in particular each input
+    gate — is forgotten exactly once), and appends a fresh leaf labelled
+    [x] to the node forgetting the input gate of variable [x].  The paper
+    keeps dummy leaves for the remaining nodes; we prune them (factors
+    relative to [Z_v] depend only on [Z_v ∩ X], so pruning cannot increase
+    the factor width). *)
+
+val vtree_of_decomposition : Circuit.t -> Treedec.t -> Vtree.t
+(** The Lemma 1 vtree for the circuit's variables, from a tree
+    decomposition of the circuit's gates.
+    @raise Invalid_argument if the decomposition is invalid for the
+    circuit's underlying graph or the circuit has no variables. *)
+
+val vtree_of_circuit : ?exact:bool -> Circuit.t -> Vtree.t * int
+(** Convenience pipeline: decompose the circuit (exactly when [exact] and
+    the circuit is small, else heuristically), then build the vtree.
+    Returns the vtree and the width of the decomposition used. *)
+
+val obdd_order_of_circuit : ?exact:bool -> Circuit.t -> string list
+(** The pathwidth specialisation: the paper's construction carried out on
+    a {e path} decomposition produces an OBDD.  This returns the variable
+    order induced by a (vertex-separation-optimal when [exact] and the
+    circuit is small) path layout of the gates — compiling on the
+    right-linear vtree over this order gives the OBDD of width [f(pw)].
+    @raise Invalid_argument if the circuit has no variables. *)
+
+val bound : bag_size:int -> Bigint.t
+(** The Lemma 1 factor-width bound for a decomposition with bags of size
+    at most [k]: [2^((k+1)·2^k)]. *)
+
+val bound_ctw : ctw:int -> Bigint.t
+(** The bound as stated in Lemma 1 in terms of circuit treewidth [k]:
+    [fw(F) ≤ 2^((k+2)·2^(k+1))]. *)
+
+val check : Circuit.t -> (int * int * Bigint.t) option
+(** Runs the pipeline on a circuit small enough to analyze semantically:
+    returns (decomposition width, measured [fw(F,T)], Lemma 1 bound for
+    that width), or [None] if the function is too large to tabulate. *)

@@ -1,0 +1,63 @@
+type rectangle = { left : Boolfun.t; right : Boolfun.t }
+
+let rectangle_fun r =
+  let lv = Boolfun.variables r.left and rv = Boolfun.variables r.right in
+  if List.exists (fun v -> List.mem v rv) lv then
+    invalid_arg "Rectangles.rectangle_fun: blocks not disjoint";
+  Boolfun.and_ r.left r.right
+
+let lemma2_status f ~h ~g ~g' =
+  ignore f;
+  let rect = Boolfun.and_ g g' in
+  let hl = Boolfun.lift h (Boolfun.variables rect) in
+  let rectl = Boolfun.lift rect (Boolfun.variables hl) in
+  let inter = Boolfun.count_models_int (Boolfun.and_ rectl hl) in
+  let rect_models = Boolfun.count_models_int rectl in
+  if inter = 0 then `Disjoint
+  else if inter = rect_models then `Contained
+  else `Mixed
+
+let factorized_implicants f y y' =
+  if List.exists (fun v -> List.mem v y') y then
+    invalid_arg "Rectangles.factorized_implicants: Y and Y' must be disjoint";
+  let hs = List.map fst (Boolfun.factors f (y @ y')) in
+  let gs = List.map fst (Boolfun.factors f y) in
+  let gs' = List.map fst (Boolfun.factors f y') in
+  List.concat_map
+    (fun h ->
+      List.concat_map
+        (fun g ->
+          List.filter_map
+            (fun g' ->
+              match lemma2_status f ~h ~g ~g' with
+              | `Contained -> Some (h, g, g')
+              | `Disjoint -> None
+              | `Mixed ->
+                invalid_arg "Rectangles: Lemma 2 violated (not factors of f?)")
+            gs')
+        gs)
+    hs
+
+let cover_of_factor f ~h y y' =
+  List.filter_map
+    (fun (h0, g, g') ->
+      if Boolfun.equal h0 h then Some { left = g; right = g' } else None)
+    (factorized_implicants f y y')
+
+let cover_of_function f y =
+  let vars = Boolfun.variables f in
+  let y = List.filter (fun v -> List.mem v vars) (List.sort_uniq compare y) in
+  let y' = List.filter (fun v -> not (List.mem v y)) vars in
+  (* F is the factor of itself relative to X whose models induce the
+     constant-1 cofactor over the empty variable set. *)
+  cover_of_factor f ~h:(Boolfun.lift f vars) y y'
+
+let is_disjoint_cover f rects =
+  let vars = Boolfun.variables f in
+  let funs = List.map (fun r -> Boolfun.lift (rectangle_fun r) vars) rects in
+  let union = Boolfun.or_list (Boolfun.const vars false :: funs) in
+  let covers = Boolfun.equal union f in
+  let total = List.fold_left (fun n g -> n + Boolfun.count_models_int g) 0 funs in
+  covers && total = Boolfun.count_models_int (Boolfun.lift f vars)
+
+let min_cover_lower_bound f y = Comm.theorem2_bound f y

@@ -1,0 +1,42 @@
+(** Rectangles, factorized implicants, and disjoint rectangle covers
+    (paper, Section 2.2 and Lemmas 2–3).
+
+    A rectangle over [X] with underlying partition [(Y, Y')] is a product
+    [G(Y) ∧ G'(Y')].  Lemma 2: the product of two factors of [F] is either
+    contained in or disjoint from any factor of [F] relative to [Y ∪ Y'].
+    Lemma 3: the contained pairs — the factorized implicants — form a
+    disjoint rectangle cover. *)
+
+type rectangle = { left : Boolfun.t; right : Boolfun.t }
+(** Product of two functions over disjoint variable sets. *)
+
+val rectangle_fun : rectangle -> Boolfun.t
+(** The product function over the union of the variables. *)
+
+val lemma2_status :
+  Boolfun.t -> h:Boolfun.t -> g:Boolfun.t -> g':Boolfun.t -> [ `Contained | `Disjoint | `Mixed ]
+(** Relation of the rectangle [g × g'] to [sat h].  For factors of the
+    same function, Lemma 2 guarantees the result is never [`Mixed]. *)
+
+val factorized_implicants :
+  Boolfun.t -> string list -> string list -> (Boolfun.t * Boolfun.t * Boolfun.t) list
+(** [factorized_implicants f y y'] lists [(h, g, g')] for every factorized
+    implicant [(g, g')] of the factor [h] relative to [(f, y, y')]
+    (Definition 3), over all factors [h] of [f] relative to [y ∪ y']. *)
+
+val cover_of_factor :
+  Boolfun.t -> h:Boolfun.t -> string list -> string list -> rectangle list
+(** Lemma 3: the disjoint rectangle cover of the factor [h] by its
+    factorized implicants. *)
+
+val cover_of_function : Boolfun.t -> string list -> rectangle list
+(** The Lemma 3 cover of [F] itself with partition [(Y ∩ X, X \ Y)]
+    ([F] is a factor of itself relative to [X]). *)
+
+val is_disjoint_cover : Boolfun.t -> rectangle list -> bool
+(** The rectangles are pairwise disjoint and their union is [sat F]. *)
+
+val min_cover_lower_bound : Boolfun.t -> string list -> int
+(** Theorem 2 lower bound on any disjoint rectangle cover of [F] with the
+    given partition: the rank of the communication matrix.  (Delegates to
+    an exact integer rank computation; small functions only.) *)

@@ -1,0 +1,48 @@
+let minimize ?(max_steps = 50) ~score vt =
+  let rec climb vt current steps =
+    if steps >= max_steps then (vt, current)
+    else begin
+      let best =
+        List.fold_left
+          (fun acc candidate ->
+            let s = score candidate in
+            match acc with
+            | Some (_, bs) when bs <= s -> acc
+            | _ -> if s < current then Some (candidate, s) else acc)
+          None (Vtree.local_moves vt)
+      in
+      match best with
+      | Some (vt', s') -> climb vt' s' (steps + 1)
+      | None -> (vt, current)
+    end
+  in
+  climb vt (score vt) 0
+
+let sdd_size_score f vt =
+  let m = Sdd.manager vt in
+  Sdd.size m (Compile.sdd_of_boolfun m f)
+
+let sdw_score f vt =
+  let m = Sdd.manager vt in
+  Sdd.width m (Compile.sdd_of_boolfun m f)
+
+let fw_score f vt = Factor_width.fw f vt
+
+let minimize_sdd_size ?max_steps f vt =
+  minimize ?max_steps ~score:(sdd_size_score f) vt
+
+let best_known ?max_steps f =
+  let vars = Boolfun.variables f in
+  if vars = [] then invalid_arg "Vtree_search.best_known: constant function";
+  let starts =
+    [
+      Vtree.right_linear vars;
+      Vtree.balanced vars;
+      Vtree.random ~seed:1 vars;
+      Vtree.random ~seed:2 vars;
+    ]
+  in
+  let results = List.map (fun vt -> minimize_sdd_size ?max_steps f vt) starts in
+  List.fold_left
+    (fun (bvt, bs) (vt, s) -> if s < bs then (vt, s) else (bvt, bs))
+    (List.hd results) (List.tl results)

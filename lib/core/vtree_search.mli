@@ -1,0 +1,32 @@
+(** Vtree search by greedy local moves (rotations and swaps).
+
+    The paper credits SDD compilers' practical succinctness to "the
+    additional flexibility offered by variable trees compared to variable
+    orders" [8, 26].  This module quantifies that flexibility: starting
+    from any vtree, hill-climb through single rotations/swaps minimizing
+    a score (SDD size by default).  Greedy and exact only in the limit —
+    the ablation experiment compares it against the fixed constructions
+    (right-linear, balanced, Lemma 1). *)
+
+val minimize :
+  ?max_steps:int -> score:(Vtree.t -> int) -> Vtree.t -> Vtree.t * int
+(** Greedy steepest-descent over {!Vtree.local_moves}; stops at a local
+    minimum or after [max_steps] (default 50) improving moves.  Returns
+    the best vtree and its score. *)
+
+val sdd_size_score : Boolfun.t -> Vtree.t -> int
+(** Size of the canonical SDD of the function for the vtree. *)
+
+val sdw_score : Boolfun.t -> Vtree.t -> int
+(** SDD width (Definition 5) of the function for the vtree. *)
+
+val fw_score : Boolfun.t -> Vtree.t -> int
+(** Factor width (Definition 2). *)
+
+val minimize_sdd_size :
+  ?max_steps:int -> Boolfun.t -> Vtree.t -> Vtree.t * int
+
+val best_known :
+  ?max_steps:int -> Boolfun.t -> Vtree.t * int
+(** Best SDD size over hill climbs started from the right-linear,
+    balanced and two random vtrees of the function's variables. *)

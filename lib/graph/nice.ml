@@ -1,0 +1,173 @@
+module ISet = Set.Make (Int)
+
+type t = { node : node; bag : int list }
+
+and node =
+  | Leaf
+  | Introduce of int * t
+  | Forget of int * t
+  | Join of t * t
+
+let bag t = t.bag
+
+let rec width t =
+  let here = List.length t.bag - 1 in
+  match t.node with
+  | Leaf -> here
+  | Introduce (_, c) | Forget (_, c) -> Stdlib.max here (width c)
+  | Join (a, b) -> Stdlib.max here (Stdlib.max (width a) (width b))
+
+let rec num_nodes t =
+  match t.node with
+  | Leaf -> 1
+  | Introduce (_, c) | Forget (_, c) -> 1 + num_nodes c
+  | Join (a, b) -> 1 + num_nodes a + num_nodes b
+
+let leaf = { node = Leaf; bag = [] }
+
+let introduce v child =
+  assert (not (List.mem v child.bag));
+  { node = Introduce (v, child); bag = List.sort compare (v :: child.bag) }
+
+let forget v child =
+  assert (List.mem v child.bag);
+  { node = Forget (v, child); bag = List.filter (fun u -> u <> v) child.bag }
+
+let join a b =
+  assert (a.bag = b.bag);
+  { node = Join (a, b); bag = a.bag }
+
+(* Morph a nice subtree whose root bag is [from_bag] into one whose root
+   bag is [to_bag], by forgetting the extra vertices then introducing the
+   missing ones. *)
+let morph_to to_bag t =
+  let from_set = ISet.of_list t.bag and to_set = ISet.of_list to_bag in
+  let t =
+    ISet.fold (fun v acc -> forget v acc) (ISet.diff from_set to_set) t
+  in
+  ISet.fold (fun v acc -> introduce v acc) (ISet.diff to_set from_set) t
+
+let of_treedec (td : Treedec.t) =
+  let n = Array.length td.Treedec.bags in
+  if n = 0 then invalid_arg "Nice.of_treedec: empty decomposition";
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    td.Treedec.tree;
+  let visited = Array.make n false in
+  let rec build i =
+    visited.(i) <- true;
+    let my_bag = List.sort compare td.Treedec.bags.(i) in
+    let children = List.filter (fun j -> not visited.(j)) adj.(i) in
+    (* Mark children visited up-front so sibling subtrees don't re-enter. *)
+    List.iter (fun j -> visited.(j) <- true) children;
+    let sub_trees =
+      List.map
+        (fun j ->
+          visited.(j) <- false;
+          (* re-enter properly *)
+          morph_to my_bag (build j))
+        children
+    in
+    let base =
+      match sub_trees with
+      | [] -> morph_to my_bag leaf
+      | [ t ] -> t
+      | t :: rest -> List.fold_left join t rest
+    in
+    (* Ensure the node for bag i is present even when base already has it:
+       base's root bag is my_bag by construction. *)
+    base
+  in
+  let body = build 0 in
+  if Array.exists (fun v -> not v) visited then
+    invalid_arg "Nice.of_treedec: decomposition tree is disconnected";
+  (* Forget everything remaining so the root bag is empty: each vertex is
+     then forgotten exactly once on its occurrence subtree's top path. *)
+  morph_to [] body
+
+let to_treedec t =
+  let bags = ref [] in
+  let edges = ref [] in
+  let counter = ref 0 in
+  let rec go t =
+    let id = !counter in
+    incr counter;
+    bags := (id, t.bag) :: !bags;
+    (match t.node with
+     | Leaf -> ()
+     | Introduce (_, c) | Forget (_, c) ->
+       let cid = go c in
+       edges := (id, cid) :: !edges
+     | Join (a, b) ->
+       let aid = go a in
+       let bid = go b in
+       edges := (id, aid) :: (id, bid) :: !edges);
+    id
+  in
+  ignore (go t);
+  let nb = !counter in
+  let arr = Array.make nb [] in
+  List.iter (fun (i, b) -> arr.(i) <- b) !bags;
+  { Treedec.bags = arr; tree = !edges }
+
+let forget_nodes t =
+  let acc = ref [] in
+  let rec go t =
+    match t.node with
+    | Leaf -> ()
+    | Introduce (_, c) -> go c
+    | Forget (v, c) ->
+      acc := (v, t) :: !acc;
+      go c
+    | Join (a, b) ->
+      go a;
+      go b
+  in
+  go t;
+  List.rev !acc
+
+let validate g t =
+  let rec structural t =
+    let sorted = List.sort compare t.bag = t.bag in
+    if not sorted then Error "bag not sorted"
+    else
+      match t.node with
+      | Leaf -> if t.bag = [] then Ok () else Error "non-empty leaf bag"
+      | Introduce (v, c) ->
+        if List.mem v c.bag then Error "introduce of present vertex"
+        else if List.sort compare (v :: c.bag) <> t.bag then
+          Error "introduce bag mismatch"
+        else structural c
+      | Forget (v, c) ->
+        if not (List.mem v c.bag) then Error "forget of absent vertex"
+        else if List.filter (fun u -> u <> v) c.bag <> t.bag then
+          Error "forget bag mismatch"
+        else structural c
+      | Join (a, b) ->
+        if a.bag <> b.bag || a.bag <> t.bag then Error "join bag mismatch"
+        else Result.bind (structural a) (fun () -> structural b)
+  in
+  match structural t with
+  | Error _ as e -> e
+  | Ok () ->
+    if t.bag <> [] then Error "root bag not empty"
+    else begin
+      let forgotten = List.map fst (forget_nodes t) in
+      let sorted = List.sort compare forgotten in
+      if List.length (List.sort_uniq compare forgotten) <> List.length forgotten
+      then Error "a vertex is forgotten more than once"
+      else if sorted <> Ugraph.vertices g then
+        Error "forgotten vertices do not cover the graph exactly"
+      else Treedec.validate g (to_treedec t)
+    end
+
+let rec pp ppf t =
+  let bag_str = String.concat "," (List.map string_of_int t.bag) in
+  match t.node with
+  | Leaf -> Format.fprintf ppf "leaf{%s}" bag_str
+  | Introduce (v, c) -> Format.fprintf ppf "@[<v 1>intro %d{%s}@,%a@]" v bag_str pp c
+  | Forget (v, c) -> Format.fprintf ppf "@[<v 1>forget %d{%s}@,%a@]" v bag_str pp c
+  | Join (a, b) -> Format.fprintf ppf "@[<v 1>join{%s}@,%a@,%a@]" bag_str pp a pp b

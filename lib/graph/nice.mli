@@ -1,0 +1,39 @@
+(** Nice tree decompositions.
+
+    A nice tree decomposition is a rooted binary-branching decomposition
+    built from four node kinds: empty leaves, introduce nodes, forget
+    nodes, and join nodes.  We normalize the root to the empty bag, so
+    that {e every vertex is forgotten exactly once} — the property the
+    vtree extraction of Lemma 1 in the paper relies on. *)
+
+type t = { node : node; bag : int list (* sorted *) }
+
+and node =
+  | Leaf                    (** empty bag *)
+  | Introduce of int * t    (** adds a vertex to the child's bag *)
+  | Forget of int * t       (** removes a vertex from the child's bag *)
+  | Join of t * t           (** both children have the same bag *)
+
+val bag : t -> int list
+
+val width : t -> int
+val num_nodes : t -> int
+
+val of_treedec : Treedec.t -> t
+(** Converts an arbitrary (non-empty, connected) tree decomposition into a
+    nice one with an empty root bag.  Width is preserved.
+    @raise Invalid_argument on an empty or disconnected decomposition. *)
+
+val to_treedec : t -> Treedec.t
+(** Flattens back to the plain representation (for validation). *)
+
+val forget_nodes : t -> (int * t) list
+(** All [(v, subtree)] pairs where the root of [subtree] is the node
+    forgetting [v].  With an empty root bag each vertex appears exactly
+    once; used by the Lemma 1 vtree construction. *)
+
+val validate : Ugraph.t -> t -> (unit, string) result
+(** Structural invariants (bags consistent with node kinds, empty root)
+    plus validity as a tree decomposition of the graph. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,201 @@
+module ISet = Set.Make (Int)
+
+type t = { bags : int list array; tree : (int * int) list }
+
+let width t =
+  Array.fold_left (fun acc b -> Stdlib.max acc (List.length b)) 0 t.bags - 1
+
+let num_bags t = Array.length t.bags
+
+(* Check that [tree] is a spanning tree over bag indices. *)
+let tree_ok t =
+  let n = Array.length t.bags in
+  if n = 0 then t.tree = []
+  else if List.length t.tree <> n - 1 then false
+  else begin
+    let adj = Array.make n [] in
+    let ok = ref true in
+    List.iter
+      (fun (a, b) ->
+        if a < 0 || a >= n || b < 0 || b >= n || a = b then ok := false
+        else begin
+          adj.(a) <- b :: adj.(a);
+          adj.(b) <- a :: adj.(b)
+        end)
+      t.tree;
+    if not !ok then false
+    else begin
+      let seen = Array.make n false in
+      let rec dfs v =
+        seen.(v) <- true;
+        List.iter (fun w -> if not seen.(w) then dfs w) adj.(v)
+      in
+      dfs 0;
+      Array.for_all Fun.id seen
+    end
+  end
+
+let validate g t =
+  let n = Ugraph.num_vertices g in
+  if not (tree_ok t) then Error "tree edges do not form a tree over the bags"
+  else begin
+    let bag_sets = Array.map ISet.of_list t.bags in
+    (* 1. vertex coverage *)
+    let covered = Array.make n false in
+    Array.iter (ISet.iter (fun v -> if v >= 0 && v < n then covered.(v) <- true)) bag_sets;
+    let missing = List.filter (fun v -> not covered.(v)) (Ugraph.vertices g) in
+    if missing <> [] then
+      Error (Printf.sprintf "vertex %d is in no bag" (List.hd missing))
+    else begin
+      (* 2. edge coverage *)
+      let edge_missing =
+        List.find_opt
+          (fun (u, v) ->
+            not (Array.exists (fun b -> ISet.mem u b && ISet.mem v b) bag_sets))
+          (Ugraph.edges g)
+      in
+      match edge_missing with
+      | Some (u, v) -> Error (Printf.sprintf "edge (%d,%d) is in no bag" u v)
+      | None ->
+        (* 3. connectedness of occurrence sets: for each vertex, the bags
+           containing it must induce a connected subtree. *)
+        let nb = Array.length t.bags in
+        let adj = Array.make nb [] in
+        List.iter
+          (fun (a, b) ->
+            adj.(a) <- b :: adj.(a);
+            adj.(b) <- a :: adj.(b))
+          t.tree;
+        let bad = ref None in
+        for v = 0 to n - 1 do
+          if !bad = None then begin
+            let occ = ref [] in
+            Array.iteri (fun i b -> if ISet.mem v b then occ := i :: !occ) bag_sets;
+            match !occ with
+            | [] -> ()
+            | start :: _ ->
+              let occ_set = ISet.of_list !occ in
+              let seen = Hashtbl.create 16 in
+              let rec dfs i =
+                Hashtbl.replace seen i ();
+                List.iter
+                  (fun j ->
+                    if ISet.mem j occ_set && not (Hashtbl.mem seen j) then dfs j)
+                  adj.(i)
+              in
+              dfs start;
+              if Hashtbl.length seen <> ISet.cardinal occ_set then
+                bad := Some v
+          end
+        done;
+        (match !bad with
+         | Some v ->
+           Error (Printf.sprintf "occurrence set of vertex %d is disconnected" v)
+         | None -> Ok ())
+    end
+  end
+
+let is_valid g t = Result.is_ok (validate g t)
+
+let trivial g = { bags = [| Ugraph.vertices g |]; tree = [] }
+
+let of_elimination_order g order =
+  let n = Ugraph.num_vertices g in
+  if List.length order <> n || List.sort compare order <> Ugraph.vertices g then
+    invalid_arg "Treedec.of_elimination_order: not a permutation of the vertices";
+  if n = 0 then { bags = [||]; tree = [] }
+  else begin
+    (* Simulate elimination on adjacency sets; record for each eliminated
+       vertex its bag ({v} + remaining neighbors) and connect its bag to the
+       bag of the first-later-eliminated member of that neighborhood. *)
+    let pos = Array.make n 0 in
+    List.iteri (fun i v -> pos.(v) <- i) order;
+    let adj = Array.init n (fun v -> ISet.of_list (Ugraph.neighbors g v)) in
+    let order_arr = Array.of_list order in
+    let bags = Array.make n [] in
+    let tree = ref [] in
+    for i = 0 to n - 1 do
+      let v = order_arr.(i) in
+      let later = ISet.filter (fun u -> pos.(u) > i) adj.(v) in
+      bags.(i) <- v :: ISet.elements later;
+      (* Fill-in: neighbors of v become a clique. *)
+      ISet.iter
+        (fun a ->
+          ISet.iter
+            (fun b -> if a < b then begin
+                adj.(a) <- ISet.add b adj.(a);
+                adj.(b) <- ISet.add a adj.(b)
+              end)
+            later)
+        later;
+      (match ISet.min_elt_opt (ISet.map (fun u -> pos.(u)) later) with
+       | Some j -> tree := (i, j) :: !tree
+       | None ->
+         (* Last vertex of its component: attach to the next bag to keep a
+            single tree (harmless: bag connectivity is preserved since v's
+            occurrences end here). *)
+         if i < n - 1 then tree := (i, i + 1) :: !tree)
+    done;
+    { bags; tree = !tree }
+  end
+
+let path_decomposition_of_order g order =
+  let n = Ugraph.num_vertices g in
+  if List.length order <> n || List.sort compare order <> Ugraph.vertices g then
+    invalid_arg "Treedec.path_decomposition_of_order: not a permutation";
+  if n = 0 then { bags = [||]; tree = [] }
+  else begin
+    let pos = Array.make n 0 in
+    List.iteri (fun i v -> pos.(v) <- i) order;
+    let order_arr = Array.of_list order in
+    let bags =
+      Array.init n (fun i ->
+          let cur = order_arr.(i) in
+          let active =
+            List.filter
+              (fun v ->
+                pos.(v) <= i
+                && List.exists (fun w -> pos.(w) >= i) (Ugraph.neighbors g v))
+              (Ugraph.vertices g)
+          in
+          List.sort_uniq compare (cur :: active))
+    in
+    let tree = List.init (n - 1) (fun i -> (i, i + 1)) in
+    { bags; tree }
+  end
+
+let refine_connected t =
+  let n = Array.length t.bags in
+  if n = 0 then t
+  else begin
+    let parent = Array.init n Fun.id in
+    let rec find x = if parent.(x) = x then x else begin
+        parent.(x) <- find parent.(x);
+        parent.(x)
+      end
+    in
+    let union a b =
+      let ra = find a and rb = find b in
+      if ra <> rb then begin parent.(ra) <- rb; true end else false
+    in
+    let edges = List.filter (fun (a, b) -> union a b) t.tree in
+    let extra = ref [] in
+    for i = 1 to n - 1 do
+      if find i <> find 0 then begin
+        ignore (union i 0);
+        extra := (i, 0) :: !extra
+      end
+    done;
+    { t with tree = edges @ !extra }
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>tree decomposition (width %d):@," (width t);
+  Array.iteri
+    (fun i b ->
+      Format.fprintf ppf "  bag %d: {%s}@," i
+        (String.concat "," (List.map string_of_int b)))
+    t.bags;
+  Format.fprintf ppf "  edges: %s@]"
+    (String.concat " "
+       (List.map (fun (a, b) -> Printf.sprintf "%d-%d" a b) t.tree))

@@ -1,0 +1,55 @@
+(** Treewidth and pathwidth computation.
+
+    Heuristic upper bounds via greedy elimination orders, exact values via
+    dynamic programming over vertex subsets (practical up to ~18 vertices),
+    and combinatorial lower bounds.  Circuit treewidth (Section 3.1 of the
+    paper) reduces to these via the circuit's underlying undirected graph. *)
+
+(** {1 Elimination orders} *)
+
+val min_degree_order : Ugraph.t -> int list
+val min_fill_order : Ugraph.t -> int list
+
+val width_of_order : Ugraph.t -> int list -> int
+(** Width of the tree decomposition induced by the elimination order. *)
+
+(** {1 Upper bounds} *)
+
+val upper_bound : Ugraph.t -> int * int list
+(** Best width over the built-in heuristics, with a witnessing order. *)
+
+val decomposition : Ugraph.t -> Treedec.t
+(** Heuristic tree decomposition (best-of heuristics). *)
+
+(** {1 Exact computation} *)
+
+val exact : ?max_vertices:int -> Ugraph.t -> int
+(** Exact treewidth by subset dynamic programming.
+    @raise Invalid_argument if the graph has more than [max_vertices]
+    (default 18) vertices. *)
+
+val exact_order : ?max_vertices:int -> Ugraph.t -> int * int list
+(** Exact treewidth with an optimal elimination order. *)
+
+val exact_decomposition : ?max_vertices:int -> Ugraph.t -> Treedec.t
+(** Minimum-width tree decomposition. *)
+
+val exact_bb : ?budget:int -> Ugraph.t -> int option
+(** Branch-and-bound over elimination orders (with simplicial-vertex
+    reduction and dominance memoization).  Exact when it answers within
+    the search budget (default 200000 nodes); [None] when the budget is
+    exhausted.  Graphs up to 62 vertices. *)
+
+(** {1 Lower bounds} *)
+
+val lower_bound_mmd : Ugraph.t -> int
+(** Maximum-minimum-degree (degeneracy) lower bound. *)
+
+(** {1 Pathwidth} *)
+
+val pathwidth_exact : ?max_vertices:int -> Ugraph.t -> int
+(** Exact pathwidth via the vertex-separation-number DP (pathwidth equals
+    vertex separation number).  Same size limits as {!exact}. *)
+
+val pathwidth_order : ?max_vertices:int -> Ugraph.t -> int * int list
+(** Exact pathwidth with a witnessing vertex layout. *)

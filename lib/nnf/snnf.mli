@@ -1,0 +1,46 @@
+(** Deterministic, decomposable, and structured NNFs (Section 2.1).
+
+    Circuits in these classes are what query compilation targets: AND
+    gates over disjoint variables (decomposability) make conjunctions
+    independent products, exclusive OR gates (determinism) make
+    disjunctions additive — so probability and model counting are linear
+    in the circuit size, which {!model_count} and {!probability}
+    implement.  Structuredness refines decomposability by a vtree and is
+    the precondition of the rectangle-cover bound (Theorem 1). *)
+
+val is_nnf : Circuit.t -> bool
+
+val is_decomposable : Circuit.t -> bool
+(** Every AND gate's children use pairwise disjoint variable sets
+    (syntactic check on [var(C_h)]). *)
+
+val is_deterministic : Circuit.t -> bool
+(** Every OR gate's children are pairwise inconsistent.  Semantic check —
+    exponential in the variable count, for validation of small circuits. *)
+
+val is_structured_by : Circuit.t -> Vtree.t -> bool
+(** Every AND gate has fanin ≤ 2 and is structured by some vtree node:
+    its left child's variables lie below the node's left child, its right
+    child's below the right child (Section 2.1). *)
+
+val structuring_nodes : Circuit.t -> Vtree.t -> (int * Vtree.node) list
+(** For each binary AND gate, a vtree node structuring it (first match in
+    a preorder scan); fails with [Not_found] inside if unstructured —
+    use {!is_structured_by} first. *)
+
+val is_d_sdnnf : Circuit.t -> Vtree.t -> bool
+(** NNF + deterministic + structured (hence decomposable). *)
+
+(** {1 Linear-time counting on d-DNNF}
+
+    Both functions check nothing: call them only on circuits that are
+    decomposable and deterministic (e.g. validated or compiled as such).
+    Counting is a single bottom-up pass — linear in the circuit size. *)
+
+val model_count : Circuit.t -> Bigint.t
+(** Models over [variables c]. *)
+
+val probability : Circuit.t -> (string -> float) -> float
+(** Probability under independent variables. *)
+
+val probability_ratio : Circuit.t -> (string -> Ratio.t) -> Ratio.t

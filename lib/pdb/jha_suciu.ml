@@ -1,0 +1,65 @@
+let query k =
+  let atoms =
+    Ucq.{ rel = "R"; args = [ Var "x" ] }
+    :: List.init k (fun p ->
+           Ucq.{ rel = Printf.sprintf "S%d" (p + 1); args = [ Var "x"; Var "y" ] })
+    @ [ Ucq.{ rel = "T"; args = [ Var "y" ] } ]
+  in
+  [ Ucq.{ atoms; neqs = [] } ]
+
+let database ~k n = Pdb.chain_database ~k n
+
+(* Rename the tuple variables R(l) -> x_l, S_i(l,m) -> z^i_{l,m},
+   T(m) -> y_m, matching the paper's H-function alphabet. *)
+let rename_tuple_var name =
+  let t = Pdb.tuple_of_var name in
+  match (t.Pdb.rel, t.Pdb.args) with
+  | "R", [ l ] -> Families.x (int_of_string l)
+  | "T", [ m ] -> Families.y (int_of_string m)
+  | s, [ l; m ] when String.length s > 1 && s.[0] = 'S' ->
+    Families.zij
+      (int_of_string (String.sub s 1 (String.length s - 1)))
+      (int_of_string l) (int_of_string m)
+  | _ -> invalid_arg ("Jha_suciu: unexpected tuple " ^ name)
+
+let lineage ~k n =
+  let db = database ~k n in
+  let f = Lineage.boolfun (query k) db in
+  Boolfun.rename f
+    (List.map (fun v -> (v, rename_tuple_var v)) (Boolfun.variables f))
+
+(* b_i sets to 1 every variable group except Z^i and Z^{i+1} (with X
+   playing Z^0 and Y playing Z^{k+1}): the surviving disjuncts are then
+   exactly the pairs of H^i_{k,n}. *)
+let restriction ~k ~i n =
+  if i < 0 || i > k then invalid_arg "Jha_suciu.restriction: need 0 <= i <= k";
+  let keep_x = i = 0 in
+  let keep_y = i = k in
+  let kept_z p = p = i || p = i + 1 in
+  List.concat
+    [
+      (if keep_x then [] else List.map (fun v -> (v, true)) (Families.xs n));
+      (if keep_y then [] else List.map (fun v -> (v, true)) (Families.ys n));
+      List.concat_map
+        (fun p ->
+          if kept_z p then []
+          else
+            List.concat_map
+              (fun l ->
+                List.init n (fun m -> (Families.zij p l (m + 1), true)))
+              (List.init n (fun l -> l + 1)))
+        (List.init k (fun p -> p + 1));
+    ]
+
+let check_lemma7 ~k n =
+  let f = lineage ~k n in
+  let h i =
+    if i = 0 then Families.h0 ~k n
+    else if i = k then Families.hk ~k n
+    else Families.hi ~k ~i n
+  in
+  List.for_all
+    (fun i ->
+      let restricted = Boolfun.restrict f (restriction ~k ~i n) in
+      Boolfun.equal restricted (h i))
+    (List.init (k + 1) Fun.id)

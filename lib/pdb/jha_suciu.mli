@@ -1,0 +1,31 @@
+(** The Jha–Suciu hardness construction (paper, Lemma 7).
+
+    The query [R(x), S1(x,y), ..., Sk(x,y), T(y)] contains an inversion of
+    length [k]; over the complete database on domain [n] its lineage
+    [F] satisfies, for suitable restrictions [b_i],
+
+      F(b_i, ·) ≡ H^i_{k,n}   for i = 0, ..., k
+
+    — the cofactor family that the Theorem 5 communication argument
+    kills.  This module produces the query, the database, the lineage,
+    and the Lemma 7 restrictions, so the implication used by Theorem 5
+    can be checked extensionally. *)
+
+val query : int -> Ucq.t
+(** [query k]: the inversion-of-length-[k] conjunctive query. *)
+
+val database : k:int -> int -> Pdb.t
+(** The complete database on domain [n] (all facts probability 1/2). *)
+
+val lineage : k:int -> int -> Boolfun.t
+(** The lineage of [query k] over [database ~k n], with its tuple
+    variables renamed to the paper's [x_l], [z^i_{l,m}], [y_m] names so it
+    can be compared against {!Families.h0} and friends directly. *)
+
+val restriction : k:int -> i:int -> int -> (string * bool) list
+(** The Lemma 7 assignment [b_i] (over the renamed variables): restricting
+    the lineage by it yields [H^i_{k,n}]. *)
+
+val check_lemma7 : k:int -> int -> bool
+(** Verifies [F(b_i, ·) ≡ H^i_{k,n}] for every [i = 0..k]
+    (tabulates — small [k], [n] only). *)

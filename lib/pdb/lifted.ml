@@ -1,0 +1,150 @@
+(* Safe-plan evaluation:
+
+   - a conjunct with several variable-connected components is a product of
+     independent events (self-join-freeness makes their tuple sets
+     disjoint);
+   - a connected conjunct with variables has a root variable present in
+     every atom (hierarchicality); grounding it over the active domain
+     yields pairwise-independent disjuncts, so the probability is
+     1 - prod (1 - p_a);
+   - a ground conjunct is a conjunction of independent facts. *)
+
+let atom_vars (a : Ucq.atom) =
+  List.concat_map (function Ucq.Var v -> [ v ] | Ucq.Const _ -> []) a.Ucq.args
+
+let ground_atom_prob db (a : Ucq.atom) =
+  let args =
+    List.map
+      (function
+        | Ucq.Const c -> c
+        | Ucq.Var _ -> invalid_arg "Lifted: atom not ground")
+      a.Ucq.args
+  in
+  db.Pdb.prob (Pdb.tuple a.Ucq.rel args)
+
+let rec prob_atoms db domain atoms =
+  Ratio.product (List.map (prob_component db domain) (Qsafety.components atoms))
+
+and prob_component db domain atoms =
+  let vars = List.sort_uniq compare (List.concat_map atom_vars atoms) in
+  match vars with
+  | [] -> Ratio.product (List.map (ground_atom_prob db) atoms)
+  | _ ->
+    (* Hierarchical + connected: some variable occurs in every atom. *)
+    let root =
+      List.find (fun x -> List.for_all (fun a -> List.mem x (atom_vars a)) atoms) vars
+    in
+    let miss =
+      Ratio.product
+        (List.map
+           (fun c ->
+             let grounded = List.map (Qsafety.substitute root c) atoms in
+             Ratio.sub Ratio.one (prob_atoms db domain grounded))
+           domain)
+    in
+    Ratio.sub Ratio.one miss
+
+let probability_cq cq db =
+  if
+    (not (Qsafety.hierarchical_cq cq))
+    || Ucq.has_self_join cq
+    || cq.Ucq.neqs <> []
+  then None
+  else begin
+    let domain = Pdb.active_domain db in
+    Some (prob_atoms db domain cq.Ucq.atoms)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Safe plans                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type plan =
+  | Fact of Pdb.tuple
+  | Independent_product of plan list
+  | Independent_union of string * (string * plan) list
+
+let rec plan_atoms domain atoms =
+  match Qsafety.components atoms with
+  | [ single ] -> plan_component domain single
+  | comps -> Independent_product (List.map (plan_component domain) comps)
+
+and plan_component domain atoms =
+  let vars = List.sort_uniq compare (List.concat_map atom_vars atoms) in
+  match vars with
+  | [] ->
+    let facts =
+      List.map
+        (fun (a : Ucq.atom) ->
+          Fact
+            (Pdb.tuple a.Ucq.rel
+               (List.map
+                  (function
+                    | Ucq.Const c -> c
+                    | Ucq.Var _ -> assert false)
+                  a.Ucq.args)))
+        atoms
+    in
+    (match facts with [ f ] -> f | fs -> Independent_product fs)
+  | _ ->
+    let root =
+      List.find (fun x -> List.for_all (fun a -> List.mem x (atom_vars a)) atoms) vars
+    in
+    Independent_union
+      ( root,
+        List.map
+          (fun c -> (c, plan_atoms domain (List.map (Qsafety.substitute root c) atoms)))
+          domain )
+
+let plan_cq cq db =
+  if
+    (not (Qsafety.hierarchical_cq cq))
+    || Ucq.has_self_join cq
+    || cq.Ucq.neqs <> []
+  then None
+  else Some (plan_atoms (Pdb.active_domain db) cq.Ucq.atoms)
+
+let rec eval_plan db = function
+  | Fact t -> db.Pdb.prob t
+  | Independent_product ps -> Ratio.product (List.map (eval_plan db) ps)
+  | Independent_union (_, branches) ->
+    Ratio.sub Ratio.one
+      (Ratio.product
+         (List.map
+            (fun (_, p) -> Ratio.sub Ratio.one (eval_plan db p))
+            branches))
+
+let rec pp_plan ppf = function
+  | Fact t -> Format.fprintf ppf "P[%s]" (Pdb.var_name t)
+  | Independent_product ps ->
+    Format.fprintf ppf "@[<hov 2>(product@ %a)@]"
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_plan)
+      ps
+  | Independent_union (x, branches) ->
+    Format.fprintf ppf "@[<hov 2>(union over %s@ %a)@]" x
+      (Format.pp_print_list ~pp_sep:Format.pp_print_space (fun ppf (c, p) ->
+           Format.fprintf ppf "@[<hov 1>[%s:@ %a]@]" c pp_plan p))
+      branches
+
+let probability q db =
+  let rels cq = List.sort_uniq compare (List.map (fun a -> a.Ucq.rel) cq.Ucq.atoms) in
+  let rec disjoint_rels = function
+    | [] -> true
+    | cq :: rest ->
+      let r = rels cq in
+      List.for_all (fun cq' -> List.for_all (fun x -> not (List.mem x (rels cq'))) r) rest
+      && disjoint_rels rest
+  in
+  if not (disjoint_rels q) then
+    match q with
+    | [ cq ] -> probability_cq cq db
+    | _ -> None
+  else begin
+    let parts = List.map (fun cq -> probability_cq cq db) q in
+    if List.exists Option.is_none parts then None
+    else
+      Some
+        (Ratio.sub Ratio.one
+           (Ratio.product
+              (List.map (fun p -> Ratio.sub Ratio.one (Option.get p)) parts)))
+  end

@@ -1,0 +1,40 @@
+(** Lifted (safe-plan) inference for hierarchical queries.
+
+    For self-join-free hierarchical conjunctive queries — exactly the
+    inversion-free class whose lineages have constant-width OBDDs — the
+    probability can be computed in polynomial time directly on the
+    database, with no compilation at all: independent components multiply,
+    and grounding the root variable yields an independent union (Dalvi &
+    Suciu).  This is the classical tractable counterpart against which
+    the paper's compilation pipeline is positioned. *)
+
+val probability_cq : Ucq.cq -> Pdb.t -> Ratio.t option
+(** Exact probability of a Boolean conjunctive query, or [None] when the
+    query is not safe for lifted inference (not hierarchical, or has a
+    self-join). *)
+
+val probability : Ucq.t -> Pdb.t -> Ratio.t option
+(** Lifted probability of a union: safe when every conjunct is safe and
+    no relation symbol is shared between conjuncts (the disjuncts are then
+    independent).  [None] otherwise. *)
+
+(** {1 Safe plans}
+
+    The recursion tree of the lifted evaluation, as an explainable
+    object: what an optimizer would call the safe plan. *)
+
+type plan =
+  | Fact of Pdb.tuple  (** probability of a single fact *)
+  | Independent_product of plan list
+      (** variable-disjoint components: probabilities multiply *)
+  | Independent_union of string * (string * plan) list
+      (** grounding the root variable: [1 - ∏(1 - p)] over the domain *)
+
+val plan_cq : Ucq.cq -> Pdb.t -> plan option
+(** The safe plan of a conjunct, when one exists. *)
+
+val eval_plan : Pdb.t -> plan -> Ratio.t
+(** Evaluates a plan; agrees with {!probability_cq}. *)
+
+val pp_plan : Format.formatter -> plan -> unit
+

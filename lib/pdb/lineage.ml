@@ -1,0 +1,39 @@
+let variables db = List.sort compare (List.map Pdb.var_name db.Pdb.facts)
+
+let apply_env env (atom : Ucq.atom) =
+  let value = function
+    | Ucq.Const c -> c
+    | Ucq.Var v ->
+      (match List.assoc_opt v env with
+       | Some c -> c
+       | None -> invalid_arg "Lineage: unbound variable in matched atom")
+  in
+  Pdb.tuple atom.Ucq.rel (List.map value atom.Ucq.args)
+
+let circuit q db =
+  let b = Circuit.Builder.create () in
+  let disjuncts =
+    List.concat_map
+      (fun cq ->
+        List.map
+          (fun env ->
+            let tuples =
+              List.sort_uniq compare
+                (List.map (fun a -> Pdb.var_name (apply_env env a)) cq.Ucq.atoms)
+            in
+            Circuit.Builder.and_ b
+              (List.map (Circuit.Builder.var b) tuples))
+          (Ucq.matchings cq db.Pdb.facts))
+      q
+  in
+  Circuit.Builder.build b (Circuit.Builder.or_ b disjuncts)
+
+let boolfun q db = Boolfun.lift (Circuit.to_boolfun (circuit q db)) (variables db)
+
+let brute_force q db =
+  let vars = variables db in
+  Boolfun.of_fun vars (fun asg ->
+      let present =
+        List.filter (fun fact -> Boolfun.Smap.find (Pdb.var_name fact) asg) db.Pdb.facts
+      in
+      Ucq.holds q present)

@@ -1,0 +1,21 @@
+(** Query lineage (paper, Sections 1 and 4).
+
+    The lineage [L(Q, D)] of a Boolean query over a database is the
+    monotone Boolean function over the facts of [D] accepting exactly the
+    subdatabases satisfying [Q].  It is produced here as a circuit — the
+    form in which lineages arrive in practice (provenance circuits) — in
+    the standard DNF-shaped form [∨_cq ∨_θ ∧_atoms X_θ(atom)]. *)
+
+val circuit : Ucq.t -> Pdb.t -> Circuit.t
+(** The lineage circuit over variables [Pdb.var_name fact]. *)
+
+val boolfun : Ucq.t -> Pdb.t -> Boolfun.t
+(** Tabulated lineage, over the variables of all facts of [D] (small
+    databases only). *)
+
+val brute_force : Ucq.t -> Pdb.t -> Boolfun.t
+(** Independent reference implementation: evaluates [Q] on every
+    subdatabase (exponential; validation only). *)
+
+val variables : Pdb.t -> string list
+(** The lineage variables of the database's facts, sorted. *)

@@ -1,0 +1,39 @@
+let brute q db =
+  List.fold_left
+    (fun acc subset ->
+      if Ucq.holds q subset then Ratio.add acc (Pdb.prob_of_subset db subset)
+      else acc)
+    Ratio.zero (Pdb.subdatabases db)
+
+let weight_fun db v = db.Pdb.prob (Pdb.tuple_of_var v)
+
+let default_order q db =
+  match q with
+  | [ cq ] ->
+    (match Qsafety.hierarchical_variable_order cq db with
+     | Some order -> order
+     | None -> Lineage.variables db)
+  | _ -> Lineage.variables db
+
+let via_obdd ?order q db =
+  let order = match order with Some o -> o | None -> default_order q db in
+  let m = Bdd.manager order in
+  let node = Bdd.compile_circuit m (Lineage.circuit q db) in
+  (Bdd.probability_ratio m node (weight_fun db), Bdd.size m node)
+
+let via_sdd ?vtree q db =
+  let vt =
+    match vtree with
+    | Some vt -> vt
+    | None -> Vtree.balanced (Lineage.variables db)
+  in
+  let m = Sdd.manager vt in
+  let node = Sdd.compile_circuit m (Lineage.circuit q db) in
+  (Sdd.probability_ratio m node (weight_fun db), Sdd.size m node)
+
+let via_dnnf q db =
+  let vt = Vtree.balanced (Lineage.variables db) in
+  let m = Sdd.manager vt in
+  let node = Sdd.compile_circuit m (Lineage.circuit q db) in
+  let c = Sdd.to_nnf_circuit m node in
+  (Snnf.probability_ratio c (weight_fun db), Circuit.size c)

@@ -1,0 +1,23 @@
+(** Probabilistic query evaluation through compiled lineages.
+
+    The query-compilation pipeline of the paper's introduction: build the
+    lineage circuit, compile it into a tractable form (OBDD or SDD), then
+    read the probability off the compiled form in linear time.  A
+    brute-force evaluator over subdatabases serves as ground truth. *)
+
+val brute : Ucq.t -> Pdb.t -> Ratio.t
+(** Exact probability by enumerating subdatabases (2^|D|). *)
+
+val via_obdd : ?order:string list -> Ucq.t -> Pdb.t -> Ratio.t * int
+(** Compile the lineage to an OBDD (hierarchical order when the query is
+    hierarchical and none is supplied, else sorted variables); returns
+    the exact probability and the OBDD size. *)
+
+val via_sdd : ?vtree:Vtree.t -> Ucq.t -> Pdb.t -> Ratio.t * int
+(** Same through the canonical SDD (balanced vtree by default); returns
+    probability and SDD size. *)
+
+val via_dnnf : Ucq.t -> Pdb.t -> Ratio.t * int
+(** Same through a deterministic structured NNF circuit (the SDD exported
+    as a d-SDNNF), counted by the linear-time d-DNNF algorithm of
+    [Snnf].  Returns probability and circuit size. *)

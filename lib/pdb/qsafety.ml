@@ -1,0 +1,137 @@
+let atoms_of_var cq x =
+  List.filteri (fun _ _ -> true) cq.Ucq.atoms
+  |> List.mapi (fun i a -> (i, a))
+  |> List.filter_map (fun (i, (a : Ucq.atom)) ->
+         if List.exists (fun t -> t = Ucq.Var x) a.Ucq.args then Some i else None)
+
+let hierarchical_cq cq =
+  let vars = Ucq.cq_variables cq in
+  let sets = List.map (fun x -> (x, atoms_of_var cq x)) vars in
+  let subset a b = List.for_all (fun i -> List.mem i b) a in
+  List.for_all
+    (fun (_, sx) ->
+      List.for_all
+        (fun (_, sy) ->
+          let inter = List.exists (fun i -> List.mem i sy) sx in
+          (not inter) || subset sx sy || subset sy sx)
+        sets)
+    sets
+
+let hierarchical q = List.for_all hierarchical_cq q
+
+let inversion_free q =
+  List.for_all (fun cq -> hierarchical_cq cq && not (Ucq.has_self_join cq)) q
+
+let witness_non_hierarchical cq =
+  let vars = Ucq.cq_variables cq in
+  let sets = List.map (fun x -> (x, atoms_of_var cq x)) vars in
+  let subset a b = List.for_all (fun i -> List.mem i b) a in
+  let rec find = function
+    | [] -> None
+    | (x, sx) :: rest ->
+      (match
+         List.find_opt
+           (fun (_, sy) ->
+             List.exists (fun i -> List.mem i sy) sx
+             && (not (subset sx sy))
+             && not (subset sy sx))
+           rest
+       with
+       | Some (y, _) -> Some (x, y)
+       | None -> find rest)
+  in
+  find sets
+
+(* ------------------------------------------------------------------ *)
+(* Hierarchical variable order for lineages                            *)
+(* ------------------------------------------------------------------ *)
+
+let atom_vars (a : Ucq.atom) =
+  List.concat_map (function Ucq.Var v -> [ v ] | Ucq.Const _ -> []) a.Ucq.args
+
+(* Connected components of atoms under shared variables. *)
+let components atoms =
+  let n = List.length atoms in
+  let arr = Array.of_list atoms in
+  let parent = Array.init n Fun.id in
+  let rec find i = if parent.(i) = i then i else begin
+      parent.(i) <- find parent.(i);
+      parent.(i)
+    end
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let vi = atom_vars arr.(i) and vj = atom_vars arr.(j) in
+      if List.exists (fun v -> List.mem v vj) vi then begin
+        let ri = find i and rj = find j in
+        if ri <> rj then parent.(ri) <- rj
+      end
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i a ->
+      let r = find i in
+      match Hashtbl.find_opt groups r with
+      | Some l -> l := a :: !l
+      | None -> Hashtbl.add groups r (ref [ a ]))
+    arr;
+  Hashtbl.fold (fun _ l acc -> List.rev !l :: acc) groups []
+
+let substitute x c (a : Ucq.atom) =
+  {
+    a with
+    Ucq.args =
+      List.map
+        (function Ucq.Var v when v = x -> Ucq.Const c | t -> t)
+        a.Ucq.args;
+  }
+
+let matching_facts (a : Ucq.atom) facts =
+  List.filter
+    (fun (f : Pdb.tuple) ->
+      f.Pdb.rel = a.Ucq.rel
+      && List.length f.Pdb.args = List.length a.Ucq.args
+      && List.for_all2
+           (fun t c -> match t with Ucq.Const k -> k = c | Ucq.Var _ -> true)
+           a.Ucq.args f.Pdb.args)
+    facts
+
+let hierarchical_variable_order cq db =
+  if (not (hierarchical_cq cq)) || Ucq.has_self_join cq then None
+  else begin
+    let domain = Pdb.active_domain db in
+    let rec order atoms =
+      List.concat_map
+        (fun comp ->
+          let vars = List.sort_uniq compare (List.concat_map atom_vars comp) in
+          if vars = [] then
+            (* Ground component: the facts themselves. *)
+            List.concat_map
+              (fun a -> List.map Pdb.var_name (matching_facts a db.Pdb.facts))
+              comp
+          else begin
+            (* Connected hierarchical conjuncts have a root variable
+               occurring in every atom. *)
+            let root =
+              List.find
+                (fun x ->
+                  List.for_all
+                    (fun a -> List.mem x (atom_vars a))
+                    comp)
+                vars
+            in
+            List.concat_map
+              (fun c -> order (components (List.map (substitute root c) comp)))
+              domain
+          end)
+        atoms
+    in
+    let main = order (components cq.Ucq.atoms) in
+    let rest =
+      List.filter
+        (fun v -> not (List.mem v main))
+        (List.map Pdb.var_name db.Pdb.facts)
+    in
+    Some (main @ List.sort compare rest)
+  end

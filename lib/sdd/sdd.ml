@@ -1,0 +1,561 @@
+(* Canonical SDDs: hash-consed, compressed, trimmed. *)
+
+type t = int
+
+type node_data =
+  | DConst of bool
+  | DLit of string * bool * int  (* variable, polarity, vtree leaf *)
+  | DDec of int * (int * int) array  (* vtree node, elements sorted by prime *)
+
+type manager = {
+  vt : Vtree.t;
+  mutable data : node_data array;
+  mutable count : int;
+  unique : (int * (int * int) list, int) Hashtbl.t;
+  lit_tbl : (string * bool, int) Hashtbl.t;
+  and_cache : (int * int, int) Hashtbl.t;
+  or_cache : (int * int, int) Hashtbl.t;
+  neg_cache : (int, int) Hashtbl.t;
+  cond_cache : (int * string * bool, int) Hashtbl.t;
+}
+
+let manager vt =
+  let m =
+    {
+      vt;
+      data = Array.make 1024 (DConst false);
+      count = 2;
+      unique = Hashtbl.create 1024;
+      lit_tbl = Hashtbl.create 64;
+      and_cache = Hashtbl.create 1024;
+      or_cache = Hashtbl.create 1024;
+      neg_cache = Hashtbl.create 256;
+      cond_cache = Hashtbl.create 256;
+    }
+  in
+  m.data.(0) <- DConst false;
+  m.data.(1) <- DConst true;
+  Hashtbl.add m.neg_cache 0 1;
+  Hashtbl.add m.neg_cache 1 0;
+  m
+
+let vtree m = m.vt
+let num_nodes_allocated m = m.count
+
+let false_ _ = 0
+let true_ _ = 1
+
+let alloc m d =
+  if m.count >= Array.length m.data then begin
+    let data' = Array.make (2 * Array.length m.data) (DConst false) in
+    Array.blit m.data 0 data' 0 m.count;
+    m.data <- data'
+  end;
+  let id = m.count in
+  m.data.(id) <- d;
+  m.count <- m.count + 1;
+  id
+
+let literal m v polarity =
+  match Hashtbl.find_opt m.lit_tbl (v, polarity) with
+  | Some id -> id
+  | None ->
+    let leaf = Vtree.leaf_of_var m.vt v in
+    let id = alloc m (DLit (v, polarity, leaf)) in
+    Hashtbl.add m.lit_tbl (v, polarity) id;
+    id
+
+let vtree_node m a =
+  match m.data.(a) with
+  | DConst _ -> None
+  | DLit (_, _, leaf) -> Some leaf
+  | DDec (v, _) -> Some v
+
+let equal (a : t) (b : t) = a = b
+let is_true _ a = a = 1
+let is_false _ a = a = 0
+
+(* ------------------------------------------------------------------ *)
+(* Node construction: compression, trimming, unique table              *)
+(* ------------------------------------------------------------------ *)
+
+let rec negate m a =
+  match Hashtbl.find_opt m.neg_cache a with
+  | Some r -> r
+  | None ->
+    let r =
+      match m.data.(a) with
+      | DConst b -> if b then 0 else 1
+      | DLit (v, polarity, _) -> literal m v (not polarity)
+      | DDec (v, elems) ->
+        mk_decision m v
+          (Array.to_list (Array.map (fun (p, s) -> (p, negate m s)) elems))
+    in
+    Hashtbl.replace m.neg_cache a r;
+    Hashtbl.replace m.neg_cache r a;
+    r
+
+(* Builds the canonical node for a decision at vtree node [v] from an
+   element list whose primes are pairwise disjoint and jointly exhaustive
+   (some primes may be ⊥). *)
+and mk_decision m v elems =
+  (* Drop false primes. *)
+  let elems = List.filter (fun (p, _) -> p <> 0) elems in
+  (* Compression: merge elements sharing a sub (disjoin their primes). *)
+  let by_sub = Hashtbl.create 8 in
+  let subs_in_order = ref [] in
+  List.iter
+    (fun (p, s) ->
+      match Hashtbl.find_opt by_sub s with
+      | Some ps -> ps := p :: !ps
+      | None ->
+        Hashtbl.add by_sub s (ref [ p ]);
+        subs_in_order := s :: !subs_in_order)
+    elems;
+  let compressed =
+    List.rev_map
+      (fun s ->
+        let ps = !(Hashtbl.find by_sub s) in
+        let p = List.fold_left (fun acc p -> disjoin m acc p) 0 ps in
+        (p, s))
+      !subs_in_order
+  in
+  match compressed with
+  | [] -> 0
+  | [ (p, s) ] ->
+    assert (p = 1);
+    s
+  | [ (p, 1); (_, 0) ] -> p
+  | [ (_, 0); (q, 1) ] -> q
+  | _ ->
+    let sorted =
+      List.sort (fun (p1, _) (p2, _) -> compare p1 p2) compressed
+    in
+    let key = (v, sorted) in
+    (match Hashtbl.find_opt m.unique key with
+     | Some id -> id
+     | None ->
+       let id = alloc m (DDec (v, Array.of_list sorted)) in
+       Hashtbl.add m.unique key id;
+       id)
+
+(* ------------------------------------------------------------------ *)
+(* Apply                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Elements of [a] viewed as a decision at vtree node [v] (an ancestor of
+   a's vtree node, or the node itself). *)
+and elements_at m v a =
+  match m.data.(a) with
+  | DDec (u, elems) when u = v -> Array.to_list elems
+  | _ ->
+    let u = Option.get (vtree_node m a) in
+    if Vtree.in_left_subtree m.vt v u then [ (a, 1); (negate m a, 0) ]
+    else begin
+      assert (Vtree.in_right_subtree m.vt v u);
+      [ (1, a) ]
+    end
+
+and apply m op_and a b =
+  let cache = if op_and then m.and_cache else m.or_cache in
+  let neutral = if op_and then 1 else 0 in
+  let absorbing = if op_and then 0 else 1 in
+  if a = absorbing || b = absorbing then absorbing
+  else if a = neutral then b
+  else if b = neutral then a
+  else if a = b then a
+  else if Hashtbl.find_opt m.neg_cache a = Some b then absorbing
+  else begin
+    let key = (Stdlib.min a b, Stdlib.max a b) in
+    match Hashtbl.find_opt cache key with
+    | Some r -> r
+    | None ->
+      let va = Option.get (vtree_node m a) in
+      let vb = Option.get (vtree_node m b) in
+      let r =
+        if va = vb && Vtree.is_leaf m.vt va then begin
+          (* Two distinct literals on the same variable. *)
+          if op_and then 0 else 1
+        end
+        else begin
+          let v = Vtree.lca m.vt va vb in
+          let v =
+            (* If one argument sits at [v] it must be a decision there;
+               if both are below on the same side, lca can be a strict
+               descendant of where we must decide — but lca of two
+               distinct nodes is internal unless equal. *)
+            if Vtree.is_leaf m.vt v then Option.get (Vtree.parent m.vt v) else v
+          in
+          let ea = elements_at m v a in
+          let eb = elements_at m v b in
+          let out = ref [] in
+          List.iter
+            (fun (p1, s1) ->
+              List.iter
+                (fun (p2, s2) ->
+                  let p = conjoin m p1 p2 in
+                  if p <> 0 then begin
+                    let s = apply m op_and s1 s2 in
+                    out := (p, s) :: !out
+                  end)
+                eb)
+            ea;
+          mk_decision m v !out
+        end
+      in
+      Hashtbl.add cache key r;
+      r
+  end
+
+and conjoin m a b = apply m true a b
+and disjoin m a b = apply m false a b
+
+let conjoin_list m l = List.fold_left (conjoin m) 1 l
+let disjoin_list m l = List.fold_left (disjoin m) 0 l
+
+(* ------------------------------------------------------------------ *)
+(* Conditioning                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let condition m a x value =
+  let rec go a =
+    match m.data.(a) with
+    | DConst _ -> a
+    | DLit (y, polarity, _) ->
+      if y = x then (if polarity = value then 1 else 0) else a
+    | DDec (v, elems) ->
+      if not (List.mem x (Vtree.vars_below m.vt v)) then a
+      else begin
+        let key = (a, x, value) in
+        match Hashtbl.find_opt m.cond_cache key with
+        | Some r -> r
+        | None ->
+          let in_left = List.mem x (Vtree.vars_below m.vt (Vtree.left m.vt v)) in
+          let elems' =
+            List.map
+              (fun (p, s) -> if in_left then (go p, s) else (p, go s))
+              (Array.to_list elems)
+          in
+          let r = mk_decision m v elems' in
+          Hashtbl.add m.cond_cache key r;
+          r
+      end
+  in
+  go a
+
+(* ------------------------------------------------------------------ *)
+(* Structure and views                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let decision m v elems =
+  if Vtree.is_leaf m.vt v then invalid_arg "Sdd.decision: leaf vtree node";
+  mk_decision m v elems
+
+type view =
+  | False
+  | True
+  | Literal of string * bool
+  | Decision of Vtree.node * (t * t) list
+
+let view m a =
+  match m.data.(a) with
+  | DConst false -> False
+  | DConst true -> True
+  | DLit (v, polarity, _) -> Literal (v, polarity)
+  | DDec (v, elems) -> Decision (v, Array.to_list elems)
+
+let reachable_decisions m a =
+  let seen = Hashtbl.create 64 in
+  let acc = ref [] in
+  let rec go a =
+    if not (Hashtbl.mem seen a) then begin
+      Hashtbl.add seen a ();
+      match m.data.(a) with
+      | DConst _ | DLit _ -> ()
+      | DDec (v, elems) ->
+        acc := (a, v, elems) :: !acc;
+        Array.iter
+          (fun (p, s) ->
+            go p;
+            go s)
+          elems
+    end
+  in
+  go a;
+  !acc
+
+let size m a =
+  List.fold_left
+    (fun acc (_, _, elems) -> acc + Array.length elems)
+    0 (reachable_decisions m a)
+
+let node_count m a = List.length (reachable_decisions m a)
+
+let width_profile m a =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (_, v, elems) ->
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl v) in
+      Hashtbl.replace tbl v (cur + Array.length elems))
+    (reachable_decisions m a);
+  List.sort compare (Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [])
+
+let width m a =
+  List.fold_left (fun acc (_, c) -> Stdlib.max acc c) 0 (width_profile m a)
+
+let validate m a =
+  let check_one (_, v, elems) =
+    if Vtree.is_leaf m.vt v then Error "decision normalized to a leaf"
+    else begin
+      let elems = Array.to_list elems in
+      let lv = Vtree.left m.vt v and rv = Vtree.right m.vt v in
+      let inside side x =
+        match vtree_node m x with
+        | None -> true
+        | Some u -> Vtree.is_ancestor m.vt side u
+      in
+      let structured =
+        List.for_all (fun (p, s) -> inside lv p && inside rv s) elems
+      in
+      if not structured then Error "element not structured by the vtree node"
+      else begin
+        let primes = List.map fst elems in
+        let subs = List.map snd elems in
+        if List.length (List.sort_uniq compare subs) <> List.length subs then
+          Error "not compressed: duplicate subs"
+        else if List.exists (fun p -> p = 0) primes then
+          Error "false prime"
+        else if disjoin_list m primes <> 1 then Error "primes not exhaustive"
+        else begin
+          let rec pairwise = function
+            | [] -> Ok ()
+            | p :: rest ->
+              if List.exists (fun q -> conjoin m p q <> 0) rest then
+                Error "primes not pairwise disjoint"
+              else pairwise rest
+          in
+          pairwise primes
+        end
+      end
+    end
+  in
+  List.fold_left
+    (fun acc d -> Result.bind acc (fun () -> check_one d))
+    (Ok ()) (reachable_decisions m a)
+
+(* ------------------------------------------------------------------ *)
+(* Counting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let model_count m a =
+  let cache = Hashtbl.create 64 in
+  (* Count of node over exactly the variables below its own vtree node;
+     gaps are filled at the use site. *)
+  let rec own a =
+    match m.data.(a) with
+    | DConst _ -> assert false
+    | DLit _ -> Bigint.one
+    | DDec (v, elems) ->
+      (match Hashtbl.find_opt cache a with
+       | Some r -> r
+       | None ->
+         let lv = Vtree.left m.vt v and rv = Vtree.right m.vt v in
+         let r =
+           Array.fold_left
+             (fun acc (p, s) ->
+               Bigint.add acc (Bigint.mul (at p lv) (at s rv)))
+             Bigint.zero elems
+         in
+         Hashtbl.add cache a r;
+         r)
+  and at a v =
+    (* models of a over the variables below v; requires vtree(a) ≤ v *)
+    if a = 0 then Bigint.zero
+    else if a = 1 then Bigint.pow2 (Vtree.num_vars_below m.vt v)
+    else begin
+      let u = Option.get (vtree_node m a) in
+      let gap = Vtree.num_vars_below m.vt v - Vtree.num_vars_below m.vt u in
+      Bigint.mul (Bigint.pow2 gap) (own a)
+    end
+  in
+  at a (Vtree.root m.vt)
+
+(* Weighted model counting with probabilities (weights of the two
+   polarities sum to 1, so vtree gaps contribute factor 1). *)
+let probability m a weight =
+  let cache = Hashtbl.create 64 in
+  let rec go a =
+    if a = 0 then 0.0
+    else if a = 1 then 1.0
+    else begin
+      match Hashtbl.find_opt cache a with
+      | Some r -> r
+      | None ->
+        let r =
+          match m.data.(a) with
+          | DConst _ -> assert false
+          | DLit (v, polarity, _) ->
+            if polarity then weight v else 1.0 -. weight v
+          | DDec (_, elems) ->
+            Array.fold_left
+              (fun acc (p, s) -> acc +. (go p *. go s))
+              0.0 elems
+        in
+        Hashtbl.add cache a r;
+        r
+    end
+  in
+  go a
+
+let probability_ratio m a weight =
+  let cache = Hashtbl.create 64 in
+  let rec go a =
+    if a = 0 then Ratio.zero
+    else if a = 1 then Ratio.one
+    else begin
+      match Hashtbl.find_opt cache a with
+      | Some r -> r
+      | None ->
+        let r =
+          match m.data.(a) with
+          | DConst _ -> assert false
+          | DLit (v, polarity, _) ->
+            if polarity then weight v else Ratio.sub Ratio.one (weight v)
+          | DDec (_, elems) ->
+            Array.fold_left
+              (fun acc (p, s) -> Ratio.add acc (Ratio.mul (go p) (go s)))
+              Ratio.zero elems
+        in
+        Hashtbl.add cache a r;
+        r
+    end
+  in
+  go a
+
+let any_model m a =
+  if a = 0 then None
+  else begin
+    let bindings = ref [] in
+    let rec go a =
+      match m.data.(a) with
+      | DConst true -> ()
+      | DConst false -> assert false
+      | DLit (v, polarity, _) -> bindings := (v, polarity) :: !bindings
+      | DDec (_, elems) ->
+        (* Canonicity: a node other than ⊥ is satisfiable, so some element
+           has a satisfiable (non-⊥) sub; its prime is non-⊥ by
+           construction. *)
+        let p, s =
+          match Array.to_list elems |> List.find_opt (fun (_, s) -> s <> 0) with
+          | Some e -> e
+          | None -> assert false
+        in
+        go p;
+        go s
+    in
+    go a;
+    let partial = !bindings in
+    let all = Vtree.variables m.vt in
+    Some
+      (List.map
+         (fun v ->
+           match List.assoc_opt v partial with
+           | Some b -> (v, b)
+           | None -> (v, false))
+         all)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Compilation and export                                              *)
+(* ------------------------------------------------------------------ *)
+
+let compile_circuit m c =
+  let n = Circuit.size c in
+  let res = Array.make n 0 in
+  for i = 0 to n - 1 do
+    res.(i) <-
+      (match Circuit.gate c i with
+       | Circuit.Var v -> literal m v true
+       | Circuit.Const b -> if b then 1 else 0
+       | Circuit.Not j -> negate m res.(j)
+       | Circuit.And js -> conjoin_list m (List.map (fun j -> res.(j)) js)
+       | Circuit.Or js -> disjoin_list m (List.map (fun j -> res.(j)) js))
+  done;
+  res.(Circuit.output c)
+
+let of_boolfun_naive m f =
+  let terms =
+    List.map
+      (fun asg ->
+        conjoin_list m
+          (List.map (fun (v, b) -> literal m v b) (Boolfun.Smap.bindings asg)))
+      (Boolfun.models f)
+  in
+  disjoin_list m terms
+
+let eval m a asg =
+  (* Memoized per call so that shared subnodes are evaluated once: total
+     work is linear in the number of reachable elements. *)
+  let memo = Hashtbl.create 64 in
+  let rec go a =
+    match Hashtbl.find_opt memo a with
+    | Some r -> r
+    | None ->
+      let r =
+        match m.data.(a) with
+        | DConst b -> b
+        | DLit (v, polarity, _) -> Boolfun.Smap.find v asg = polarity
+        | DDec (_, elems) ->
+          let rec find i =
+            if i >= Array.length elems then assert false (* exhaustive *)
+            else begin
+              let p, s = elems.(i) in
+              if go p then go s else find (i + 1)
+            end
+          in
+          find 0
+      in
+      Hashtbl.add memo a r;
+      r
+  in
+  go a
+
+let to_boolfun m a =
+  Boolfun.of_fun (Vtree.variables m.vt) (fun asg -> eval m a asg)
+
+let to_nnf_circuit m a =
+  let b = Circuit.Builder.create () in
+  let memo = Hashtbl.create 64 in
+  let rec go a =
+    match Hashtbl.find_opt memo a with
+    | Some r -> r
+    | None ->
+      let r =
+        match m.data.(a) with
+        | DConst v -> Circuit.Builder.const b v
+        | DLit (v, true, _) -> Circuit.Builder.var b v
+        | DLit (v, false, _) -> Circuit.Builder.not_ b (Circuit.Builder.var b v)
+        | DDec (_, elems) ->
+          Circuit.Builder.or_ b
+            (List.map
+               (fun (p, s) -> Circuit.Builder.and_ b [ go p; go s ])
+               (Array.to_list elems))
+      in
+      Hashtbl.add memo a r;
+      r
+  in
+  Circuit.Builder.build b (go a)
+
+let pp m ppf a =
+  let rec go ppf a =
+    match m.data.(a) with
+    | DConst false -> Format.pp_print_string ppf "F"
+    | DConst true -> Format.pp_print_string ppf "T"
+    | DLit (v, true, _) -> Format.pp_print_string ppf v
+    | DLit (v, false, _) -> Format.fprintf ppf "~%s" v
+    | DDec (v, elems) ->
+      Format.fprintf ppf "@[<hov 1>[@%d" v;
+      Array.iter (fun (p, s) -> Format.fprintf ppf " (%a,%a)" go p go s) elems;
+      Format.fprintf ppf "]@]"
+  in
+  go ppf a

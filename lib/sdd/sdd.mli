@@ -1,0 +1,125 @@
+(** Sentential decision diagrams (Darwiche 2011; paper, Section 2.1).
+
+    A manager fixes a vtree.  SDD nodes are hash-consed, {e compressed}
+    (no two elements of a decision share a sub) and {e trimmed} (the
+    degenerate decisions [{(⊤,s)}] and [{(p,⊤),(¬p,⊥)}] are replaced by
+    [s] and [p]), so every Boolean function has exactly one node per
+    manager — the canonical SDD.  Handle equality is function equality.
+
+    Size and the paper's SDD width (Definition 5: the number of ∧-gates —
+    elements — structured by each vtree node) are exposed, together with
+    exact model counting and weighted model counting. *)
+
+type manager
+type t
+(** Node handle, valid only with its manager. *)
+
+(** {1 Manager} *)
+
+val manager : Vtree.t -> manager
+val vtree : manager -> Vtree.t
+val num_nodes_allocated : manager -> int
+
+(** {1 Constants, literals, connectives} *)
+
+val true_ : manager -> t
+val false_ : manager -> t
+val literal : manager -> string -> bool -> t
+(** @raise Not_found if the variable is not in the vtree. *)
+
+val negate : manager -> t -> t
+val conjoin : manager -> t -> t -> t
+val disjoin : manager -> t -> t -> t
+val conjoin_list : manager -> t list -> t
+val disjoin_list : manager -> t list -> t
+
+val condition : manager -> t -> string -> bool -> t
+
+val decision : manager -> Vtree.node -> (t * t) list -> t
+(** [decision m v elements] is the canonical node for the decision
+    [∨ᵢ (pᵢ ∧ sᵢ)] at the internal vtree node [v].  The primes must
+    already be pairwise disjoint and jointly exhaustive, with every prime
+    below [v]'s left subtree and every sub below its right subtree —
+    {e this is not checked}.  Compression and trimming are applied, so
+    the result is canonical.  Used by compilers that produce valid
+    partitions directly (e.g. the factorized sentential decisions of the
+    paper), avoiding quadratic apply costs. *)
+
+val equal : t -> t -> bool
+(** Function equality, constant time (canonicity). *)
+
+val is_true : manager -> t -> bool
+val is_false : manager -> t -> bool
+
+(** {1 Structure} *)
+
+type view =
+  | False
+  | True
+  | Literal of string * bool
+  | Decision of Vtree.node * (t * t) list
+      (** Elements (prime, sub), normalized to the vtree node. *)
+
+val view : manager -> t -> view
+
+val vtree_node : manager -> t -> Vtree.node option
+(** The vtree node the SDD node is normalized to; [None] for constants. *)
+
+val validate : manager -> t -> (unit, string) result
+(** Checks the SDD conditions on every reachable decision: primes form an
+    exhaustive ([∨ᵢ pᵢ ≡ ⊤]) and pairwise-disjoint partition, subs are
+    pairwise distinct (compression), and structuredness with respect to
+    the vtree holds.  Exact (uses the manager's own apply). *)
+
+(** {1 Measures} *)
+
+val size : manager -> t -> int
+(** Total number of elements over reachable decision nodes (the standard
+    SDD size measure). *)
+
+val node_count : manager -> t -> int
+(** Number of reachable decision nodes. *)
+
+val width : manager -> t -> int
+(** Paper, Definition 5: max over vtree nodes [v] of the number of
+    elements of reachable decisions normalized to [v]. *)
+
+val width_profile : manager -> t -> (Vtree.node * int) list
+(** Elements per vtree node (only nodes with a nonzero count). *)
+
+(** {1 Counting and probability} *)
+
+val model_count : manager -> t -> Bigint.t
+(** Over all variables of the vtree. *)
+
+val probability : manager -> t -> (string -> float) -> float
+(** Each variable independently true with the given probability. *)
+
+val probability_ratio : manager -> t -> (string -> Ratio.t) -> Ratio.t
+
+val any_model : manager -> t -> (string * bool) list option
+(** A satisfying total assignment of the vtree variables, if any. *)
+
+(** {1 Compilation and export} *)
+
+val compile_circuit : manager -> Circuit.t -> t
+(** Bottom-up apply compilation; circuit variables must appear in the
+    vtree. *)
+
+val of_boolfun_naive : manager -> Boolfun.t -> t
+(** Apply-compilation of the minterm DNF — exponential, for tests only.
+    (The efficient semantic compiler is [Compile.sdd_of_boolfun] in
+    [ctw_core].) *)
+
+val to_boolfun : manager -> t -> Boolfun.t
+(** Over the full vtree variable set (small vtrees only). *)
+
+val eval : manager -> t -> Boolfun.assignment -> bool
+
+val to_nnf_circuit : manager -> t -> Circuit.t
+(** Exports the SDD as a deterministic structured NNF circuit (ANDs of
+    fanin 2 structured by the vtree). *)
+
+(** {1 Statistics} *)
+
+val pp : manager -> Format.formatter -> t -> unit

@@ -1,0 +1,266 @@
+type node = int
+
+type shape = L of string | N of shape * shape
+
+type t = {
+  left : int array;          (* -1 for leaves *)
+  right : int array;
+  parent : int array;        (* -1 for the root *)
+  depth : int array;
+  var : string array;        (* "" for internal nodes *)
+  vars_below : string list array;  (* sorted *)
+  lo : int array;            (* leftmost leaf position in the subtree *)
+  hi : int array;            (* rightmost leaf position in the subtree *)
+  root : int;
+  leaf_of_var : (string, int) Hashtbl.t;
+}
+
+let rec shape_leaves = function
+  | L v -> [ v ]
+  | N (a, b) -> shape_leaves a @ shape_leaves b
+
+let of_shape shape =
+  let leaves = shape_leaves shape in
+  if List.length (List.sort_uniq compare leaves) <> List.length leaves then
+    invalid_arg "Vtree.of_shape: duplicate variables";
+  let count = ref 0 in
+  let rec count_nodes = function
+    | L _ -> incr count
+    | N (a, b) ->
+      incr count;
+      count_nodes a;
+      count_nodes b
+  in
+  count_nodes shape;
+  let n = !count in
+  let left = Array.make n (-1) in
+  let right = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  let var = Array.make n "" in
+  let vars_below = Array.make n [] in
+  let lo = Array.make n 0 in
+  let hi = Array.make n 0 in
+  let leaf_tbl = Hashtbl.create 16 in
+  let next_id = ref 0 in
+  let next_leaf_pos = ref 0 in
+  (* Assign ids in pre-order so children have larger ids than parents;
+     record in-order leaf intervals. *)
+  let rec build d = function
+    | L v ->
+      let id = !next_id in
+      incr next_id;
+      depth.(id) <- d;
+      var.(id) <- v;
+      vars_below.(id) <- [ v ];
+      lo.(id) <- !next_leaf_pos;
+      hi.(id) <- !next_leaf_pos;
+      incr next_leaf_pos;
+      Hashtbl.add leaf_tbl v id;
+      id
+    | N (a, b) ->
+      let id = !next_id in
+      incr next_id;
+      depth.(id) <- d;
+      let la = build (d + 1) a in
+      let rb = build (d + 1) b in
+      left.(id) <- la;
+      right.(id) <- rb;
+      parent.(la) <- id;
+      parent.(rb) <- id;
+      vars_below.(id) <- List.merge compare vars_below.(la) vars_below.(rb);
+      lo.(id) <- lo.(la);
+      hi.(id) <- hi.(rb);
+      id
+  in
+  let root = build 0 shape in
+  { left; right; parent; depth; var; vars_below; lo; hi; root; leaf_of_var = leaf_tbl }
+
+let check_nonempty_unique vars =
+  if vars = [] then invalid_arg "Vtree: empty variable list";
+  if List.length (List.sort_uniq compare vars) <> List.length vars then
+    invalid_arg "Vtree: duplicate variables"
+
+let right_linear vars =
+  check_nonempty_unique vars;
+  let rec go = function
+    | [] -> assert false
+    | [ v ] -> L v
+    | v :: rest -> N (L v, go rest)
+  in
+  of_shape (go vars)
+
+let left_linear vars =
+  check_nonempty_unique vars;
+  match vars with
+  | [] -> assert false
+  | v :: rest -> of_shape (List.fold_left (fun acc w -> N (acc, L w)) (L v) rest)
+
+let balanced vars =
+  check_nonempty_unique vars;
+  let rec go vars n =
+    if n = 1 then (L (List.hd vars), List.tl vars)
+    else begin
+      let half = n / 2 in
+      let l, rest = go vars half in
+      let r, rest = go rest (n - half) in
+      (N (l, r), rest)
+    end
+  in
+  let s, rest = go vars (List.length vars) in
+  assert (rest = []);
+  of_shape s
+
+let random ~seed vars =
+  check_nonempty_unique vars;
+  let st = Random.State.make [| seed; List.length vars; 2654435761 |] in
+  let arr = Array.of_list vars in
+  (* Fisher-Yates shuffle *)
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  let rec shape l r =
+    (* random shape over arr[l..r] *)
+    if l = r then L arr.(l)
+    else begin
+      let split = l + Random.State.int st (r - l) in
+      N (shape l split, shape (split + 1) r)
+    end
+  in
+  of_shape (shape 0 (Array.length arr - 1))
+
+let enumerate vars =
+  check_nonempty_unique vars;
+  (* All ways to build an ordered binary tree over a set of variables:
+     recursively split the set into a nonempty left block and right block
+     (all subsets), recurse.  Leaf order matters for vtrees only through
+     the left/right structure, and Y_v sets are what the paper's widths
+     depend on; we enumerate all ordered set-partition shapes. *)
+  let rec go = function
+    | [ v ] -> [ L v ]
+    | vars ->
+      let n = List.length vars in
+      let arr = Array.of_list vars in
+      let shapes = ref [] in
+      (* Nonempty proper sub-bitmask = left block; fix arr.(0) in the left
+         block to avoid double-counting mirrored partitions?  No: ordered
+         trees distinguish left/right, so enumerate all. *)
+      for mask = 1 to (1 lsl n) - 2 do
+        let lvars = ref [] and rvars = ref [] in
+        for i = n - 1 downto 0 do
+          if mask land (1 lsl i) <> 0 then lvars := arr.(i) :: !lvars
+          else rvars := arr.(i) :: !rvars
+        done;
+        List.iter
+          (fun ls ->
+            List.iter (fun rs -> shapes := N (ls, rs) :: !shapes) (go !rvars))
+          (go !lvars)
+      done;
+      !shapes
+  in
+  List.map of_shape (go vars)
+
+let root t = t.root
+let num_nodes t = Array.length t.left
+let num_leaves t = Hashtbl.length t.leaf_of_var
+
+let nodes t =
+  (* in-order: left, node, right *)
+  let acc = ref [] in
+  let rec go v =
+    if t.left.(v) >= 0 then go t.right.(v);
+    acc := v :: !acc;
+    if t.left.(v) >= 0 then go t.left.(v)
+  in
+  go t.root;
+  !acc
+
+let is_leaf t v = t.left.(v) < 0
+
+let var_of_leaf t v =
+  if is_leaf t v then t.var.(v)
+  else invalid_arg "Vtree.var_of_leaf: internal node"
+
+let left t v =
+  if is_leaf t v then invalid_arg "Vtree.left: leaf" else t.left.(v)
+
+let right t v =
+  if is_leaf t v then invalid_arg "Vtree.right: leaf" else t.right.(v)
+
+let parent t v = if t.parent.(v) < 0 then None else Some t.parent.(v)
+let depth t v = t.depth.(v)
+let leaf_of_var t v = Hashtbl.find t.leaf_of_var v
+let variables t = t.vars_below.(t.root)
+let vars_below t v = t.vars_below.(v)
+let num_vars_below t v = t.hi.(v) - t.lo.(v) + 1
+
+let is_ancestor t u v = t.lo.(u) <= t.lo.(v) && t.hi.(v) <= t.hi.(u)
+
+let lca t u v =
+  let u = ref u and v = ref v in
+  while not (is_ancestor t !u !v) do
+    u := t.parent.(!u)
+  done;
+  ignore v;
+  !u
+
+let in_left_subtree t v u = not (is_leaf t v) && is_ancestor t t.left.(v) u
+let in_right_subtree t v u = not (is_leaf t v) && is_ancestor t t.right.(v) u
+
+let is_right_linear t =
+  let rec go v =
+    if is_leaf t v then true
+    else is_leaf t t.left.(v) && go t.right.(v)
+  in
+  go t.root
+
+let leaf_order t =
+  let acc = ref [] in
+  let rec go v =
+    if is_leaf t v then acc := t.var.(v) :: !acc
+    else begin
+      go t.left.(v);
+      go t.right.(v)
+    end
+  in
+  go t.root;
+  List.rev !acc
+
+(* All shapes obtained by applying one local move somewhere in the tree. *)
+let rec shape_moves = function
+  | L _ -> []
+  | N (a, b) ->
+    let here =
+      (* swap *)
+      [ N (b, a) ]
+      (* left rotation: (A (B C)) -> ((A B) C) *)
+      @ (match b with N (b1, b2) -> [ N (N (a, b1), b2) ] | L _ -> [])
+      (* right rotation: ((A B) C) -> (A (B C)) *)
+      @ (match a with N (a1, a2) -> [ N (a1, N (a2, b)) ] | L _ -> [])
+    in
+    here
+    @ List.map (fun a' -> N (a', b)) (shape_moves a)
+    @ List.map (fun b' -> N (a, b')) (shape_moves b)
+
+let rec shape_of t v =
+  if is_leaf t v then L t.var.(v)
+  else N (shape_of t t.left.(v), shape_of t t.right.(v))
+
+let to_shape t = shape_of t t.root
+
+let equal a b = to_shape a = to_shape b
+
+let local_moves t =
+  let original = to_shape t in
+  let shapes = List.filter (fun s -> s <> original) (shape_moves original) in
+  List.map of_shape (List.sort_uniq compare shapes)
+
+let rec pp_shape ppf = function
+  | L v -> Format.pp_print_string ppf v
+  | N (a, b) -> Format.fprintf ppf "(%a %a)" pp_shape a pp_shape b
+
+let pp ppf t = pp_shape ppf (to_shape t)
+let to_string t = Format.asprintf "%a" pp t

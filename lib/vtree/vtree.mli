@@ -1,0 +1,99 @@
+(** Variable trees (vtrees, Section 2.1 of the paper).
+
+    A vtree for a variable set [Y] is a rooted ordered binary tree whose
+    leaves correspond bijectively to [Y].  Nodes are identified by
+    integers; the structure precomputes parents, depths, and the variable
+    sets [Y_v] below each node, plus in-order leaf intervals for O(1)
+    ancestry tests — the operations the SDD apply algorithm needs. *)
+
+type t
+type node = int
+
+(** {1 Construction} *)
+
+type shape = L of string | N of shape * shape
+
+val of_shape : shape -> t
+(** @raise Invalid_argument on duplicate variables. *)
+
+val right_linear : string list -> t
+(** OBDD-style vtree: every left child is a leaf; variable order is the
+    list order.  @raise Invalid_argument on empty or duplicate input. *)
+
+val left_linear : string list -> t
+(** Every right child is a leaf. *)
+
+val balanced : string list -> t
+
+val random : seed:int -> string list -> t
+(** Random binary shape over a random permutation of the variables. *)
+
+val enumerate : string list -> t list
+(** All vtrees over the variable set ((2l-3)!! · shapes with ordered
+    children); feasible only for very small [l] (≤ 6 or so). *)
+
+(** {1 Structure} *)
+
+val root : t -> node
+val num_nodes : t -> int
+val num_leaves : t -> int
+val nodes : t -> node list
+(** All nodes, in-order. *)
+
+val is_leaf : t -> node -> bool
+val var_of_leaf : t -> node -> string
+(** @raise Invalid_argument on an internal node. *)
+
+val left : t -> node -> node
+val right : t -> node -> node
+(** @raise Invalid_argument on a leaf. *)
+
+val parent : t -> node -> node option
+val depth : t -> node -> int
+
+val leaf_of_var : t -> string -> node
+(** @raise Not_found if the variable is not in the tree. *)
+
+val variables : t -> string list
+(** Sorted. *)
+
+val vars_below : t -> node -> string list
+(** [Y_v]: sorted variables at the leaves of the subtree rooted at [v]. *)
+
+val num_vars_below : t -> node -> int
+
+val is_ancestor : t -> node -> node -> bool
+(** [is_ancestor t u v]: [u] is an ancestor of [v] (reflexive). *)
+
+val lca : t -> node -> node -> node
+
+val in_left_subtree : t -> node -> node -> bool
+(** [in_left_subtree t v u]: [u] lies in the subtree of [left v]. *)
+
+val in_right_subtree : t -> node -> node -> bool
+
+val is_right_linear : t -> bool
+(** True iff every internal node's left child is a leaf — the vtrees whose
+    canonical SDDs are exactly OBDDs. *)
+
+val leaf_order : t -> string list
+(** Variables in left-to-right leaf order. *)
+
+(** {1 Local moves}
+
+    The neighbourhood used by vtree search (Choi & Darwiche style
+    dynamic minimization): right rotation, left rotation and child swap
+    at each internal node. *)
+
+val local_moves : t -> t list
+(** All vtrees reachable by one rotation or swap (duplicates removed,
+    the input excluded). *)
+
+(** {1 Equality and printing} *)
+
+val equal : t -> t -> bool
+(** Structural equality of shapes (including variable placement). *)
+
+val to_shape : t -> shape
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

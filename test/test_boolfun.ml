@@ -1,0 +1,190 @@
+open Test_util
+
+let a_of = Boolfun.assignment_of_list
+
+let boolfun_suite =
+  [
+    case "constants and literals" (fun () ->
+        checkb "tt" true (Boolfun.eval Boolfun.tt (a_of []));
+        checkb "ff" false (Boolfun.eval Boolfun.ff (a_of []));
+        checkb "x true" true (Boolfun.eval (Boolfun.var "x") (a_of [ ("x", true) ]));
+        checkb "x false" false (Boolfun.eval (Boolfun.var "x") (a_of [ ("x", false) ])));
+    case "connectives" (fun () ->
+        let x = Boolfun.var "x" and y = Boolfun.var "y" in
+        let f = Boolfun.and_ x (Boolfun.not_ y) in
+        checkb "x & ~y at (1,0)" true (Boolfun.eval f (a_of [ ("x", true); ("y", false) ]));
+        checkb "x & ~y at (1,1)" false (Boolfun.eval f (a_of [ ("x", true); ("y", true) ]));
+        checki "models of xor" 2 (Boolfun.count_models_int (Boolfun.xor_ x y));
+        checki "models of iff" 2 (Boolfun.count_models_int (Boolfun.iff x y)));
+    case "variable lifting in binops" (fun () ->
+        let f = Boolfun.or_ (Boolfun.var "a") (Boolfun.var "b") in
+        Alcotest.(check (list string)) "vars" [ "a"; "b" ] (Boolfun.variables f);
+        checki "3 models" 3 (Boolfun.count_models_int f));
+    case "restrict = cofactor (paper Example 1)" (fun () ->
+        (* F(x,y) = x -> y.  Cofactors relative to y: F(0,y) ≡ ⊤, F(1,y) ≡ y.
+           Cofactors relative to x: F(x,0) ≡ ¬x, F(x,1) ≡ ⊤. *)
+        let f = Families.implication in
+        check boolfun "F(0,y)" (Boolfun.const [ "y" ] true)
+          (Boolfun.restrict f [ ("x", false) ]);
+        check boolfun "F(1,y)" (Boolfun.var "y") (Boolfun.restrict f [ ("x", true) ]);
+        check boolfun "F(x,0)" (Boolfun.not_ (Boolfun.var "x"))
+          (Boolfun.restrict f [ ("y", false) ]);
+        check boolfun "F(x,1)" (Boolfun.const [ "x" ] true)
+          (Boolfun.restrict f [ ("y", true) ]));
+    case "cofactors_relative (paper Example 1 counts)" (fun () ->
+        let f = Families.implication in
+        checki "relative to y" 2 (List.length (Boolfun.cofactors_relative f [ "x" ]));
+        checki "relative to x" 2 (List.length (Boolfun.cofactors_relative f [ "y" ]));
+        checki "relative to both" 2
+          (List.length (Boolfun.cofactors_relative f [ "x"; "y" ]));
+        checki "relative to nothing" 1 (List.length (Boolfun.cofactors_relative f [])));
+    case "factors of implication (paper Example 3)" (fun () ->
+        (* G(x) ≡ x is the factor of x→y relative to x inducing cofactor y;
+           G(x) ≡ ¬x induces cofactor ⊤. *)
+        let f = Families.implication in
+        let fs = Boolfun.factors f [ "x" ] in
+        checki "two factors" 2 (List.length fs);
+        let for_cof c =
+          List.find (fun (_, cof) -> Boolfun.equal cof c) fs |> fst
+        in
+        check boolfun "factor for cofactor y" (Boolfun.var "x") (for_cof (Boolfun.var "y"));
+        check boolfun "factor for cofactor T" (Boolfun.not_ (Boolfun.var "x"))
+          (for_cof (Boolfun.const [ "y" ] true)));
+    case "factor vs cofactor distinction (paper Example 4)" (fun () ->
+        let f = Families.implication in
+        let cofs = Boolfun.cofactors_relative f [ "y" ] in
+        (* x is a factor of F relative to x but not a cofactor relative to x. *)
+        checkb "x not among cofactors" false
+          (List.exists (Boolfun.equal (Boolfun.var "x")) cofs));
+    case "support and depends_on" (fun () ->
+        let f = Boolfun.or_ (Boolfun.var "x") (Boolfun.and_ (Boolfun.var "y") (Boolfun.not_ (Boolfun.var "y"))) in
+        checkb "depends on x" true (Boolfun.depends_on f "x");
+        checkb "not on y" false (Boolfun.depends_on f "y");
+        Alcotest.(check (list string)) "support" [ "x" ] (Boolfun.support f));
+    case "rename" (fun () ->
+        let f = Boolfun.and_ (Boolfun.var "a") (Boolfun.var "b") in
+        let g = Boolfun.rename f [ ("a", "p"); ("b", "q") ] in
+        Alcotest.(check (list string)) "vars" [ "p"; "q" ] (Boolfun.variables g);
+        checkb "eval" true (Boolfun.eval g (a_of [ ("p", true); ("q", true) ])));
+    case "quantifiers" (fun () ->
+        let f = Boolfun.and_ (Boolfun.var "x") (Boolfun.var "y") in
+        check boolfun "exists x (x&y)" (Boolfun.var "y") (Boolfun.exists_ "x" f);
+        check boolfun "forall x (x&y)" (Boolfun.const [ "y" ] false)
+          (Boolfun.forall "x" f));
+    case "of_models / models roundtrip" (fun () ->
+        let f = Families.majority 3 in
+        let g = Boolfun.of_models (Boolfun.variables f) (Boolfun.models f) in
+        check boolfun "roundtrip" f g);
+    qtest "factors partition the Y-space (eq. 10)" QCheck2.Gen.(int_range 0 80)
+      (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 5) in
+        let y = [ "x01"; "x03"; "x05" ] in
+        let fs = List.map fst (Boolfun.factors f y) in
+        (* Disjoint union of factor models covers all assignments of y. *)
+        let total = List.fold_left (fun n g -> n + Boolfun.count_models_int g) 0 fs in
+        let pairwise_disjoint =
+          let rec go = function
+            | [] -> true
+            | g :: rest ->
+              List.for_all
+                (fun h -> Boolfun.count_models_int (Boolfun.and_ g h) = 0)
+                rest
+              && go rest
+          in
+          go fs
+        in
+        total = 8 && pairwise_disjoint);
+    qtest "factors relative to irrelevant vars ignored (eq. 9)"
+      QCheck2.Gen.(int_range 0 40)
+      (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 4) in
+        Boolfun.num_factors f [ "x01"; "x02"; "w99" ]
+        = Boolfun.num_factors f [ "x01"; "x02" ]);
+    qtest "cofactor of cofactor composes" QCheck2.Gen.(int_range 0 40) (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 5) in
+        Boolfun.equal
+          (Boolfun.restrict (Boolfun.restrict f [ ("x01", true) ]) [ ("x02", false) ])
+          (Boolfun.restrict f [ ("x01", true); ("x02", false) ]));
+    qtest "shannon expansion" QCheck2.Gen.(int_range 0 40) (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 5) in
+        let x = Boolfun.var "x01" in
+        let expansion =
+          Boolfun.or_
+            (Boolfun.and_ x (Boolfun.restrict f [ ("x01", true) ]))
+            (Boolfun.and_ (Boolfun.not_ x) (Boolfun.restrict f [ ("x01", false) ]))
+        in
+        Boolfun.equal f expansion);
+    qtest "de morgan" QCheck2.Gen.(int_range 0 40) (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 4) in
+        let g = Boolfun.random ~seed:(seed + 5000) (small_vars 4) in
+        Boolfun.equal (Boolfun.not_ (Boolfun.and_ f g))
+          (Boolfun.or_ (Boolfun.not_ f) (Boolfun.not_ g)));
+    qtest "double negation" QCheck2.Gen.(int_range 0 40) (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 5) in
+        Boolfun.equal f (Boolfun.not_ (Boolfun.not_ f)));
+  ]
+
+let families_suite =
+  [
+    case "disjointness counts" (fun () ->
+        (* D_n has 3^n models: each pair (x_i,y_i) excludes (1,1). *)
+        checki "D_1" 3 (Boolfun.count_models_int (Families.disjointness 1));
+        checki "D_2" 9 (Boolfun.count_models_int (Families.disjointness 2));
+        checki "D_3" 27 (Boolfun.count_models_int (Families.disjointness 3)));
+    case "parity counts" (fun () ->
+        checki "parity 4" 8 (Boolfun.count_models_int (Families.parity 4));
+        checki "parity 5" 16 (Boolfun.count_models_int (Families.parity 5)));
+    case "majority/threshold" (fun () ->
+        checki "maj 3" 4 (Boolfun.count_models_int (Families.majority 3));
+        checki "thr 0" 16 (Boolfun.count_models_int (Families.threshold 0 4));
+        checki "thr 5 of 4" 0 (Boolfun.count_models_int (Families.threshold 5 4)));
+    case "chain implications" (fun () ->
+        (* Models of x1->x2->...->xn are the monotone suffixes: n+1 models. *)
+        checki "chain 4" 5 (Boolfun.count_models_int (Families.chain_implications 4)));
+    case "equality function" (fun () ->
+        checki "EQ_3" 8 (Boolfun.count_models_int (Families.equality 3)));
+    case "isa params" (fun () ->
+        Alcotest.(check (option (pair int int))) "n=5" (Some (1, 2)) (Families.isa_params 5);
+        Alcotest.(check (option (pair int int))) "n=18" (Some (2, 4)) (Families.isa_params 18);
+        Alcotest.(check (option (pair int int))) "n=261" (Some (5, 8)) (Families.isa_params 261);
+        Alcotest.(check (option (pair int int))) "n=7" None (Families.isa_params 7));
+    case "isa5 semantics" (fun () ->
+        (* k=1, m=2: y1 picks block (z1,z2) or (z3,z4); the block's two
+           bits point into z1..z4. *)
+        let f = Families.isa 5 in
+        checki "vars" 5 (Boolfun.num_vars f);
+        (* y1=0: block (z1,z2)=(0,1) points to cell 2; z2=1 -> accept. *)
+        checkb "case 1" true
+          (Boolfun.eval f
+             (a_of [ ("y01", false); ("z01", false); ("z02", true); ("z03", false); ("z04", false) ]));
+        (* y1=0: (z1,z2)=(0,0) points to cell 1; z1=0 -> reject. *)
+        checkb "case 2" false
+          (Boolfun.eval f
+             (a_of [ ("y01", false); ("z01", false); ("z02", false); ("z03", true); ("z04", true) ]));
+        (* y1=1: block (z3,z4)=(1,1) points to cell 4; z4=1 -> accept. *)
+        checkb "case 3" true
+          (Boolfun.eval f
+             (a_of [ ("y01", true); ("z01", false); ("z02", false); ("z03", true); ("z04", true) ])));
+    case "h functions shape" (fun () ->
+        let h0 = Families.h0 ~k:2 2 in
+        checki "h0 vars" 6 (Boolfun.num_vars h0);
+        let h1 = Families.hi ~k:2 ~i:1 2 in
+        checki "h1 vars" 8 (Boolfun.num_vars h1);
+        let h2 = Families.hk ~k:2 2 in
+        checki "h2 vars" 6 (Boolfun.num_vars h2);
+        Alcotest.check_raises "hi out of range"
+          (Invalid_argument "Families.hi: need 1 <= i <= k-1") (fun () ->
+            ignore (Families.hi ~k:2 ~i:2 2)));
+    case "hidden weighted bit" (fun () ->
+        let f = Families.hidden_weighted_bit 3 in
+        checkb "000 -> 0" false
+          (Boolfun.eval f (a_of [ ("x01", false); ("x02", false); ("x03", false) ]));
+        (* weight 1, x1 = 1 -> accept *)
+        checkb "100 -> 1" true
+          (Boolfun.eval f (a_of [ ("x01", true); ("x02", false); ("x03", false) ]));
+        (* weight 1 via x2: x1 = 0 -> reject *)
+        checkb "010 -> 0" false
+          (Boolfun.eval f (a_of [ ("x01", false); ("x02", true); ("x03", false) ])));
+  ]
+
+let suites = [ ("boolfun", boolfun_suite); ("families", families_suite) ]

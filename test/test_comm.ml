@@ -1,0 +1,51 @@
+open Test_util
+
+let comm_suite =
+  [
+    case "matrix of AND" (fun () ->
+        let f = Boolfun.and_ (Boolfun.var "x") (Boolfun.var "y") in
+        let m = Comm.matrix f [ "x" ] [ "y" ] in
+        (* rows indexed by x = 0, 1; cols by y = 0, 1 *)
+        checki "m00" 0 m.(0).(0);
+        checki "m11" 1 m.(1).(1);
+        checki "rank" 1 (Comm.rank m));
+    case "rank of identity and ones" (fun () ->
+        let id n = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0)) in
+        checki "I4" 4 (Comm.rank (id 4));
+        let ones = Array.make_matrix 3 5 1 in
+        checki "ones" 1 (Comm.rank ones);
+        checki "zeros" 0 (Comm.rank (Array.make_matrix 3 3 0));
+        checki "empty" 0 (Comm.rank [||]));
+    case "rank needs no square matrix" (fun () ->
+        let m = [| [| 1; 2; 3 |]; [| 2; 4; 6 |] |] in
+        checki "rank 1" 1 (Comm.rank m);
+        let m2 = [| [| 1; 0; 1 |]; [| 0; 1; 1 |] |] in
+        checki "rank 2" 2 (Comm.rank m2));
+    case "rank over rationals not GF(2)" (fun () ->
+        (* This matrix has rank 2 over GF(2) but rank 3 over Q. *)
+        let m = [| [| 1; 1; 0 |]; [| 1; 0; 1 |]; [| 0; 1; 1 |] |] in
+        checki "rank 3" 3 (Comm.rank m));
+    case "disjointness rank = 2^n (eq. 8)" (fun () ->
+        checki "n=1" 2 (Comm.disjointness_rank 1);
+        checki "n=2" 4 (Comm.disjointness_rank 2);
+        checki "n=3" 8 (Comm.disjointness_rank 3);
+        checki "n=4" 16 (Comm.disjointness_rank 4);
+        checki "n=5" 32 (Comm.disjointness_rank 5));
+    case "equality function has full rank" (fun () ->
+        checki "EQ_3" 8 (Comm.cm_rank (Families.equality 3) (Families.xs 3) (Families.ys 3)));
+    case "partition validation" (fun () ->
+        let f = Boolfun.and_ (Boolfun.var "x") (Boolfun.var "y") in
+        Alcotest.check_raises "raise"
+          (Invalid_argument "Comm.matrix: (x1, x2) must partition the variables")
+          (fun () -> ignore (Comm.matrix f [ "x" ] [ "x"; "y" ])));
+    qtest "rank bounded by dimensions" QCheck2.Gen.(int_range 0 50) (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 4) in
+        let r = Comm.cm_rank f [ "x01"; "x02" ] [ "x03"; "x04" ] in
+        r >= 0 && r <= 4);
+    qtest "theorem 2 bound at most 2^min-side" QCheck2.Gen.(int_range 0 30)
+      (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 5) in
+        Comm.theorem2_bound f [ "x01"; "x02" ] <= 4);
+  ]
+
+let suites = [ ("comm", comm_suite) ]

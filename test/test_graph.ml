@@ -1,0 +1,181 @@
+open Test_util
+
+let td_valid g t =
+  match Treedec.validate g t with
+  | Ok () -> true
+  | Error msg -> Alcotest.failf "invalid decomposition: %s" msg
+
+let ugraph_suite =
+  [
+    case "basic construction" (fun () ->
+        let g = Ugraph.create 4 in
+        Ugraph.add_edge g 0 1;
+        Ugraph.add_edge g 1 0;
+        (* duplicate ignored *)
+        Ugraph.add_edge g 2 2;
+        (* self-loop ignored *)
+        checki "edges" 1 (Ugraph.num_edges g);
+        checkb "has" true (Ugraph.has_edge g 1 0);
+        checkb "hasn't" false (Ugraph.has_edge g 0 2));
+    case "families sizes" (fun () ->
+        checki "path edges" 4 (Ugraph.num_edges (Ugraph.path_graph 5));
+        checki "cycle edges" 5 (Ugraph.num_edges (Ugraph.cycle_graph 5));
+        checki "clique edges" 10 (Ugraph.num_edges (Ugraph.complete_graph 5));
+        checki "grid edges" 12 (Ugraph.num_edges (Ugraph.grid_graph 3 3));
+        checki "star edges" 4 (Ugraph.num_edges (Ugraph.star_graph 5));
+        checki "bipartite edges" 6 (Ugraph.num_edges (Ugraph.complete_bipartite 2 3)));
+    case "components" (fun () ->
+        let g = Ugraph.of_edges 5 [ (0, 1); (2, 3) ] in
+        checki "three components" 3 (List.length (Ugraph.components g));
+        checkb "not connected" false (Ugraph.is_connected g);
+        checkb "path connected" true (Ugraph.is_connected (Ugraph.path_graph 4)));
+    case "induced subgraph" (fun () ->
+        let g = Ugraph.cycle_graph 5 in
+        let h, map = Ugraph.induced_subgraph g [ 0; 1; 2 ] in
+        checki "vertices" 3 (Ugraph.num_vertices h);
+        checki "edges" 2 (Ugraph.num_edges h);
+        checki "map" 0 map.(0));
+    case "complement" (fun () ->
+        let g = Ugraph.path_graph 4 in
+        let h = Ugraph.complement g in
+        checki "edges" (6 - 3) (Ugraph.num_edges h);
+        checkb "0-2 in complement" true (Ugraph.has_edge h 0 2));
+    case "random tree is a tree" (fun () ->
+        let g = Ugraph.random_tree ~seed:5 20 in
+        checki "edges" 19 (Ugraph.num_edges g);
+        checkb "connected" true (Ugraph.is_connected g));
+    qtest "gnp edges within range" QCheck2.Gen.(int_range 0 100) (fun seed ->
+        let g = Ugraph.random_gnp ~seed 8 0.5 in
+        Ugraph.num_edges g <= 28);
+  ]
+
+let treedec_suite =
+  [
+    case "trivial decomposition valid" (fun () ->
+        let g = Ugraph.complete_graph 4 in
+        let t = Treedec.trivial g in
+        checkb "valid" true (td_valid g t);
+        checki "width" 3 (Treedec.width t));
+    case "elimination order on path" (fun () ->
+        let g = Ugraph.path_graph 6 in
+        let t = Treedec.of_elimination_order g [ 0; 1; 2; 3; 4; 5 ] in
+        checkb "valid" true (td_valid g t);
+        checki "width" 1 (Treedec.width t));
+    case "elimination order on cycle" (fun () ->
+        let g = Ugraph.cycle_graph 6 in
+        let t = Treedec.of_elimination_order g [ 0; 1; 2; 3; 4; 5 ] in
+        checkb "valid" true (td_valid g t);
+        checki "width" 2 (Treedec.width t));
+    case "bad order rejected" (fun () ->
+        let g = Ugraph.path_graph 3 in
+        Alcotest.check_raises "raise"
+          (Invalid_argument
+             "Treedec.of_elimination_order: not a permutation of the vertices")
+          (fun () -> ignore (Treedec.of_elimination_order g [ 0; 1 ])));
+    case "validate catches broken bags" (fun () ->
+        let g = Ugraph.path_graph 3 in
+        let t = { Treedec.bags = [| [ 0; 1 ] |]; tree = [] } in
+        checkb "invalid" false (Treedec.is_valid g t));
+    case "validate catches disconnected occurrence" (fun () ->
+        let g = Ugraph.path_graph 3 in
+        let t =
+          { Treedec.bags = [| [ 0; 1 ]; [ 1; 2 ]; [ 0 ] |]; tree = [ (0, 1); (1, 2) ] }
+        in
+        checkb "invalid" false (Treedec.is_valid g t));
+    case "path decomposition of path" (fun () ->
+        let g = Ugraph.path_graph 5 in
+        let t = Treedec.path_decomposition_of_order g [ 0; 1; 2; 3; 4 ] in
+        checkb "valid" true (td_valid g t);
+        checki "width" 1 (Treedec.width t));
+    qtest "elimination decomposition always valid" QCheck2.Gen.(int_range 0 200)
+      (fun seed ->
+        let g = Ugraph.random_gnp ~seed 9 0.3 in
+        let order = Treewidth.min_fill_order g in
+        td_valid g (Treedec.refine_connected (Treedec.of_elimination_order g order)));
+  ]
+
+let nice_suite =
+  [
+    case "nice of path decomposition" (fun () ->
+        let g = Ugraph.path_graph 6 in
+        let td = Treewidth.decomposition g in
+        let nice = Nice.of_treedec td in
+        (match Nice.validate g nice with
+         | Ok () -> ()
+         | Error m -> Alcotest.failf "invalid nice decomposition: %s" m);
+        checki "width preserved" (Treedec.width td) (Nice.width nice));
+    case "every vertex forgotten exactly once" (fun () ->
+        let g = Ugraph.cycle_graph 7 in
+        let nice = Nice.of_treedec (Treewidth.decomposition g) in
+        let forgotten = List.sort compare (List.map fst (Nice.forget_nodes nice)) in
+        Alcotest.(check (list int)) "all once" (Ugraph.vertices g) forgotten);
+    qtest "nice decomposition valid on random graphs" QCheck2.Gen.(int_range 0 100)
+      (fun seed ->
+        let g = Ugraph.random_gnp ~seed 10 0.35 in
+        let nice = Nice.of_treedec (Treewidth.decomposition g) in
+        Result.is_ok (Nice.validate g nice));
+    qtest "nice width equals decomposition width" QCheck2.Gen.(int_range 200 300)
+      (fun seed ->
+        let g = Ugraph.random_gnp ~seed 9 0.4 in
+        let td = Treewidth.decomposition g in
+        Nice.width (Nice.of_treedec td) = Treedec.width td);
+  ]
+
+let treewidth_suite =
+  [
+    case "known treewidths" (fun () ->
+        checki "path" 1 (Treewidth.exact (Ugraph.path_graph 8));
+        checki "cycle" 2 (Treewidth.exact (Ugraph.cycle_graph 8));
+        checki "clique" 6 (Treewidth.exact (Ugraph.complete_graph 7));
+        checki "tree" 1 (Treewidth.exact (Ugraph.random_tree ~seed:3 12));
+        checki "grid 3x3" 3 (Treewidth.exact (Ugraph.grid_graph 3 3));
+        checki "grid 3x4" 3 (Treewidth.exact (Ugraph.grid_graph 3 4));
+        checki "K23" 2 (Treewidth.exact (Ugraph.complete_bipartite 2 3));
+        checki "single vertex" 0 (Treewidth.exact (Ugraph.create 1));
+        checki "empty graph" (-1) (Treewidth.exact (Ugraph.create 0)));
+    case "known pathwidths" (fun () ->
+        checki "path" 1 (Treewidth.pathwidth_exact (Ugraph.path_graph 8));
+        checki "cycle" 2 (Treewidth.pathwidth_exact (Ugraph.cycle_graph 8));
+        checki "clique" 5 (Treewidth.pathwidth_exact (Ugraph.complete_graph 6));
+        checki "star" 1 (Treewidth.pathwidth_exact (Ugraph.star_graph 8));
+        (* Complete binary tree of height 3 has pathwidth 2 > treewidth 1. *)
+        let bt =
+          Ugraph.of_edges 15 (List.init 14 (fun i -> (i + 1, (i - 1) / 2)))
+        in
+        checki "binary tree tw" 1 (Treewidth.exact bt);
+        checki "binary tree pw" 2 (Treewidth.pathwidth_exact bt));
+    case "size limit enforced" (fun () ->
+        Alcotest.check_raises "raise"
+          (Invalid_argument "Treewidth.exact: graph has 25 vertices (limit 18)")
+          (fun () -> ignore (Treewidth.exact (Ugraph.path_graph 25))));
+    case "partial ktree width bounded" (fun () ->
+        let g = Ugraph.random_partial_ktree ~seed:11 14 3 0.8 in
+        checkb "tw <= 3" true (Treewidth.exact g <= 3));
+    qtest "heuristic >= exact >= lower bound" QCheck2.Gen.(int_range 0 150) (fun seed ->
+        let g = Ugraph.random_gnp ~seed 9 0.3 in
+        let ub, _ = Treewidth.upper_bound g in
+        let ex = Treewidth.exact g in
+        let lb = Treewidth.lower_bound_mmd g in
+        lb <= ex && ex <= ub);
+    qtest "pathwidth >= treewidth" QCheck2.Gen.(int_range 0 100) (fun seed ->
+        let g = Ugraph.random_gnp ~seed 8 0.35 in
+        Treewidth.pathwidth_exact g >= Treewidth.exact g);
+    qtest "exact order witnesses exact width" QCheck2.Gen.(int_range 0 100)
+      (fun seed ->
+        let g = Ugraph.random_gnp ~seed 8 0.4 in
+        let w, order = Treewidth.exact_order g in
+        Treewidth.width_of_order g order = w);
+    qtest "pathwidth order witnesses width" QCheck2.Gen.(int_range 0 60) (fun seed ->
+        let g = Ugraph.random_gnp ~seed 7 0.4 in
+        let w, order = Treewidth.pathwidth_order g in
+        let pd = Treedec.path_decomposition_of_order g order in
+        Treedec.is_valid g pd && Treedec.width pd <= w);
+  ]
+
+let suites =
+  [
+    ("ugraph", ugraph_suite);
+    ("treedec", treedec_suite);
+    ("nice", nice_suite);
+    ("treewidth", treewidth_suite);
+  ]

@@ -1,0 +1,72 @@
+open Test_util
+
+let snnf_suite =
+  [
+    case "decomposability detection" (fun () ->
+        checkb "x&y decomposable" true
+          (Snnf.is_decomposable (Circuit.of_string "(and x y)"));
+        checkb "x&x not via shared var" false
+          (Snnf.is_decomposable (Circuit.of_string "(and x (or x y))")));
+    case "determinism detection" (fun () ->
+        checkb "x | ~x deterministic" true
+          (Snnf.is_deterministic (Circuit.of_string "(or x (not x))"));
+        checkb "x | y not deterministic" false
+          (Snnf.is_deterministic (Circuit.of_string "(or x y)"));
+        checkb "(x&y) | (x&~y) deterministic" true
+          (Snnf.is_deterministic
+             (Circuit.of_string "(or (and x y) (and x (not y)))")));
+    case "structuredness" (fun () ->
+        let c = Circuit.of_string "(or (and x y) (and (not x) (not y)))" in
+        let vt = Vtree.right_linear [ "x"; "y" ] in
+        checkb "structured" true (Snnf.is_structured_by c vt);
+        (* An AND whose children share x cannot be structured by any
+           vtree: decomposability fails. *)
+        let bad = Circuit.of_string "(and (or x y) (or x (not y)))" in
+        checkb "not structured" false (Snnf.is_structured_by bad vt));
+    case "fanin-3 AND is unstructured" (fun () ->
+        let c = Circuit.of_string "(and x y z)" in
+        checkb "unstructured" false
+          (Snnf.is_structured_by c (Vtree.right_linear [ "x"; "y"; "z" ])));
+    case "model count on a d-DNNF" (fun () ->
+        (* (x ∧ y) ∨ (¬x ∧ z): decomposable, deterministic. *)
+        let c = Circuit.of_string "(or (and x y) (and (not x) z))" in
+        checkb "dec" true (Snnf.is_decomposable c);
+        checkb "det" true (Snnf.is_deterministic c);
+        check bigint "4 models" (Bigint.of_int 4) (Snnf.model_count c));
+    case "probability on a d-DNNF" (fun () ->
+        let c = Circuit.of_string "(or (and x y) (and (not x) z))" in
+        Alcotest.(check (float 1e-9)) "p" 0.5 (Snnf.probability c (fun _ -> 0.5));
+        check ratio "exact" (Ratio.of_ints 1 2)
+          (Snnf.probability_ratio c (fun _ -> Ratio.of_ints 1 2)));
+    qtest "snnf counting agrees with semantics on compiled SDDs"
+      QCheck2.Gen.(int_range 0 40)
+      (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 4) in
+        let vt = Vtree.random ~seed:(seed + 3) (small_vars 4) in
+        let m = Sdd.manager vt in
+        let node = Sdd.of_boolfun_naive m f in
+        let c = Sdd.to_nnf_circuit m node in
+        let missing = 4 - List.length (Circuit.variables c) in
+        Bigint.to_int_exn (Bigint.mul (Bigint.pow2 missing) (Snnf.model_count c))
+        = Boolfun.count_models_int f);
+    qtest "exported SDD circuits are d-SDNNFs" QCheck2.Gen.(int_range 0 25)
+      (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 4) in
+        let vt = Vtree.random ~seed:(seed + 9) (small_vars 4) in
+        let m = Sdd.manager vt in
+        let node = Sdd.of_boolfun_naive m f in
+        let c = Sdd.to_nnf_circuit m node in
+        Snnf.is_nnf c && Snnf.is_decomposable c && Snnf.is_deterministic c
+        && Snnf.is_structured_by c vt);
+    qtest "probability on exported SDDs matches SDD wmc"
+      QCheck2.Gen.(int_range 0 25)
+      (fun seed ->
+        let f = Boolfun.random ~seed (small_vars 4) in
+        let m = Sdd.manager (Vtree.balanced (small_vars 4)) in
+        let node = Sdd.of_boolfun_naive m f in
+        let c = Sdd.to_nnf_circuit m node in
+        let w v = match v with "x01" -> 0.3 | "x02" -> 0.8 | _ -> 0.5 in
+        abs_float (Snnf.probability c w -. Sdd.probability m node w) < 1e-9);
+  ]
+
+let suites = [ ("snnf", snnf_suite) ]

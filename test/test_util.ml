@@ -1,0 +1,25 @@
+(* Shared helpers for the test suites. *)
+
+let qtest ?(count = 100) name gen law =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen law)
+
+let check = Alcotest.check
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let case name f = Alcotest.test_case name `Quick f
+
+(* Generator for small variable lists x01..x0k. *)
+let small_vars k = List.init k (fun i -> Printf.sprintf "x%02d" (i + 1))
+
+(* A deterministic list of "random" Boolean functions for table-driven
+   property tests (qcheck generators for Boolfun would tabulate anyway). *)
+let random_functions ~vars ~count =
+  List.init count (fun i -> Boolfun.random ~seed:(1000 + i) (small_vars vars))
+
+let bigint = Alcotest.testable (fun ppf x -> Bigint.pp ppf x) Bigint.equal
+let ratio = Alcotest.testable (fun ppf x -> Ratio.pp ppf x) Ratio.equal
+
+let boolfun =
+  Alcotest.testable (fun ppf f -> Boolfun.pp ppf f) Boolfun.equal

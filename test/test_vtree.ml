@@ -1,0 +1,78 @@
+open Test_util
+
+let vars4 = [ "a"; "b"; "c"; "d" ]
+
+let vtree_suite =
+  [
+    case "right linear structure" (fun () ->
+        let t = Vtree.right_linear vars4 in
+        checki "leaves" 4 (Vtree.num_leaves t);
+        checki "nodes" 7 (Vtree.num_nodes t);
+        checkb "right-linear" true (Vtree.is_right_linear t);
+        Alcotest.(check (list string)) "order" vars4 (Vtree.leaf_order t));
+    case "balanced structure" (fun () ->
+        let t = Vtree.balanced vars4 in
+        checkb "not right-linear" false (Vtree.is_right_linear t);
+        Alcotest.(check (list string)) "vars" vars4 (Vtree.variables t));
+    case "left linear" (fun () ->
+        let t = Vtree.left_linear vars4 in
+        checki "nodes" 7 (Vtree.num_nodes t);
+        Alcotest.(check (list string)) "order" vars4 (Vtree.leaf_order t));
+    case "vars_below" (fun () ->
+        let t = Vtree.balanced vars4 in
+        let r = Vtree.root t in
+        Alcotest.(check (list string)) "root" vars4 (Vtree.vars_below t r);
+        Alcotest.(check (list string)) "left" [ "a"; "b" ]
+          (Vtree.vars_below t (Vtree.left t r));
+        checki "count right" 2 (Vtree.num_vars_below t (Vtree.right t r)));
+    case "ancestry and lca" (fun () ->
+        let t = Vtree.balanced vars4 in
+        let r = Vtree.root t in
+        let la = Vtree.leaf_of_var t "a" and lc = Vtree.leaf_of_var t "c" in
+        checkb "root ancestor of all" true (Vtree.is_ancestor t r la);
+        checkb "reflexive" true (Vtree.is_ancestor t la la);
+        checkb "leaf not ancestor" false (Vtree.is_ancestor t la lc);
+        checki "lca(a,c) = root" r (Vtree.lca t la lc);
+        checkb "a in left of root" true (Vtree.in_left_subtree t r la);
+        checkb "c in right of root" true (Vtree.in_right_subtree t r lc));
+    case "parent and depth" (fun () ->
+        let t = Vtree.right_linear [ "x"; "y" ] in
+        let r = Vtree.root t in
+        checki "depth root" 0 (Vtree.depth t r);
+        checki "depth leaf" 1 (Vtree.depth t (Vtree.leaf_of_var t "x"));
+        Alcotest.(check (option int)) "parent of root" None (Vtree.parent t r);
+        Alcotest.(check (option int)) "parent of leaf" (Some r)
+          (Vtree.parent t (Vtree.leaf_of_var t "x")));
+    case "duplicate variables rejected" (fun () ->
+        Alcotest.check_raises "raise" (Invalid_argument "Vtree: duplicate variables")
+          (fun () -> ignore (Vtree.right_linear [ "a"; "a" ])));
+    case "shape roundtrip" (fun () ->
+        let t = Vtree.balanced vars4 in
+        checkb "roundtrip" true (Vtree.equal t (Vtree.of_shape (Vtree.to_shape t))));
+    case "enumerate counts" (fun () ->
+        checki "1 var" 1 (List.length (Vtree.enumerate [ "a" ]));
+        checki "2 vars" 2 (List.length (Vtree.enumerate [ "a"; "b" ]));
+        checki "3 vars" 12 (List.length (Vtree.enumerate [ "a"; "b"; "c" ]));
+        (* ordered binary trees over n labeled leaves: (2n-2)!/(n-1)! ... for
+           n=4: 120 *)
+        checki "4 vars" 120 (List.length (Vtree.enumerate vars4)));
+    case "in-order node list" (fun () ->
+        let t = Vtree.right_linear [ "a"; "b"; "c" ] in
+        checki "5 nodes" 5 (List.length (Vtree.nodes t));
+        (* every node appears exactly once *)
+        checki "unique" 5 (List.length (List.sort_uniq compare (Vtree.nodes t))));
+    qtest "random vtrees well-formed" QCheck2.Gen.(int_range 0 60) (fun seed ->
+        let t = Vtree.random ~seed (small_vars 6) in
+        Vtree.num_nodes t = 11
+        && Vtree.variables t = small_vars 6
+        && List.length (Vtree.nodes t) = 11);
+    qtest "leaf intervals consistent with vars_below" QCheck2.Gen.(int_range 0 40)
+      (fun seed ->
+        let t = Vtree.random ~seed (small_vars 5) in
+        List.for_all
+          (fun v ->
+            List.length (Vtree.vars_below t v) = Vtree.num_vars_below t v)
+          (Vtree.nodes t));
+  ]
+
+let suites = [ ("vtree", vtree_suite) ]
