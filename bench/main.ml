@@ -4,7 +4,13 @@
 
      dune exec bench/main.exe               -- all experiment tables
      dune exec bench/main.exe -- E8         -- selected experiments
-     dune exec bench/main.exe -- --bechamel -- micro-benchmarks too *)
+     dune exec bench/main.exe -- --bechamel -- micro-benchmarks too
+     dune exec bench/main.exe -- --no-json  -- skip BENCH_*.json dumps
+
+   Each experiment additionally writes its metrics (span timings, cache
+   statistics, counters) to BENCH_<ids>.json in the working directory,
+   in the ctwsdd-metrics/v1 schema documented in EXPERIMENTS.md, so the
+   performance trajectory across commits is machine-readable. *)
 
 let experiments =
   [
@@ -17,21 +23,44 @@ let experiments =
     ([ "E14" ], "Tseitin route vs direct compilation", Exp_routes.run);
   ]
 
+let metrics_file ids = "BENCH_" ^ String.concat "_" ids ^ ".json"
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let bechamel = List.mem "--bechamel" args in
-  let selected = List.filter (fun a -> a <> "--bechamel") args in
+  let json = not (List.mem "--no-json" args) in
+  let selected =
+    List.filter (fun a -> a <> "--bechamel" && a <> "--no-json") args
+  in
   let wanted (ids, _, _) =
     selected = [] || List.exists (fun s -> List.mem s ids) selected
   in
   let t0 = Unix.gettimeofday () in
   List.iter
-    (fun ((_, name, run) as e) ->
+    (fun ((ids, name, run) as e) ->
       if wanted e then begin
+        if json then begin
+          Obs.set_enabled true;
+          Obs.reset ()
+        end;
         let t = Unix.gettimeofday () in
-        run ();
-        Printf.printf "\n  [%s finished in %.1fs]\n" name
-          (Unix.gettimeofday () -. t)
+        Obs.span "experiment" run;
+        let dt = Unix.gettimeofday () -. t in
+        Printf.printf "\n  [%s finished in %.1fs]\n" name dt;
+        if json then begin
+          let file = metrics_file ids in
+          Obs.write_json
+            ~extra:
+              [
+                ("experiment", Obs.Json.String name);
+                ( "ids",
+                  Obs.Json.List (List.map (fun i -> Obs.Json.String i) ids) );
+                ("wall_s", Obs.Json.Float dt);
+              ]
+            file;
+          Printf.printf "  [metrics -> %s]\n" file;
+          Obs.set_enabled false
+        end
       end)
     experiments;
   if bechamel then Micro.run ();

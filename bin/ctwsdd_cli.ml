@@ -5,7 +5,11 @@
      ctwsdd query     -q "R(x), S(x,y)" --db facts.txt
      ctwsdd isa 18
 
-   Database files contain one fact per line: `R(a,b) 1/2`. *)
+   Database files contain one fact per line: `R(a,b) 1/2`.
+
+   Every subcommand accepts --stats (human-readable span timings and
+   cache statistics on stdout) and --trace FILE (ctwsdd-metrics/v1 JSON
+   dump); see EXPERIMENTS.md for the schema. *)
 
 open Cmdliner
 
@@ -13,26 +17,31 @@ open Cmdliner
 (* Shared helpers                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* A user error that should show the subcommand's usage line. *)
+exception Cli_usage of string
+
 let read_circuit path_opt inline_opt =
   match (path_opt, inline_opt) with
-  | _, Some s -> Circuit.of_string s
+  | _, Some s -> Obs.span "cli.parse" (fun () -> Circuit.of_string s)
   | Some path, None ->
     let ic = open_in path in
-    let n = in_channel_length ic in
-    let s = really_input_string ic n in
-    close_in ic;
-    Circuit.of_string s
-  | None, None -> failwith "provide a circuit with -c or --file"
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        Obs.span "cli.parse" (fun () -> Circuit.of_string s))
+  | None, None -> raise (Cli_usage "provide a circuit with -c or --file")
 
 let vtree_of_choice choice circuit =
   let vars = Circuit.variables circuit in
   if vars = [] then failwith "the circuit has no variables";
+  Obs.span "cli.vtree" @@ fun () ->
   match choice with
-  | "balanced" -> Vtree.balanced vars
-  | "right" -> Vtree.right_linear vars
-  | "left" -> Vtree.left_linear vars
-  | "lemma1" -> fst (Lemma1.vtree_of_circuit circuit)
-  | other -> failwith (Printf.sprintf "unknown vtree choice %S" other)
+  | `Balanced -> Vtree.balanced vars
+  | `Right -> Vtree.right_linear vars
+  | `Left -> Vtree.left_linear vars
+  | `Lemma1 -> fst (Lemma1.vtree_of_circuit circuit)
 
 let circuit_file =
   Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE"
@@ -42,41 +51,94 @@ let circuit_inline =
   Arg.(value & opt (some string) None & info [ "circuit"; "c" ] ~docv:"EXPR"
          ~doc:"Circuit as an s-expression, e.g. \"(or (and x y) (not z))\".")
 
+let vtree_conv =
+  Arg.enum
+    [ ("balanced", `Balanced); ("right", `Right); ("left", `Left);
+      ("lemma1", `Lemma1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Observability plumbing                                              *)
+(* ------------------------------------------------------------------ *)
+
+let stats_flag =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"After the run, print per-stage span timings and the SDD \
+               manager's cache hit/miss statistics.")
+
+let trace_file =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Write all recorded metrics to $(docv) as ctwsdd-metrics/v1 \
+               JSON (implies collection, like $(b,--stats)).")
+
+(* Runs the body with observability enabled when requested, then exports;
+   also centralizes error handling so bad input terminates through
+   Cmdliner (exit code 124) instead of an uncaught backtrace. *)
+let run_with_obs stats trace f =
+  if stats || trace <> None then begin
+    Obs.set_enabled true;
+    Obs.reset ()
+  end;
+  match
+    f ();
+    if stats then begin
+      print_newline ();
+      Obs.pp_summary Format.std_formatter ()
+    end;
+    Option.iter
+      (fun path ->
+        Obs.write_json path;
+        Printf.printf "metrics : wrote %s\n" path)
+      trace
+  with
+  | () -> `Ok ()
+  | exception Cli_usage msg -> `Error (true, msg)
+  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
+    `Error (false, msg)
+
+let print_manager_stats m =
+  List.iter
+    (fun s ->
+      Printf.printf "  %-16s lookups %-8d hits %-8d misses %-8d entries %d\n"
+        s.Obs.Cache.cache s.Obs.Cache.lookups s.Obs.Cache.hits
+        s.Obs.Cache.misses s.Obs.Cache.entries)
+    (Sdd.stats m)
+
 (* ------------------------------------------------------------------ *)
 (* compile                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run file inline vtree_choice count validate =
-    try
-      let c = read_circuit file inline in
-      let vt = vtree_of_choice vtree_choice c in
-      Printf.printf "circuit : %d gates, %d variables\n" (Circuit.size c)
-        (Circuit.num_vars c);
-      Printf.printf "vtree   : %s\n" (Vtree.to_string vt);
-      let m = Sdd.manager vt in
-      let node = Sdd.compile_circuit m c in
-      Printf.printf "SDD     : size %d, width %d, nodes %d\n" (Sdd.size m node)
-        (Sdd.width m node) (Sdd.node_count m node);
-      if count then
-        Printf.printf "models  : %s\n" (Bigint.to_string (Sdd.model_count m node));
-      if validate then begin
-        match Sdd.validate m node with
-        | Ok () -> print_endline "validate: ok (canonical SDD conditions hold)"
-        | Error msg -> Printf.printf "validate: FAILED (%s)\n" msg
-      end;
-      let order = Circuit.variables c in
-      let bm = Bdd.manager order in
-      let bnode = Bdd.compile_circuit bm c in
-      Printf.printf "OBDD    : size %d, width %d (order: %s)\n" (Bdd.size bm bnode)
-        (Bdd.width bm bnode)
-        (String.concat "<" order);
-      `Ok ()
-    with
-    | Failure msg | Invalid_argument msg -> `Error (false, msg)
+  let run file inline vtree_choice count validate stats trace =
+    run_with_obs stats trace @@ fun () ->
+    let c = read_circuit file inline in
+    let vt = vtree_of_choice vtree_choice c in
+    Printf.printf "circuit : %d gates, %d variables\n" (Circuit.size c)
+      (Circuit.num_vars c);
+    Printf.printf "vtree   : %s\n" (Vtree.to_string vt);
+    let m = Sdd.manager vt in
+    let node = Sdd.compile_circuit m c in
+    Printf.printf "SDD     : size %d, width %d, nodes %d\n" (Sdd.size m node)
+      (Sdd.width m node) (Sdd.node_count m node);
+    if count then
+      Printf.printf "models  : %s\n" (Bigint.to_string (Sdd.model_count m node));
+    if validate then begin
+      match Obs.span "cli.validate" (fun () -> Sdd.validate m node) with
+      | Ok () -> print_endline "validate: ok (canonical SDD conditions hold)"
+      | Error msg -> Printf.printf "validate: FAILED (%s)\n" msg
+    end;
+    let order = Circuit.variables c in
+    let bm = Bdd.manager order in
+    let bnode = Obs.span "cli.obdd" (fun () -> Bdd.compile_circuit bm c) in
+    Printf.printf "OBDD    : size %d, width %d (order: %s)\n" (Bdd.size bm bnode)
+      (Bdd.width bm bnode)
+      (String.concat "<" order);
+    if stats then begin
+      Printf.printf "manager : %d nodes allocated\n" (Sdd.num_nodes_allocated m);
+      print_manager_stats m
+    end
   in
   let vtree_choice =
-    Arg.(value & opt string "lemma1" & info [ "vtree" ] ~docv:"KIND"
+    Arg.(value & opt vtree_conv `Lemma1 & info [ "vtree" ] ~docv:"KIND"
            ~doc:"Vtree: $(b,balanced), $(b,right), $(b,left) or $(b,lemma1) \
                  (from a tree decomposition of the circuit).")
   in
@@ -88,42 +150,41 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a circuit to a canonical SDD and an OBDD")
-    Term.(ret (const run $ circuit_file $ circuit_inline $ vtree_choice $ count $ validate))
+    Term.(ret (const run $ circuit_file $ circuit_inline $ vtree_choice $ count
+               $ validate $ stats_flag $ trace_file))
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let treewidth_cmd =
-  let run file inline =
-    try
-      let c = read_circuit file inline in
-      let g = Circuit.underlying_graph c in
-      Printf.printf "gates: %d, wires: %d\n" (Ugraph.num_vertices g)
-        (Ugraph.num_edges g);
-      let ub, td = Circuit.treewidth_upper c in
-      Printf.printf "treewidth <= %d (heuristic decomposition, %d bags)\n" ub
-        (Treedec.num_bags td);
-      if Ugraph.num_vertices g <= 16 then begin
-        Printf.printf "treewidth  = %d (exact)\n" (Treewidth.exact g);
-        Printf.printf "pathwidth  = %d (exact)\n" (Treewidth.pathwidth_exact g)
-      end;
-      Printf.printf "mmd lower bound: %d\n" (Treewidth.lower_bound_mmd g);
-      if Circuit.num_vars c <= 14 && Circuit.variables c <> [] then begin
-        let vt = fst (Lemma1.vtree_of_circuit c) in
-        let f = Circuit.to_boolfun c in
-        Printf.printf "Lemma 1 vtree: %s\n" (Vtree.to_string vt);
-        Printf.printf "fw(F,T) = %d, fiw(F,T) = %d, sdw(F,T) = %d\n"
-          (Factor_width.fw f vt) (Compile.fiw f vt) (Compile.sdw f vt)
-      end;
-      `Ok ()
-    with
-    | Failure msg | Invalid_argument msg -> `Error (false, msg)
+  let run file inline stats trace =
+    run_with_obs stats trace @@ fun () ->
+    let c = read_circuit file inline in
+    let g = Circuit.underlying_graph c in
+    Printf.printf "gates: %d, wires: %d\n" (Ugraph.num_vertices g)
+      (Ugraph.num_edges g);
+    let ub, td = Circuit.treewidth_upper c in
+    Printf.printf "treewidth <= %d (heuristic decomposition, %d bags)\n" ub
+      (Treedec.num_bags td);
+    if Ugraph.num_vertices g <= 16 then begin
+      Printf.printf "treewidth  = %d (exact)\n" (Treewidth.exact g);
+      Printf.printf "pathwidth  = %d (exact)\n" (Treewidth.pathwidth_exact g)
+    end;
+    Printf.printf "mmd lower bound: %d\n" (Treewidth.lower_bound_mmd g);
+    if Circuit.num_vars c <= 14 && Circuit.variables c <> [] then begin
+      let vt = fst (Lemma1.vtree_of_circuit c) in
+      let f = Circuit.to_boolfun c in
+      Printf.printf "Lemma 1 vtree: %s\n" (Vtree.to_string vt);
+      Printf.printf "fw(F,T) = %d, fiw(F,T) = %d, sdw(F,T) = %d\n"
+        (Factor_width.fw f vt) (Compile.fiw f vt) (Compile.sdw f vt)
+    end
   in
   Cmd.v
     (Cmd.info "treewidth"
        ~doc:"Treewidth, pathwidth and the paper's widths of a circuit")
-    Term.(ret (const run $ circuit_file $ circuit_inline))
+    Term.(ret (const run $ circuit_file $ circuit_inline $ stats_flag
+               $ trace_file))
 
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)
@@ -131,6 +192,7 @@ let treewidth_cmd =
 
 let parse_db path =
   let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
   let entries = ref [] in
   (try
      while true do
@@ -152,47 +214,43 @@ let parse_db path =
            entries := (fact, prob) :: !entries
        end
      done
-   with End_of_file -> close_in ic);
+   with End_of_file -> ());
   Pdb.make (List.rev !entries)
 
 let query_cmd =
-  let run query db_path brute =
-    try
-      let q = Ucq.of_string query in
-      let db =
-        match db_path with
-        | Some path -> parse_db path
-        | None -> failwith "provide a database with --db"
-      in
-      Printf.printf "query: %s\n" (Ucq.to_string q);
-      Printf.printf "hierarchical: %b, inversion-free: %b\n"
-        (Qsafety.hierarchical q) (Qsafety.inversion_free q);
-      let lineage = Lineage.circuit q db in
-      Printf.printf "lineage: %d gates over %d tuple variables\n"
-        (Circuit.size lineage)
-        (List.length (Circuit.variables lineage));
-      let p_obdd, s_obdd = Prob.via_obdd q db in
-      let p_sdd, s_sdd = Prob.via_sdd q db in
-      Printf.printf "P = %s = %.6f\n" (Ratio.to_string p_obdd)
-        (Ratio.to_float p_obdd);
-      Printf.printf "  via OBDD: size %d\n" s_obdd;
-      Printf.printf "  via SDD : size %d%s\n" s_sdd
-        (if Ratio.equal p_obdd p_sdd then "" else "  (MISMATCH!)");
-      (match Lifted.probability q db with
-       | Some p ->
-         Printf.printf "  lifted  : %s (safe plan, no compilation)%s\n"
-           (Ratio.to_string p)
-           (if Ratio.equal p p_obdd then "" else "  (MISMATCH!)")
-       | None -> ());
-      if brute then begin
-        let exact = Prob.brute q db in
-        Printf.printf "  brute   : %s%s\n" (Ratio.to_string exact)
-          (if Ratio.equal exact p_obdd then "" else "  (MISMATCH!)")
-      end;
-      `Ok ()
-    with
-    | Failure msg | Invalid_argument msg -> `Error (false, msg)
-    | Sys_error msg -> `Error (false, msg)
+  let run query db_path brute stats trace =
+    run_with_obs stats trace @@ fun () ->
+    let q = Ucq.of_string query in
+    let db =
+      match db_path with
+      | Some path -> parse_db path
+      | None -> raise (Cli_usage "provide a database with --db")
+    in
+    Printf.printf "query: %s\n" (Ucq.to_string q);
+    Printf.printf "hierarchical: %b, inversion-free: %b\n"
+      (Qsafety.hierarchical q) (Qsafety.inversion_free q);
+    let lineage = Lineage.circuit q db in
+    Printf.printf "lineage: %d gates over %d tuple variables\n"
+      (Circuit.size lineage)
+      (List.length (Circuit.variables lineage));
+    let p_obdd, s_obdd = Obs.span "cli.prob_obdd" (fun () -> Prob.via_obdd q db) in
+    let p_sdd, s_sdd = Obs.span "cli.prob_sdd" (fun () -> Prob.via_sdd q db) in
+    Printf.printf "P = %s = %.6f\n" (Ratio.to_string p_obdd)
+      (Ratio.to_float p_obdd);
+    Printf.printf "  via OBDD: size %d\n" s_obdd;
+    Printf.printf "  via SDD : size %d%s\n" s_sdd
+      (if Ratio.equal p_obdd p_sdd then "" else "  (MISMATCH!)");
+    (match Obs.span "cli.prob_lifted" (fun () -> Lifted.probability q db) with
+     | Some p ->
+       Printf.printf "  lifted  : %s (safe plan, no compilation)%s\n"
+         (Ratio.to_string p)
+         (if Ratio.equal p p_obdd then "" else "  (MISMATCH!)")
+     | None -> ());
+    if brute then begin
+      let exact = Obs.span "cli.prob_brute" (fun () -> Prob.brute q db) in
+      Printf.printf "  brute   : %s%s\n" (Ratio.to_string exact)
+        (if Ratio.equal exact p_obdd then "" else "  (MISMATCH!)")
+    end
   in
   let query =
     Arg.(required & opt (some string) None & info [ "query"; "q" ] ~docv:"UCQ"
@@ -207,84 +265,81 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Probability of a UCQ over a probabilistic database")
-    Term.(ret (const run $ query $ db $ brute))
+    Term.(ret (const run $ query $ db $ brute $ stats_flag $ trace_file))
 
 (* ------------------------------------------------------------------ *)
 (* cnf : DIMACS model counting                                         *)
 (* ------------------------------------------------------------------ *)
 
 let cnf_cmd =
-  let run path vtree_choice =
-    try
-      let d = Dimacs.parse_file path in
-      Printf.printf "cnf: %d variables, %d clauses (%d variables unused)\n"
-        d.Dimacs.num_vars
-        (List.length d.Dimacs.clauses)
-        (Dimacs.free_var_count d);
-      let c = Dimacs.to_circuit d in
-      if Circuit.variables c = [] then begin
-        (* no clause mentions a variable: the CNF is a constant *)
-        let value = Circuit.eval c Boolfun.Smap.empty in
-        Printf.printf "models: %s\n"
-          (Bigint.to_string
-             (if value then Bigint.pow2 d.Dimacs.num_vars else Bigint.zero))
-      end
-      else begin
-        let vt = vtree_of_choice vtree_choice c in
-        let m = Sdd.manager vt in
-        let node = Sdd.compile_circuit m c in
-        Printf.printf "SDD: size %d, width %d\n" (Sdd.size m node) (Sdd.width m node);
-        let count =
-          Bigint.mul
-            (Sdd.model_count m node)
-            (Bigint.pow2 (Dimacs.free_var_count d))
-        in
-        Printf.printf "models: %s\n" (Bigint.to_string count)
-      end;
-      `Ok ()
-    with
-    | Failure msg | Invalid_argument msg | Sys_error msg -> `Error (false, msg)
+  let run path vtree_choice stats trace =
+    run_with_obs stats trace @@ fun () ->
+    let d = Obs.span "cli.parse" (fun () -> Dimacs.parse_file path) in
+    Printf.printf "cnf: %d variables, %d clauses (%d variables unused)\n"
+      d.Dimacs.num_vars
+      (List.length d.Dimacs.clauses)
+      (Dimacs.free_var_count d);
+    let c = Dimacs.to_circuit d in
+    if Circuit.variables c = [] then begin
+      (* no clause mentions a variable: the CNF is a constant *)
+      let value = Circuit.eval c Boolfun.Smap.empty in
+      Printf.printf "models: %s\n"
+        (Bigint.to_string
+           (if value then Bigint.pow2 d.Dimacs.num_vars else Bigint.zero))
+    end
+    else begin
+      let vt = vtree_of_choice vtree_choice c in
+      let m = Sdd.manager vt in
+      let node = Sdd.compile_circuit m c in
+      Printf.printf "SDD: size %d, width %d\n" (Sdd.size m node) (Sdd.width m node);
+      let count =
+        Obs.span "cli.model_count" @@ fun () ->
+        Bigint.mul
+          (Sdd.model_count m node)
+          (Bigint.pow2 (Dimacs.free_var_count d))
+      in
+      Printf.printf "models: %s\n" (Bigint.to_string count);
+      if stats then print_manager_stats m
+    end
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let vtree_choice =
-    Arg.(value & opt string "lemma1" & info [ "vtree" ] ~docv:"KIND"
+    Arg.(value & opt vtree_conv `Lemma1 & info [ "vtree" ] ~docv:"KIND"
            ~doc:"Vtree: $(b,balanced), $(b,right), $(b,left) or $(b,lemma1).")
   in
   Cmd.v
     (Cmd.info "cnf" ~doc:"Exact model counting for a DIMACS CNF file")
-    Term.(ret (const run $ path $ vtree_choice))
+    Term.(ret (const run $ path $ vtree_choice $ stats_flag $ trace_file))
 
 (* ------------------------------------------------------------------ *)
 (* isa                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let isa_cmd =
-  let run n explicit =
-    try
-      (match Families.isa_params n with
-       | None -> failwith (Printf.sprintf "%d is not a valid ISA size (5, 18, 261, ...)" n)
-       | Some (k, m) -> Printf.printf "ISA_%d: k = %d, m = %d\n" n k m);
-      if n <= 18 then begin
-        let mgr, node = Isa.compile n in
-        Printf.printf "canonical SDD on the Figure 4 vtree: size %d, width %d\n"
-          (Sdd.size mgr node) (Sdd.width mgr node)
-      end;
-      if explicit && n <= 18 then begin
-        let t = Isa_explicit.build n in
-        Printf.printf
-          "explicit Appendix-A construction: %d elements, %d distinct gates \
-           (paper bound %d, n^13/5 = %.0f)\n"
-          (Isa_explicit.size t)
-          (Isa_explicit.distinct_gates t)
-          (Isa_explicit.paper_gate_bound n)
-          (Isa.size_bound n)
-      end
-      else if explicit then
-        Printf.printf "explicit construction bound: <= %d gates\n"
-          (Isa_explicit.paper_gate_bound n);
-      `Ok ()
-    with
-    | Failure msg | Invalid_argument msg -> `Error (false, msg)
+  let run n explicit stats trace =
+    run_with_obs stats trace @@ fun () ->
+    (match Families.isa_params n with
+     | None -> failwith (Printf.sprintf "%d is not a valid ISA size (5, 18, 261, ...)" n)
+     | Some (k, m) -> Printf.printf "ISA_%d: k = %d, m = %d\n" n k m);
+    if n <= 18 then begin
+      let mgr, node = Obs.span "cli.isa_compile" (fun () -> Isa.compile n) in
+      Printf.printf "canonical SDD on the Figure 4 vtree: size %d, width %d\n"
+        (Sdd.size mgr node) (Sdd.width mgr node);
+      if stats then print_manager_stats mgr
+    end;
+    if explicit && n <= 18 then begin
+      let t = Obs.span "cli.isa_explicit" (fun () -> Isa_explicit.build n) in
+      Printf.printf
+        "explicit Appendix-A construction: %d elements, %d distinct gates \
+         (paper bound %d, n^13/5 = %.0f)\n"
+        (Isa_explicit.size t)
+        (Isa_explicit.distinct_gates t)
+        (Isa_explicit.paper_gate_bound n)
+        (Isa.size_bound n)
+    end
+    else if explicit then
+      Printf.printf "explicit construction bound: <= %d gates\n"
+        (Isa_explicit.paper_gate_bound n)
   in
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
   let explicit =
@@ -293,7 +348,7 @@ let isa_cmd =
   in
   Cmd.v
     (Cmd.info "isa" ~doc:"The indirect storage access function (Appendix A)")
-    Term.(ret (const run $ n $ explicit))
+    Term.(ret (const run $ n $ explicit $ stats_flag $ trace_file))
 
 let () =
   let info =

@@ -38,7 +38,10 @@ let pair_table analysis v =
     fun g g' -> nf.Factor_width.ids.(cl.(g) lor cr.(g'))
 
 let cnnf f vt =
-  let analysis = Factor_width.analyze f vt in
+  Obs.span "compile.cnnf" @@ fun () ->
+  let analysis =
+    Obs.span "compile.factor_analysis" (fun () -> Factor_width.analyze f vt)
+  in
   let b = Circuit.Builder.create () in
   (* memo.(v) maps factor index at v to its builder node C_{v,H}. *)
   let memo = Array.make (Vtree.num_nodes vt) ([||] : int array) in
@@ -110,9 +113,16 @@ let cnnf f vt =
   let circuit = Circuit.Builder.build b out in
   let fiw_profile = List.sort compare !profile in
   let fiw = List.fold_left (fun acc (_, c) -> Stdlib.max acc c) 0 fiw_profile in
+  if Obs.enabled () then begin
+    Obs.incr ~by:(List.fold_left (fun acc (_, c) -> acc + c) 0 fiw_profile)
+      "compile.cnnf.factor_pairs";
+    Obs.gauge_max "compile.cnnf.fiw" fiw;
+    Obs.gauge_max "compile.cnnf.gates" (Circuit.size circuit)
+  end;
   { circuit; vtree = vt; fiw_profile; fiw }
 
 let fiw f vt =
+  Obs.span "compile.fiw" @@ fun () ->
   let analysis = Factor_width.analyze f vt in
   List.fold_left
     (fun acc v ->
@@ -132,6 +142,7 @@ let minimize_over_vtrees ~max_leaves score f =
   let best = ref None in
   List.iter
     (fun vt ->
+      Obs.incr "compile.vtrees_enumerated";
       let w = score f vt in
       match !best with
       | Some (bw, _) when bw <= w -> ()
@@ -169,8 +180,11 @@ let singleton_mask count i =
   Bytes.unsafe_to_string b
 
 let sdd_of_boolfun m f =
+  Obs.span "compile.sdd_of_boolfun" @@ fun () ->
   let vt = Sdd.vtree m in
-  let analysis = Factor_width.analyze f vt in
+  let analysis =
+    Obs.span "compile.factor_analysis" (fun () -> Factor_width.analyze f vt)
+  in
   (* memo per node: factor-subset bitmask -> SDD node computing the
      disjunction of those factors. *)
   let memos =
@@ -192,8 +206,11 @@ let sdd_of_boolfun m f =
   in
   let rec build v subset =
     match Hashtbl.find_opt memos.(v) subset with
-    | Some r -> r
+    | Some r ->
+      if !Obs.enabled_ref then Obs.incr "compile.sdd.memo_hits";
+      r
     | None ->
+      if !Obs.enabled_ref then Obs.incr "compile.sdd.builds";
       let nf = Factor_width.at analysis v in
       let count = nf.Factor_width.count in
       let popcount = mask_popcount subset in
@@ -262,8 +279,11 @@ let sdd_of_boolfun m f =
   else build root (singleton_mask nf_root.Factor_width.count f_index)
 
 let sdw f vt =
+  Obs.span "compile.sdw" @@ fun () ->
   let m = Sdd.manager vt in
-  Sdd.width m (sdd_of_boolfun m f)
+  let w = Sdd.width m (sdd_of_boolfun m f) in
+  Obs.gauge_max "compile.sdw" w;
+  w
 
 let sdw_min ?(max_leaves = 6) f = minimize_over_vtrees ~max_leaves sdw f
 

@@ -1,10 +1,12 @@
 let minimize ?(max_steps = 50) ~score vt =
+  Obs.span "vtree_search.minimize" @@ fun () ->
   let rec climb vt current steps =
     if steps >= max_steps then (vt, current)
     else begin
       let best =
         List.fold_left
           (fun acc candidate ->
+            if !Obs.enabled_ref then Obs.incr "vtree_search.candidates";
             let s = score candidate in
             match acc with
             | Some (_, bs) when bs <= s -> acc
@@ -12,7 +14,9 @@ let minimize ?(max_steps = 50) ~score vt =
           None (Vtree.local_moves vt)
       in
       match best with
-      | Some (vt', s') -> climb vt' s' (steps + 1)
+      | Some (vt', s') ->
+        Obs.incr "vtree_search.steps";
+        climb vt' s' (steps + 1)
       | None -> (vt, current)
     end
   in
@@ -42,7 +46,13 @@ let best_known ?max_steps f =
       Vtree.random ~seed:2 vars;
     ]
   in
-  let results = List.map (fun vt -> minimize_sdd_size ?max_steps f vt) starts in
+  let results =
+    List.map
+      (fun vt ->
+        Obs.incr "vtree_search.restarts";
+        minimize_sdd_size ?max_steps f vt)
+      starts
+  in
   List.fold_left
     (fun (bvt, bs) (vt, s) -> if s < bs then (vt, s) else (bvt, bs))
     (List.hd results) (List.tl results)

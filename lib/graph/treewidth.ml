@@ -72,6 +72,7 @@ let upper_bound g =
   end
 
 let decomposition g =
+  Obs.span "treewidth.decomposition" @@ fun () ->
   let _, order = upper_bound g in
   if order = [] then Treedec.trivial g
   else Treedec.refine_connected (Treedec.of_elimination_order g order)
@@ -113,6 +114,7 @@ let check_size name max_vertices g =
   n
 
 let exact_order ?(max_vertices = 18) g =
+  Obs.span "treewidth.exact" @@ fun () ->
   let n = check_size "Treewidth.exact" max_vertices g in
   if n = 0 then (-1, [])
   else begin
@@ -197,6 +199,7 @@ let popcount x =
   go x 0
 
 let exact_bb ?(budget = 200_000) g =
+  Obs.span "treewidth.exact_bb" @@ fun () ->
   let n = Ugraph.num_vertices g in
   if n = 0 then Some (-1)
   else if n > 62 then invalid_arg "Treewidth.exact_bb: more than 62 vertices"
@@ -248,7 +251,8 @@ let exact_bb ?(budget = 200_000) g =
         if count <= width + 1 then best := width
         else begin
           match Hashtbl.find_opt memo alive with
-          | Some w when w <= width -> ()
+          | Some w when w <= width ->
+            if !Obs.enabled_ref then Obs.incr "treewidth.bb.memo_prunes"
           | _ ->
             Hashtbl.replace memo alive width;
             (* Simplicial-vertex reduction: eliminating a vertex whose
@@ -286,9 +290,15 @@ let exact_bb ?(budget = 200_000) g =
         end
       end
     in
-    match dfs full initial_adj (Stdlib.max (lower_bound_mmd g) 0) with
-    | () -> Some !best
-    | exception Budget_exhausted -> None
+    let result =
+      match dfs full initial_adj (Stdlib.max (lower_bound_mmd g) 0) with
+      | () -> Some !best
+      | exception Budget_exhausted ->
+        Obs.incr "treewidth.bb.budget_exhausted";
+        None
+    in
+    Obs.incr ~by:!nodes "treewidth.bb.branches";
+    result
   end
 
 
@@ -297,6 +307,7 @@ let exact_bb ?(budget = 200_000) g =
 (* ------------------------------------------------------------------ *)
 
 let pathwidth_order ?(max_vertices = 18) g =
+  Obs.span "treewidth.pathwidth_exact" @@ fun () ->
   let n = check_size "Treewidth.pathwidth_exact" max_vertices g in
   if n = 0 then (-1, [])
   else begin

@@ -1,0 +1,539 @@
+(* Observability: spans, counters, gauges, cache statistics.  See the
+   interface for the cost model; the invariant throughout is that with
+   the master switch off every global instrument is a single load and
+   branch. *)
+
+let enabled_ref = ref false
+let enabled_flag = enabled_ref
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let gauge_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add tbl name r;
+    r
+
+let incr ?(by = 1) name =
+  if !enabled_flag then begin
+    let r = cell counter_tbl name in
+    r := !r + by
+  end
+
+let counter_value name =
+  match Hashtbl.find_opt counter_tbl name with Some r -> !r | None -> 0
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
+  |> List.sort compare
+
+let counters () = sorted_bindings counter_tbl
+
+let gauge_set name v = if !enabled_flag then cell gauge_tbl name := v
+
+let gauge_max name v =
+  if !enabled_flag then begin
+    let r = cell gauge_tbl name in
+    if v > !r then r := v
+  end
+
+let gauge_value name =
+  Option.map (fun r -> !r) (Hashtbl.find_opt gauge_tbl name)
+
+let gauges () = sorted_bindings gauge_tbl
+
+(* ------------------------------------------------------------------ *)
+(* Cache statistics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  type t = {
+    name : string;
+    mutable hits : int;
+    mutable misses : int;
+    size_fn : unit -> int;
+  }
+
+  let registry : t list ref = ref []
+
+  let create ?(size = fun () -> 0) name =
+    let c = { name; hits = 0; misses = 0; size_fn = size } in
+    if !enabled_flag then registry := c :: !registry;
+    c
+
+  let name c = c.name
+  let hit c = c.hits <- c.hits + 1
+  let miss c = c.misses <- c.misses + 1
+  let hits c = c.hits
+  let misses c = c.misses
+  let lookups c = c.hits + c.misses
+  let size c = c.size_fn ()
+
+  type snapshot = {
+    cache : string;
+    lookups : int;
+    hits : int;
+    misses : int;
+    entries : int;
+  }
+
+  let snapshot c =
+    {
+      cache = c.name;
+      lookups = lookups c;
+      hits = c.hits;
+      misses = c.misses;
+      entries = size c;
+    }
+end
+
+let caches () =
+  let by_name : (string, Cache.snapshot ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun c ->
+      let s = Cache.snapshot c in
+      match Hashtbl.find_opt by_name s.Cache.cache with
+      | None -> Hashtbl.add by_name s.Cache.cache (ref s)
+      | Some acc ->
+        acc :=
+          Cache.
+            {
+              cache = s.cache;
+              lookups = !acc.lookups + s.lookups;
+              hits = !acc.hits + s.hits;
+              misses = !acc.misses + s.misses;
+              entries = !acc.entries + s.entries;
+            })
+    !Cache.registry;
+  Hashtbl.fold (fun _ s acc -> !s :: acc) by_name []
+  |> List.sort (fun a b -> compare a.Cache.cache b.Cache.cache)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span_node = {
+  sname : string;
+  mutable calls : int;
+  mutable total : float;
+  mutable children : span_node list;  (* reverse first-entry order *)
+}
+
+let mk_span name = { sname = name; calls = 0; total = 0.0; children = [] }
+
+(* The root is synthetic and never exported directly. *)
+let span_root = ref (mk_span "<root>")
+let span_stack : span_node list ref = ref []
+
+let span_depth () = List.length !span_stack
+
+let span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let parent =
+      match !span_stack with top :: _ -> top | [] -> !span_root
+    in
+    let node =
+      match List.find_opt (fun n -> n.sname = name) parent.children with
+      | Some n -> n
+      | None ->
+        let n = mk_span name in
+        parent.children <- n :: parent.children;
+        n
+    in
+    span_stack := node :: !span_stack;
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        node.calls <- node.calls + 1;
+        node.total <- node.total +. (now () -. t0);
+        match !span_stack with
+        | top :: rest when top == node -> span_stack := rest
+        | _ -> (* a reset happened inside the span *) ())
+      f
+  end
+
+type span_tree = {
+  span : string;
+  calls : int;
+  total_s : float;
+  children : span_tree list;
+}
+
+let rec freeze n =
+  {
+    span = n.sname;
+    calls = n.calls;
+    total_s = n.total;
+    children = List.rev_map freeze n.children;
+  }
+
+let span_roots () = (freeze !span_root).children
+
+let reset () =
+  Hashtbl.reset counter_tbl;
+  Hashtbl.reset gauge_tbl;
+  Cache.registry := [];
+  span_root := mk_span "<root>";
+  span_stack := []
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let to_string j =
+    let buf = Buffer.create 256 in
+    let rec go = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f ->
+        if Float.is_finite f then begin
+          (* %.17g round-trips every finite double; force a '.' or
+             exponent so the value parses back as a float. *)
+          let s = Printf.sprintf "%.17g" f in
+          let floaty = String.exists (fun c -> c = '.' || c = 'e') s in
+          Buffer.add_string buf (if floaty then s else s ^ ".0")
+        end
+        else Buffer.add_string buf "null"
+      | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+      | List l ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            go x)
+          l;
+        Buffer.add_char buf ']'
+      | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            go (String k);
+            Buffer.add_char buf ':';
+            go v)
+          fields;
+        Buffer.add_char buf '}'
+    in
+    go j;
+    Buffer.contents buf
+
+  exception Parse_error of string
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = Stdlib.incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then advance ()
+      else fail (Printf.sprintf "expected %C" c)
+    in
+    let literal word v =
+      if !pos + String.length word <= n
+         && String.sub s !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        v
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then fail "unterminated string"
+        else begin
+          match s.[!pos] with
+          | '"' -> advance ()
+          | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else begin
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; advance ()
+               | '\\' -> Buffer.add_char buf '\\'; advance ()
+               | '/' -> Buffer.add_char buf '/'; advance ()
+               | 'b' -> Buffer.add_char buf '\b'; advance ()
+               | 'f' -> Buffer.add_char buf '\012'; advance ()
+               | 'n' -> Buffer.add_char buf '\n'; advance ()
+               | 'r' -> Buffer.add_char buf '\r'; advance ()
+               | 't' -> Buffer.add_char buf '\t'; advance ()
+               | 'u' ->
+                 advance ();
+                 if !pos + 4 > n then fail "truncated \\u escape";
+                 let code =
+                   try int_of_string ("0x" ^ String.sub s !pos 4)
+                   with _ -> fail "bad \\u escape"
+                 in
+                 pos := !pos + 4;
+                 (* Encode the code point as UTF-8 (BMP only). *)
+                 if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                 else if code < 0x800 then begin
+                   Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+                 else begin
+                   Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                   Buffer.add_char buf
+                     (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                   Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                 end
+               | c -> fail (Printf.sprintf "bad escape %C" c)
+             end);
+            go ()
+          | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+        end
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      if peek () = Some '-' then advance ();
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' -> true
+        | '.' | 'e' | 'E' | '+' | '-' ->
+          is_float := true;
+          true
+        | _ -> false
+      do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> fail "bad number"
+      else begin
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> fail "bad number"
+      end
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> fail "unexpected end of input"
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              fields ((k, v) :: acc)
+            | Some '}' ->
+              advance ();
+              List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or }"
+          in
+          Obj (fields [])
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+              advance ();
+              items (v :: acc)
+            | Some ']' ->
+              advance ();
+              List.rev (v :: acc)
+            | _ -> fail "expected , or ]"
+          in
+          List (items [])
+        end
+      | Some '"' -> String (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> fail (Printf.sprintf "unexpected %C" c)
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then fail "trailing input";
+      v
+    with
+    | v -> Ok v
+    | exception Parse_error msg -> Error msg
+
+  let member key = function
+    | Obj fields -> List.assoc_opt key fields
+    | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let schema_version = "ctwsdd-metrics/v1"
+
+let rec span_to_json t =
+  Json.Obj
+    [
+      ("name", Json.String t.span);
+      ("calls", Json.Int t.calls);
+      ("total_s", Json.Float t.total_s);
+      ("children", Json.List (List.map span_to_json t.children));
+    ]
+
+let snapshot ?(extra = []) () =
+  Json.Obj
+    (("schema", Json.String schema_version)
+     :: extra
+    @ [
+        ( "counters",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ())) );
+        ( "gauges",
+          Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (gauges ())) );
+        ( "caches",
+          Json.List
+            (List.map
+               (fun s ->
+                 Json.Obj
+                   [
+                     ("name", Json.String s.Cache.cache);
+                     ("lookups", Json.Int s.Cache.lookups);
+                     ("hits", Json.Int s.Cache.hits);
+                     ("misses", Json.Int s.Cache.misses);
+                     ("entries", Json.Int s.Cache.entries);
+                   ])
+               (caches ())) );
+        ("spans", Json.List (List.map span_to_json (span_roots ())));
+      ])
+
+let write_json ?extra path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (snapshot ?extra ()));
+      output_char oc '\n')
+
+let pp_summary ppf () =
+  let spans = span_roots () in
+  if spans <> [] then begin
+    Format.fprintf ppf "@[<v>spans:@,";
+    Format.fprintf ppf "  %-40s %8s %12s@," "name" "calls" "total";
+    let rec pp_span indent t =
+      Format.fprintf ppf "  %-40s %8d %10.3fms@,"
+        (String.make indent ' ' ^ t.span)
+        t.calls (1000.0 *. t.total_s);
+      List.iter (pp_span (indent + 2)) t.children
+    in
+    List.iter (pp_span 0) spans;
+    Format.fprintf ppf "@]"
+  end;
+  let cache_list = caches () in
+  if cache_list <> [] then begin
+    Format.fprintf ppf "@[<v>caches:@,";
+    Format.fprintf ppf "  %-24s %10s %10s %10s %8s %10s@," "name" "lookups"
+      "hits" "misses" "hit%" "entries";
+    List.iter
+      (fun s ->
+        let rate =
+          if s.Cache.lookups = 0 then 0.0
+          else 100.0 *. float_of_int s.Cache.hits /. float_of_int s.Cache.lookups
+        in
+        Format.fprintf ppf "  %-24s %10d %10d %10d %7.1f%% %10d@,"
+          s.Cache.cache s.Cache.lookups s.Cache.hits s.Cache.misses rate
+          s.Cache.entries)
+      cache_list;
+    Format.fprintf ppf "@]"
+  end;
+  let counter_list = counters () in
+  if counter_list <> [] then begin
+    Format.fprintf ppf "@[<v>counters:@,";
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "  %-40s %12d@," k v)
+      counter_list;
+    Format.fprintf ppf "@]"
+  end;
+  let gauge_list = gauges () in
+  if gauge_list <> [] then begin
+    Format.fprintf ppf "@[<v>gauges:@,";
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf "  %-40s %12d@," k v)
+      gauge_list;
+    Format.fprintf ppf "@]"
+  end;
+  Format.pp_print_flush ppf ()

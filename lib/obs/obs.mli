@@ -1,0 +1,165 @@
+(** Observability: hierarchical timed spans, monotonic counters, gauges
+    and cache statistics for the compilation pipeline.
+
+    The instrumentation is designed to be effectively free when disabled
+    (the default): every global instrument ([span], [incr], [gauge_max],
+    …) first checks a single boolean and becomes a no-op, so hot paths
+    pay one predictable branch.  Per-cache statistics ({!Cache}) are
+    plain field increments on a record owned by the instrumented
+    structure and are always maintained — they cost a couple of stores
+    next to a hash-table probe that dwarfs them.
+
+    Metrics are exported either as a human-readable summary table
+    ({!pp_summary}) or as JSON under the stable [ctwsdd-metrics/v1]
+    schema ({!snapshot}, {!write_json}).  See EXPERIMENTS.md for the
+    schema reference. *)
+
+(** {1 Enabling} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val enabled_ref : bool ref
+(** The raw master switch, exposed so hot paths can gate a probe with a
+    single load-and-branch ([if !Obs.enabled_ref then ...]) instead of a
+    cross-module call.  Treat as read-only; use {!set_enabled} to flip. *)
+
+val reset : unit -> unit
+(** Forget all recorded counters, gauges, spans and registered caches.
+    Does not change the enabled flag.  Open spans are kept on the stack
+    (their enclosing [span] calls still pop correctly) but their timings
+    are discarded with the old tree. *)
+
+(** {1 Counters and gauges} *)
+
+val incr : ?by:int -> string -> unit
+(** Add [by] (default 1) to the named monotonic counter.  No-op when
+    disabled. *)
+
+val counter_value : string -> int
+(** Current value of a counter; 0 if never incremented. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauge_set : string -> int -> unit
+(** Set the named gauge to the given value.  No-op when disabled. *)
+
+val gauge_max : string -> int -> unit
+(** Raise the named gauge to the given value if larger (peak tracking).
+    No-op when disabled. *)
+
+val gauge_value : string -> int option
+val gauges : unit -> (string * int) list
+
+(** {1 Cache statistics} *)
+
+module Cache : sig
+  type t = {
+    name : string;
+    mutable hits : int;
+    mutable misses : int;
+    size_fn : unit -> int;
+  }
+  (** Hit/miss statistics for one lookup structure (a hash table).  The
+      record is owned by the instrumented structure; [hit]/[miss] are
+      unconditional field increments.  The representation is exposed so
+      hot paths can bump the fields directly (the [hit]/[miss] helpers
+      are cross-module calls that the compiler may not inline).  When
+      observability is enabled at creation time the cache is also
+      registered with the global exporter. *)
+
+  val create : ?size:(unit -> int) -> string -> t
+  (** [create ~size name] makes a fresh statistics record.  [size] is
+      polled at export time (e.g. [fun () -> Hashtbl.length tbl]). *)
+
+  val name : t -> string
+  val hit : t -> unit
+  val miss : t -> unit
+  val hits : t -> int
+  val misses : t -> int
+
+  val lookups : t -> int
+  (** [hits + misses], by construction. *)
+
+  val size : t -> int
+  (** Current entry count as reported by the [size] callback. *)
+
+  type snapshot = {
+    cache : string;
+    lookups : int;
+    hits : int;
+    misses : int;
+    entries : int;
+  }
+
+  val snapshot : t -> snapshot
+end
+
+val caches : unit -> Cache.snapshot list
+(** Snapshots of all registered caches, aggregated by name (several SDD
+    managers register the same cache names; their statistics are
+    summed), sorted by name. *)
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] and accumulates the duration into the
+    span tree under the currently open span (spans nest).  Re-entering
+    the same name under the same parent accumulates into one node.
+    Exception-safe: the span is closed even if [f] raises.  When
+    disabled this is exactly [f ()]. *)
+
+type span_tree = {
+  span : string;
+  calls : int;
+  total_s : float;  (** Wall-clock seconds, summed over calls. *)
+  children : span_tree list;
+}
+
+val span_roots : unit -> span_tree list
+(** The forest of recorded top-level spans, in first-entry order. *)
+
+val span_depth : unit -> int
+(** Number of currently open spans (0 outside any [span]). *)
+
+(** {1 JSON} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  val to_string : t -> string
+  (** Compact, valid JSON.  Non-finite floats serialize as [null]. *)
+
+  val of_string : string -> (t, string) result
+  (** Minimal strict parser (objects, arrays, strings with escapes,
+      numbers, [true]/[false]/[null]); sufficient for round-tripping
+      [to_string] output. *)
+
+  val member : string -> t -> t option
+  (** Field lookup in an [Obj]; [None] otherwise. *)
+end
+
+(** {1 Export} *)
+
+val schema_version : string
+(** ["ctwsdd-metrics/v1"]. *)
+
+val snapshot : ?extra:(string * Json.t) list -> unit -> Json.t
+(** The full metrics state as a [ctwsdd-metrics/v1] object.  [extra]
+    fields are prepended after the [schema] field. *)
+
+val write_json : ?extra:(string * Json.t) list -> string -> unit
+(** [write_json path] writes [snapshot ()] to [path]. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Human-readable tables: spans (indented, with timings), cache
+    hit/miss rates, counters and gauges.  Sections with no data are
+    omitted. *)

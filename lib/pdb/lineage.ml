@@ -11,10 +11,15 @@ let apply_env env (atom : Ucq.atom) =
   Pdb.tuple atom.Ucq.rel (List.map value atom.Ucq.args)
 
 let circuit q db =
+  Obs.span "lineage.circuit" @@ fun () ->
   let b = Circuit.Builder.create () in
   let disjuncts =
     List.concat_map
       (fun cq ->
+        let envs =
+          Obs.span "lineage.ground" (fun () -> Ucq.matchings cq db.Pdb.facts)
+        in
+        Obs.incr ~by:(List.length envs) "lineage.groundings";
         List.map
           (fun env ->
             let tuples =
@@ -23,10 +28,15 @@ let circuit q db =
             in
             Circuit.Builder.and_ b
               (List.map (Circuit.Builder.var b) tuples))
-          (Ucq.matchings cq db.Pdb.facts))
+          envs)
       q
   in
-  Circuit.Builder.build b (Circuit.Builder.or_ b disjuncts)
+  let c = Circuit.Builder.build b (Circuit.Builder.or_ b disjuncts) in
+  if Obs.enabled () then begin
+    Obs.gauge_max "lineage.gates" (Circuit.size c);
+    Obs.gauge_max "lineage.tuple_vars" (List.length (Circuit.variables c))
+  end;
+  c
 
 let boolfun q db = Boolfun.lift (Circuit.to_boolfun (circuit q db)) (variables db)
 

@@ -17,20 +17,38 @@ type manager = {
   or_cache : (int * int, int) Hashtbl.t;
   neg_cache : (int, int) Hashtbl.t;
   cond_cache : (int * string * bool, int) Hashtbl.t;
+  cs_unique : Obs.Cache.t;
+  cs_and : Obs.Cache.t;
+  cs_or : Obs.Cache.t;
+  cs_neg : Obs.Cache.t;
+  cs_cond : Obs.Cache.t;
 }
 
 let manager vt =
+  let unique = Hashtbl.create 1024 in
+  let and_cache = Hashtbl.create 1024 in
+  let or_cache = Hashtbl.create 1024 in
+  let neg_cache = Hashtbl.create 256 in
+  let cond_cache = Hashtbl.create 256 in
+  let cache name tbl =
+    Obs.Cache.create ~size:(fun () -> Hashtbl.length tbl) name
+  in
   let m =
     {
       vt;
       data = Array.make 1024 (DConst false);
       count = 2;
-      unique = Hashtbl.create 1024;
+      unique;
       lit_tbl = Hashtbl.create 64;
-      and_cache = Hashtbl.create 1024;
-      or_cache = Hashtbl.create 1024;
-      neg_cache = Hashtbl.create 256;
-      cond_cache = Hashtbl.create 256;
+      and_cache;
+      or_cache;
+      neg_cache;
+      cond_cache;
+      cs_unique = cache "sdd.unique" unique;
+      cs_and = cache "sdd.and_cache" and_cache;
+      cs_or = cache "sdd.or_cache" or_cache;
+      cs_neg = cache "sdd.neg_cache" neg_cache;
+      cs_cond = cache "sdd.cond_cache" cond_cache;
     }
   in
   m.data.(0) <- DConst false;
@@ -41,6 +59,18 @@ let manager vt =
 
 let vtree m = m.vt
 let num_nodes_allocated m = m.count
+
+(* Direct field bumps: local enough for ocamlopt to inline, so the hot
+   apply/negate paths pay two stores, not a cross-module call. *)
+let[@inline] cache_hit (c : Obs.Cache.t) =
+  c.Obs.Cache.hits <- c.Obs.Cache.hits + 1
+
+let[@inline] cache_miss (c : Obs.Cache.t) =
+  c.Obs.Cache.misses <- c.Obs.Cache.misses + 1
+
+let stats m =
+  List.map Obs.Cache.snapshot
+    [ m.cs_unique; m.cs_and; m.cs_or; m.cs_neg; m.cs_cond ]
 
 let false_ _ = 0
 let true_ _ = 1
@@ -54,6 +84,7 @@ let alloc m d =
   let id = m.count in
   m.data.(id) <- d;
   m.count <- m.count + 1;
+  if !Obs.enabled_ref then Obs.gauge_max "sdd.nodes_allocated" m.count;
   id
 
 let literal m v polarity =
@@ -81,8 +112,11 @@ let is_false _ a = a = 0
 
 let rec negate m a =
   match Hashtbl.find_opt m.neg_cache a with
-  | Some r -> r
+  | Some r ->
+    cache_hit m.cs_neg;
+    r
   | None ->
+    cache_miss m.cs_neg;
     let r =
       match m.data.(a) with
       | DConst b -> if b then 0 else 1
@@ -133,8 +167,11 @@ and mk_decision m v elems =
     in
     let key = (v, sorted) in
     (match Hashtbl.find_opt m.unique key with
-     | Some id -> id
+     | Some id ->
+       cache_hit m.cs_unique;
+       id
      | None ->
+       cache_miss m.cs_unique;
        let id = alloc m (DDec (v, Array.of_list sorted)) in
        Hashtbl.add m.unique key id;
        id)
@@ -167,9 +204,13 @@ and apply m op_and a b =
   else if Hashtbl.find_opt m.neg_cache a = Some b then absorbing
   else begin
     let key = (Stdlib.min a b, Stdlib.max a b) in
+    let cstat = if op_and then m.cs_and else m.cs_or in
     match Hashtbl.find_opt cache key with
-    | Some r -> r
+    | Some r ->
+      cache_hit cstat;
+      r
     | None ->
+      cache_miss cstat;
       let va = Option.get (vtree_node m a) in
       let vb = Option.get (vtree_node m b) in
       let r =
@@ -228,8 +269,11 @@ let condition m a x value =
       else begin
         let key = (a, x, value) in
         match Hashtbl.find_opt m.cond_cache key with
-        | Some r -> r
+        | Some r ->
+          cache_hit m.cs_cond;
+          r
         | None ->
+          cache_miss m.cs_cond;
           let in_left = List.mem x (Vtree.vars_below m.vt (Vtree.left m.vt v)) in
           let elems' =
             List.map
@@ -470,6 +514,7 @@ let any_model m a =
 (* ------------------------------------------------------------------ *)
 
 let compile_circuit m c =
+  Obs.span "sdd.compile_circuit" @@ fun () ->
   let n = Circuit.size c in
   let res = Array.make n 0 in
   for i = 0 to n - 1 do

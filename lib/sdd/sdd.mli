@@ -20,6 +20,13 @@ val manager : Vtree.t -> manager
 val vtree : manager -> Vtree.t
 val num_nodes_allocated : manager -> int
 
+val stats : manager -> Obs.Cache.snapshot list
+(** Hit/miss/size statistics of the manager's five hash tables, in the
+    order [sdd.unique], [sdd.and_cache], [sdd.or_cache], [sdd.neg_cache],
+    [sdd.cond_cache].  Always maintained (independent of
+    [Obs.set_enabled]); when observability is enabled at manager-creation
+    time the same caches also appear in [Obs.caches ()]. *)
+
 (** {1 Constants, literals, connectives} *)
 
 val true_ : manager -> t

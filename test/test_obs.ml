@@ -1,0 +1,213 @@
+(* Observability: counter/span invariants, JSON round-trips, and the
+   SDD manager's cache statistics against structural measures.
+
+   Obs state is global, so every case runs inside [with_obs], which
+   resets before and disables after. *)
+
+open Test_util
+
+let with_obs f =
+  Obs.set_enabled true;
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.reset ();
+      Obs.set_enabled false)
+    f
+
+let counters_suite =
+  [
+    case "disabled instruments are inert" (fun () ->
+        Obs.set_enabled false;
+        Obs.reset ();
+        Obs.incr "c";
+        Obs.gauge_max "g" 7;
+        let r = Obs.span "s" (fun () -> 41 + 1) in
+        checki "span passthrough" 42 r;
+        checki "counter untouched" 0 (Obs.counter_value "c");
+        checkb "no gauge" true (Obs.gauge_value "g" = None);
+        checki "no spans" 0 (List.length (Obs.span_roots ())));
+    case "counters accumulate and sort" (fun () ->
+        with_obs (fun () ->
+            Obs.incr "b";
+            Obs.incr ~by:4 "a";
+            Obs.incr "b";
+            checki "a" 4 (Obs.counter_value "a");
+            checki "b" 2 (Obs.counter_value "b");
+            checkb "sorted" true (Obs.counters () = [ ("a", 4); ("b", 2) ])));
+    case "gauge_max keeps the peak, gauge_set overwrites" (fun () ->
+        with_obs (fun () ->
+            Obs.gauge_max "g" 3;
+            Obs.gauge_max "g" 1;
+            checkb "peak" true (Obs.gauge_value "g" = Some 3);
+            Obs.gauge_set "g" 1;
+            checkb "set" true (Obs.gauge_value "g" = Some 1)));
+    case "cache invariant hits + misses = lookups" (fun () ->
+        with_obs (fun () ->
+            let c = Obs.Cache.create ~size:(fun () -> 5) "t" in
+            Obs.Cache.hit c;
+            Obs.Cache.miss c;
+            Obs.Cache.hit c;
+            let s = Obs.Cache.snapshot c in
+            checki "lookups" (s.Obs.Cache.hits + s.Obs.Cache.misses)
+              s.Obs.Cache.lookups;
+            checki "hits" 2 s.Obs.Cache.hits;
+            checki "entries" 5 s.Obs.Cache.entries;
+            (* Registered while enabled, so visible to the exporter. *)
+            checkb "registered" true
+              (List.exists (fun x -> x.Obs.Cache.cache = "t") (Obs.caches ()))));
+  ]
+
+let spans_suite =
+  [
+    case "span nesting is well-formed" (fun () ->
+        with_obs (fun () ->
+            Obs.span "outer" (fun () ->
+                checki "inside outer" 1 (Obs.span_depth ());
+                Obs.span "inner" (fun () ->
+                    checki "inside inner" 2 (Obs.span_depth ()));
+                Obs.span "inner" (fun () -> ()));
+            checki "closed" 0 (Obs.span_depth ());
+            match Obs.span_roots () with
+            | [ outer ] ->
+              checks "outer name" "outer" outer.Obs.span;
+              checki "outer calls" 1 outer.Obs.calls;
+              (match outer.Obs.children with
+               | [ inner ] ->
+                 checks "inner name" "inner" inner.Obs.span;
+                 checki "inner accumulates calls" 2 inner.Obs.calls;
+                 checkb "child time within parent" true
+                   (inner.Obs.total_s <= outer.Obs.total_s)
+               | l -> Alcotest.failf "expected one child, got %d" (List.length l))
+            | l -> Alcotest.failf "expected one root, got %d" (List.length l)));
+    case "span closes on exceptions" (fun () ->
+        with_obs (fun () ->
+            (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+            checki "popped" 0 (Obs.span_depth ());
+            match Obs.span_roots () with
+            | [ t ] -> checki "recorded" 1 t.Obs.calls
+            | _ -> Alcotest.fail "span not recorded"));
+  ]
+
+let json_suite =
+  let rt j =
+    match Obs.Json.of_string (Obs.Json.to_string j) with
+    | Ok j' -> checkb ("round-trip " ^ Obs.Json.to_string j) true (j = j')
+    | Error e -> Alcotest.fail e
+  in
+  [
+    case "values round-trip" (fun () ->
+        rt Obs.Json.Null;
+        rt (Obs.Json.Bool true);
+        rt (Obs.Json.Int (-42));
+        rt (Obs.Json.Float 0.25);
+        rt (Obs.Json.Float 1.5e-6);
+        rt (Obs.Json.String "line\n\"quoted\"\\tab\tend");
+        rt (Obs.Json.List [ Obs.Json.Int 1; Obs.Json.List []; Obs.Json.Obj [] ]);
+        rt
+          (Obs.Json.Obj
+             [
+               ("a", Obs.Json.List [ Obs.Json.Bool false ]);
+               ("b", Obs.Json.String "");
+             ]));
+    case "parser rejects malformed input" (fun () ->
+        List.iter
+          (fun s ->
+            match Obs.Json.of_string s with
+            | Ok _ -> Alcotest.failf "accepted %S" s
+            | Error _ -> ())
+          [ "{"; "[1,]"; "\"open"; "tru"; "{\"a\":1,}"; "1 2"; "" ]);
+    case "snapshot follows the ctwsdd-metrics/v1 schema" (fun () ->
+        with_obs (fun () ->
+            Obs.incr ~by:3 "work.items";
+            Obs.gauge_max "work.peak" 9;
+            Obs.span "stage" (fun () -> ());
+            let j = Obs.snapshot ~extra:[ ("run", Obs.Json.Int 1) ] () in
+            (* The exporter's output must parse back to itself. *)
+            (match Obs.Json.of_string (Obs.Json.to_string j) with
+             | Ok j' -> checkb "export round-trip" true (j = j')
+             | Error e -> Alcotest.fail e);
+            checkb "schema field" true
+              (Obs.Json.member "schema" j
+              = Some (Obs.Json.String Obs.schema_version));
+            checkb "extra field" true
+              (Obs.Json.member "run" j = Some (Obs.Json.Int 1));
+            (match Obs.Json.member "counters" j with
+             | Some (Obs.Json.Obj fields) ->
+               checkb "counter exported" true
+                 (List.assoc_opt "work.items" fields = Some (Obs.Json.Int 3))
+             | _ -> Alcotest.fail "counters missing");
+            match Obs.Json.member "spans" j with
+            | Some (Obs.Json.List [ span ]) ->
+              checkb "span name" true
+                (Obs.Json.member "name" span
+                = Some (Obs.Json.String "stage"))
+            | _ -> Alcotest.fail "spans missing"));
+  ]
+
+let sdd_stats_suite =
+  [
+    case "manager stats match node_count on a garbage-free compilation" (fun () ->
+        (* x ∧ y on a two-leaf vtree builds exactly one decision node and
+           no garbage, so the unique table is exactly the reachable
+           decisions. *)
+        let m = Sdd.manager (Vtree.balanced [ "x"; "y" ]) in
+        let node = Sdd.compile_circuit m (Circuit.of_string "(and x y)") in
+        let unique = List.hd (Sdd.stats m) in
+        checks "is unique table" "sdd.unique" unique.Obs.Cache.cache;
+        checki "unique entries = node_count" (Sdd.node_count m node)
+          unique.Obs.Cache.entries);
+    case "manager stats are consistent after a known compilation" (fun () ->
+        let c =
+          Circuit.of_string
+            "(or (and a (or b (not c))) (and (not a) (and c d)) (and b d))"
+        in
+        let m = Sdd.manager (Vtree.balanced [ "a"; "b"; "c"; "d" ]) in
+        let node = Sdd.compile_circuit m c in
+        List.iter
+          (fun s ->
+            checki
+              (s.Obs.Cache.cache ^ " lookups")
+              (s.Obs.Cache.hits + s.Obs.Cache.misses)
+              s.Obs.Cache.lookups)
+          (Sdd.stats m);
+        let unique =
+          List.find (fun s -> s.Obs.Cache.cache = "sdd.unique") (Sdd.stats m)
+        in
+        (* Every reachable decision went through the unique table, and the
+           table also holds whatever intermediate nodes became garbage. *)
+        checkb "unique >= reachable" true
+          (unique.Obs.Cache.entries >= Sdd.node_count m node);
+        checkb "allocated >= unique + consts" true
+          (Sdd.num_nodes_allocated m >= unique.Obs.Cache.entries + 2);
+        (* unique misses allocate; hits and misses partition lookups. *)
+        checkb "misses = entries" true
+          (unique.Obs.Cache.misses = unique.Obs.Cache.entries));
+    case "apply cache statistics reflect actual lookups" (fun () ->
+        with_obs (fun () ->
+            let m = Sdd.manager (Vtree.right_linear [ "a"; "b"; "c" ]) in
+            let x = Sdd.literal m "a" true and y = Sdd.literal m "b" true in
+            let n1 = Sdd.conjoin m x y in
+            let n2 = Sdd.conjoin m x y in
+            checkb "same node" true (Sdd.equal n1 n2);
+            let and_stats =
+              List.find (fun s -> s.Obs.Cache.cache = "sdd.and_cache")
+                (Sdd.stats m)
+            in
+            checki "two lookups" 2 and_stats.Obs.Cache.lookups;
+            checki "one hit" 1 and_stats.Obs.Cache.hits;
+            (* The manager was created while Obs was enabled, so its
+               caches are also visible to the global exporter. *)
+            checkb "exported" true
+              (List.exists
+                 (fun s -> s.Obs.Cache.cache = "sdd.and_cache")
+                 (Obs.caches ()))));
+  ]
+
+let suites =
+  [
+    ("obs counters", counters_suite);
+    ("obs spans", spans_suite);
+    ("obs json", json_suite);
+    ("obs sdd stats", sdd_stats_suite);
+  ]
