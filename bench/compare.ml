@@ -1,0 +1,108 @@
+(* Diff two ctwsdd-metrics/v1 files and print a per-span speedup table:
+
+     dune exec bench/compare.exe -- OLD.json NEW.json
+
+   Spans are aggregated by name across the whole tree (the same span can
+   appear under several parents), so the table reads as "total time spent
+   in this phase".  Speedup is old/new; rows are sorted by old total so
+   the hottest phases come first.  See EXPERIMENTS.md, "Performance
+   methodology". *)
+
+let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> die "compare: %s" msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path =
+  match Obs.Json.of_string (String.trim (read_file path)) with
+  | Ok j -> j
+  | Error msg -> die "compare: %s: %s" path msg
+
+let float_member name j =
+  match Obs.Json.member name j with
+  | Some (Obs.Json.Float f) -> Some f
+  | Some (Obs.Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+(* name -> (calls, total_s), aggregated over the span forest. *)
+let flatten_spans j =
+  let acc : (string, int * float) Hashtbl.t = Hashtbl.create 32 in
+  let rec walk = function
+    | Obs.Json.Obj _ as node ->
+      let name =
+        match Obs.Json.member "name" node with
+        | Some (Obs.Json.String s) -> s
+        | _ -> "?"
+      in
+      let calls =
+        match Obs.Json.member "calls" node with
+        | Some (Obs.Json.Int i) -> i
+        | _ -> 0
+      in
+      let total = Option.value ~default:0.0 (float_member "total_s" node) in
+      let c0, t0 =
+        Option.value ~default:(0, 0.0) (Hashtbl.find_opt acc name)
+      in
+      Hashtbl.replace acc name (c0 + calls, t0 +. total);
+      (match Obs.Json.member "children" node with
+       | Some (Obs.Json.List children) -> List.iter walk children
+       | _ -> ())
+    | _ -> ()
+  in
+  (match Obs.Json.member "spans" j with
+   | Some (Obs.Json.List roots) -> List.iter walk roots
+   | _ -> ());
+  acc
+
+let fmt_ms t = Printf.sprintf "%.2f" (1000.0 *. t)
+
+let fmt_speedup old_t new_t =
+  if new_t <= 0.0 then (if old_t <= 0.0 then "-" else "inf")
+  else Printf.sprintf "%.2fx" (old_t /. new_t)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [ old_path; new_path ] ->
+    let old_j = load old_path and new_j = load new_path in
+    let old_spans = flatten_spans old_j and new_spans = flatten_spans new_j in
+    let names =
+      let tbl = Hashtbl.create 32 in
+      let add n _ = Hashtbl.replace tbl n () in
+      Hashtbl.iter add old_spans;
+      Hashtbl.iter add new_spans;
+      Hashtbl.fold (fun n () acc -> n :: acc) tbl []
+    in
+    let lookup tbl n = Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl n) in
+    let rows =
+      names
+      |> List.map (fun n -> (n, lookup old_spans n, lookup new_spans n))
+      |> List.sort (fun (_, (_, t1), _) (_, (_, t2), _) -> compare t2 t1)
+      |> List.map (fun (n, (oc, ot), (nc, nt)) ->
+             [
+               n;
+               string_of_int oc;
+               fmt_ms ot;
+               string_of_int nc;
+               fmt_ms nt;
+               fmt_speedup ot nt;
+             ])
+    in
+    Table.print
+      ~title:
+        (Printf.sprintf "span timings: %s (old) vs %s (new)" old_path new_path)
+      ~header:[ "span"; "calls"; "old ms"; "calls"; "new ms"; "speedup" ]
+      rows;
+    (match (float_member "wall_s" old_j, float_member "wall_s" new_j) with
+     | Some ow, Some nw ->
+       Table.note "wall clock: %s ms -> %s ms (%s)" (fmt_ms ow) (fmt_ms nw)
+         (fmt_speedup ow nw)
+     | _ -> ())
+  | _ ->
+    prerr_endline "usage: compare OLD.json NEW.json";
+    exit 2

@@ -1,0 +1,115 @@
+(* E17 — fixed compilation workload for performance tracking.
+
+   Unlike E1–E16, this experiment makes no claim from the paper: it is a
+   deterministic, medium-sized workload that funnels through the three
+   hot layers of the pipeline — Factor_width.analyze, Compile.cnnf /
+   sdd_of_boolfun and Vtree_search — so that the spans recorded in
+   BENCH_E17.json are comparable across commits.  Capture a baseline
+   JSON before a performance change, re-run afterwards, and diff with
+
+     dune exec bench/compare.exe -- OLD.json NEW.json
+
+   (see EXPERIMENTS.md, "Performance methodology").  Keep the workload
+   fixed: changing it invalidates the trajectory. *)
+
+let semantic_row name f vt_name vt =
+  let m = Sdd.manager vt in
+  let t0 = Unix.gettimeofday () in
+  let s = Compile.sdd_of_boolfun m f in
+  let dt = Unix.gettimeofday () -. t0 in
+  [
+    name;
+    vt_name;
+    Table.fi (Boolfun.num_vars f);
+    Table.fi (Sdd.size m s);
+    Table.fi (Sdd.width m s);
+    Printf.sprintf "%.1f" (1000.0 *. dt);
+  ]
+
+let vtrees_of vars =
+  [
+    ("right-linear", Vtree.right_linear vars);
+    ("balanced", Vtree.balanced vars);
+    ("random-7", Vtree.random ~seed:7 vars);
+  ]
+
+let run () =
+  Table.section "E17 — fixed compilation workload (perf tracking)";
+  (* Structured families: bounded widths, so the cost is dominated by the
+     factor analysis over the full truth table. *)
+  let structured =
+    List.concat_map
+      (fun n ->
+        [
+          (Printf.sprintf "chain-%d" n,
+           Circuit.to_boolfun (Generators.chain_implications n));
+          (Printf.sprintf "parity-%d" n,
+           Circuit.to_boolfun (Generators.parity_chain n));
+          (Printf.sprintf "band3-%d" n,
+           Circuit.to_boolfun (Generators.band_cnf ~width:3 n));
+        ])
+      [ 14; 16 ]
+  in
+  (* Unstructured functions: large factor counts, so the cost is dominated
+     by the SDD decision grouping and the apply/unique caches. *)
+  let unstructured =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun seed ->
+            (Printf.sprintf "random-%d-s%d" n seed,
+             Boolfun.random ~seed (Families.xs n)))
+          [ 1; 2; 3 ])
+      [ 10; 12 ]
+  in
+  let rows =
+    List.concat_map
+      (fun (name, f) ->
+        List.map
+          (fun (vt_name, vt) -> semantic_row name f vt_name vt)
+          (vtrees_of (Boolfun.variables f)))
+      (structured @ unstructured)
+  in
+  Table.print
+    ~title:"canonical SDD compilation (fixed functions and vtrees)"
+    ~header:[ "function"; "vtree"; "n"; "size"; "width"; "ms" ]
+    rows;
+  (* CNNF route: same analysis, different construction. *)
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let vt = Vtree.balanced (Boolfun.variables f) in
+        let t0 = Unix.gettimeofday () in
+        let c = Compile.cnnf f vt in
+        let dt = Unix.gettimeofday () -. t0 in
+        [
+          name;
+          Table.fi (Circuit.size c.Compile.circuit);
+          Table.fi c.Compile.fiw;
+          Printf.sprintf "%.1f" (1000.0 *. dt);
+        ])
+      structured
+  in
+  Table.print
+    ~title:"CNNF compilation (balanced vtrees)"
+    ~header:[ "function"; "gates"; "fiw"; "ms" ]
+    rows;
+  (* Vtree search: hill climbs dominated by repeated compilations; this is
+     the workload the score cache and the parallel search accelerate. *)
+  let rows =
+    List.map
+      (fun (name, f) ->
+        let t0 = Unix.gettimeofday () in
+        let _, s = Vtree_search.best_known ~max_steps:10 f in
+        let dt = Unix.gettimeofday () -. t0 in
+        [ name; Table.fi s; Printf.sprintf "%.1f" (1000.0 *. dt) ])
+      [
+        ("random-8-s5", Boolfun.random ~seed:5 (Families.xs 8));
+        ("threshold-3-of-9", Families.threshold 3 9);
+        ("band3-10", Circuit.to_boolfun (Generators.band_cnf ~width:3 10));
+      ]
+  in
+  Table.print
+    ~title:"vtree search (best_known, max_steps=10)"
+    ~header:[ "function"; "best size"; "ms" ]
+    rows

@@ -21,6 +21,7 @@ let experiments =
     ([ "E10"; "E11"; "E12" ], "ISA, Prop. 1 computability, Theorem 1", Exp_isa_prop1.run);
     ([ "E13"; "E16" ], "vtree ablation, pathwidth specialisation, SDD-to-OBDD", Exp_vtree.run);
     ([ "E14" ], "Tseitin route vs direct compilation", Exp_routes.run);
+    ([ "E17" ], "fixed perf-tracking workload", Exp_perf.run);
   ]
 
 let metrics_file ids = "BENCH_" ^ String.concat "_" ids ^ ".json"

@@ -1,0 +1,108 @@
+(* CI guard: disabled-mode observability overhead.
+
+   The PR-1 contract is that with the master switch off every global
+   instrument is one load and branch, so a fully instrumented pipeline
+   pays < 2% over uninstrumented code.  This check re-derives the bound
+   from first principles on the current build:
+
+     1. measure the per-call cost of a disabled [Obs.span] and
+        [Obs.incr] by tight-loop timing;
+     2. run a fixed compilation workload once with observability ON and
+        count how many instrument calls it performs (span calls from the
+        recorded tree, counter bumps from the counter values);
+     3. time the same workload with observability OFF;
+     4. fail (exit 1) if (calls x per-call cost) exceeds 2% of the
+        disabled wall time.
+
+   Exit status: 0 when within the bound, 1 on regression. *)
+
+let bound = 0.02
+let calib_iters = 5_000_000
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  f ();
+  Unix.gettimeofday () -. t0
+
+let per_call_span () =
+  let nothing () = ignore (Sys.opaque_identity 0) in
+  let t =
+    time (fun () ->
+        for _ = 1 to calib_iters do
+          Obs.span "overhead.calib" nothing
+        done)
+  in
+  t /. float_of_int calib_iters
+
+let per_call_incr () =
+  let t =
+    time (fun () ->
+        for _ = 1 to calib_iters do
+          Obs.incr "overhead.calib"
+        done)
+  in
+  t /. float_of_int calib_iters
+
+(* Fixed, deterministic workload exercising the instrumented pipeline:
+   factor analysis, SDD compilation, CNNF, a short vtree search. *)
+let workload () =
+  let vars n = List.init n (fun i -> Printf.sprintf "x%02d" i) in
+  List.iter
+    (fun seed ->
+      let f = Boolfun.random ~seed (vars 11) in
+      List.iter
+        (fun vt ->
+          let m = Sdd.manager vt in
+          ignore (Sys.opaque_identity (Compile.sdd_of_boolfun m f));
+          ignore (Sys.opaque_identity (Compile.cnnf f vt)))
+        [
+          Vtree.right_linear (vars 11);
+          Vtree.balanced (vars 11);
+          Vtree.random ~seed:3 (vars 11);
+        ])
+    [ 1; 2 ];
+  let g = Boolfun.random ~seed:5 (vars 8) in
+  ignore (Sys.opaque_identity (Vtree_search.best_known ~max_steps:4 ~domains:1 g))
+
+let rec sum_span_calls acc (t : Obs.span_tree) =
+  List.fold_left sum_span_calls (acc + t.Obs.calls) t.Obs.children
+
+let () =
+  (* 1-2: instrument call counts of the workload. *)
+  Obs.set_enabled true;
+  Obs.reset ();
+  workload ();
+  let span_calls =
+    List.fold_left sum_span_calls 0 (Obs.span_roots ())
+  in
+  let counter_bumps =
+    (* Upper bound: [incr ~by] counts as [by] calls. *)
+    List.fold_left (fun acc (_, v) -> acc + v) 0 (Obs.counters ())
+  in
+  Obs.reset ();
+  (* 3: disabled wall time (best of 3 to shed scheduling noise) and
+     per-call disabled instrument cost. *)
+  Obs.set_enabled false;
+  let disabled_s =
+    List.fold_left
+      (fun acc _ -> Stdlib.min acc (time workload))
+      infinity [ 1; 2; 3 ]
+  in
+  let span_cost = per_call_span () and incr_cost = per_call_incr () in
+  let est_overhead_s =
+    (float_of_int span_calls *. span_cost)
+    +. (float_of_int counter_bumps *. incr_cost)
+  in
+  let fraction = est_overhead_s /. disabled_s in
+  Printf.printf "disabled span     : %.2f ns/call\n" (1e9 *. span_cost);
+  Printf.printf "disabled incr     : %.2f ns/call\n" (1e9 *. incr_cost);
+  Printf.printf "span calls        : %d\n" span_calls;
+  Printf.printf "counter bumps     : %d (upper bound)\n" counter_bumps;
+  Printf.printf "workload disabled : %.1f ms\n" (1e3 *. disabled_s);
+  Printf.printf "est. overhead     : %.3f ms (%.3f%% of workload, bound %.1f%%)\n"
+    (1e3 *. est_overhead_s) (100. *. fraction) (100. *. bound);
+  if fraction > bound then begin
+    Printf.printf "FAIL: disabled-mode overhead above bound\n";
+    exit 1
+  end
+  else Printf.printf "OK\n"

@@ -98,6 +98,18 @@ let random ~seed vars =
 
 let eval f a = get_bit f.tbl (index_of_assignment f.vars a)
 
+let eval_index f i = get_bit f.tbl i
+
+let of_fun_index vars f =
+  let vars = normalize_vars vars in
+  let n = Array.length vars in
+  check_num_vars n;
+  let tbl = Bytes.make (table_size n) '\x00' in
+  for i = 0 to (1 lsl n) - 1 do
+    if f i then set_bit tbl i true
+  done;
+  make vars tbl
+
 (* Lift f to a (sorted) superset of its variables. *)
 let lift_to_array f vars' =
   if f.vars = vars' then f

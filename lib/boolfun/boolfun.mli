@@ -33,6 +33,12 @@ val var : string -> t
 val of_fun : string list -> (assignment -> bool) -> t
 (** [of_fun vars f] tabulates [f] over all assignments of [vars]. *)
 
+val of_fun_index : string list -> (int -> bool) -> t
+(** Like {!of_fun}, but the callback receives the assignment {e index}
+    directly: bit [j] of the index is the value of the [j]-th variable in
+    the sorted order of [vars].  The allocation-free tabulation path for
+    hot loops. *)
+
 val of_models : string list -> assignment list -> t
 (** Function true exactly on the listed assignments (restricted to
     [vars]; the models must assign every variable of [vars]). *)
@@ -60,6 +66,13 @@ val variables : t -> string list
 val num_vars : t -> int
 val eval : t -> assignment -> bool
 (** @raise Not_found if the assignment misses a variable of the function. *)
+
+val eval_index : t -> int -> bool
+(** [eval_index f i] is entry [i] of the truth table: the value of [f]
+    on the assignment where bit [j] of [i] is the value of the [j]-th
+    variable in the sorted order of [variables f].  O(1); the indexed
+    counterpart of {!eval} for loops that would otherwise allocate an
+    {!assignment} per iteration. *)
 
 val is_const : t -> bool option
 (** [Some b] if the function is constantly [b], [None] otherwise. *)

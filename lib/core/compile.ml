@@ -8,8 +8,10 @@ type cnnf = {
 (* For a pair of factors (G at w, G' at w') the product rectangle lies in
    exactly one factor H at v (Lemma 2).  [pair_table] precomputes, for
    each child factor, its contribution to the parent's assignment index,
-   so that the containing factor of a pair is a single array lookup. *)
-let pair_table analysis v =
+   so that the containing factor of a pair is pure array indexing
+   [ids.(cl.(g) lor cr.(g'))] — no closure call in the pair loops. *)
+let pair_table analysis v (left : Factor_width.node_factors)
+    (right : Factor_width.node_factors) =
   let nf = Factor_width.at analysis v in
   let parent_pos =
     let tbl = Hashtbl.create 16 in
@@ -33,9 +35,19 @@ let pair_table analysis v =
         !bits)
       child.Factor_width.rep_idx
   in
-  fun (left : Factor_width.node_factors) (right : Factor_width.node_factors) ->
-    let cl = contribution left and cr = contribution right in
-    fun g g' -> nf.Factor_width.ids.(cl.(g) lor cr.(g'))
+  (contribution left, contribution right, nf.Factor_width.ids)
+
+(* Index of the root factor computing F itself: the one whose
+   representative is a model.  At the root [yvars] is exactly the sorted
+   variable array of [f], so representative indices are truth-table
+   indices and the scan needs no per-factor assignment. *)
+let root_f_index f (nf_root : Factor_width.node_factors) =
+  let found = ref (-1) in
+  for i = 0 to nf_root.Factor_width.count - 1 do
+    if !found < 0 && Boolfun.eval_index f nf_root.Factor_width.rep_idx.(i)
+    then found := i
+  done;
+  !found
 
 let cnnf f vt =
   Obs.span "compile.cnnf" @@ fun () ->
@@ -71,7 +83,7 @@ let cnnf f vt =
         build w';
         let nfw = Factor_width.at analysis w in
         let nfw' = Factor_width.at analysis w' in
-        let containing = pair_table analysis v nfw nfw' in
+        let cl, cr, ids = pair_table analysis v nfw nfw' in
         (* Equation (20): one ∧-gate per factorized implicant; every
            factor pair is an implicant of exactly one H at v. *)
         let disjuncts = Array.make count [] in
@@ -79,7 +91,7 @@ let cnnf f vt =
         for g = 0 to nfw.Factor_width.count - 1 do
           for g' = 0 to nfw'.Factor_width.count - 1 do
             incr pair_count;
-            let h = containing g g' in
+            let h = ids.(cl.(g) lor cr.(g')) in
             let gate = Circuit.Builder.and_ b [ memo.(w).(g); memo.(w').(g') ] in
             disjuncts.(h) <- gate :: disjuncts.(h)
           done
@@ -97,15 +109,7 @@ let cnnf f vt =
   (* The root factor computing F is the one whose representative is a
      model of F (its induced cofactor over the empty set is the constant
      1); if F is unsatisfiable no factor qualifies. *)
-  let f_index =
-    let found = ref (-1) in
-    for i = 0 to nf_root.Factor_width.count - 1 do
-      if !found < 0
-         && Boolfun.eval f (Factor_width.rep_assignment nf_root i)
-      then found := i
-    done;
-    !found
-  in
+  let f_index = root_f_index f nf_root in
   let out =
     if f_index < 0 then Circuit.Builder.const b false
     else memo.(root).(f_index)
@@ -165,13 +169,14 @@ let mask_set b i =
   Bytes.set b (i lsr 3)
     (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
 
+let popcount_byte =
+  Array.init 256 (fun b ->
+      let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
+      go b 0)
+
 let mask_popcount s =
   let pop = ref 0 in
-  String.iter
-    (fun c ->
-      let rec go b acc = if b = 0 then acc else go (b lsr 1) (acc + (b land 1)) in
-      pop := !pop + go (Char.code c) 0)
-    s;
+  String.iter (fun c -> pop := !pop + popcount_byte.(Char.code c)) s;
   !pop
 
 let singleton_mask count i =
@@ -197,10 +202,14 @@ let sdd_of_boolfun m f =
     match matrices.(v) with
     | Some mx -> mx
     | None ->
-      let containing = pair_table analysis v nfw nfw' in
+      let cl, cr, ids = pair_table analysis v nfw nfw' in
       let nl = nfw.Factor_width.count in
       let nr = nfw'.Factor_width.count in
-      let mx = Array.init nl (fun g -> Array.init nr (fun g' -> containing g g')) in
+      let mx =
+        Array.init nl (fun g ->
+            let base = cl.(g) in
+            Array.init nr (fun g' -> ids.(base lor cr.(g'))))
+      in
       matrices.(v) <- Some mx;
       mx
   in
@@ -267,14 +276,7 @@ let sdd_of_boolfun m f =
   in
   let root = Vtree.root vt in
   let nf_root = Factor_width.at analysis root in
-  let f_index =
-    let found = ref (-1) in
-    for i = 0 to nf_root.Factor_width.count - 1 do
-      if !found < 0 && Boolfun.eval f (Factor_width.rep_assignment nf_root i)
-      then found := i
-    done;
-    !found
-  in
+  let f_index = root_f_index f nf_root in
   if f_index < 0 then Sdd.false_ m
   else build root (singleton_mask nf_root.Factor_width.count f_index)
 

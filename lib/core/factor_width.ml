@@ -12,17 +12,188 @@ type analysis = {
   materialized : (Boolfun.t * Boolfun.t) list option array;
 }
 
-let analyze f vt =
-  let fvars = Boolfun.variables f in
-  let tvars = Vtree.variables vt in
-  if not (List.for_all (fun v -> List.mem v tvars) fvars) then
-    invalid_arg "Factor_width.analyze: vtree misses variables of the function";
-  let table =
-    Array.init (Vtree.num_nodes vt) (fun v ->
-        let yvars, ids, rep_idx = Boolfun.factor_ids f (Vtree.vars_below vt v) in
-        { count = Array.length rep_idx; yvars; ids; rep_idx })
+(* Incremental analysis.  The naive route calls [Boolfun.factor_ids]
+   once per vtree node, re-scanning the full truth table each time.
+   Instead, the table is touched exactly once — at the root, where the
+   factor partition is the models/non-models split — and every other
+   node's partition is derived from its parent's by pure integer-array
+   refinement, using the identity
+
+     Z_v = Y_sibling ⊎ Z_parent, hence
+     cofactor_v(a) = cofactor_v(a')  iff
+       ∀b over Y_sibling. parent_class(a·b) = parent_class(a'·b):
+
+   a node's factors are the groups of equal rows of parent factor ids,
+   the row of [a] ranging over all sibling assignments [b].  Assignments
+   are scanned in increasing index order, so class numbering and
+   representatives coincide bit-for-bit with the first-seen order of
+   [Boolfun.factor_ids] (the property tests assert this). *)
+
+(* Positions of the (sorted) sub-array [sub] inside the sorted array
+   [sup]; [sub] must be a subset. *)
+let positions_in ~sub ~sup =
+  let pos = Array.make (Array.length sub) 0 in
+  let j = ref 0 in
+  Array.iteri
+    (fun i v ->
+      while sup.(!j) <> v do Stdlib.incr j done;
+      pos.(i) <- !j)
+    sub;
+  pos
+
+(* [scatter_table pos] maps each index over the sub-variables to the
+   index bits placed at the parent positions [pos]: a lookup table so the
+   refinement loop pays O(1) per assignment, not O(#vars). *)
+let scatter_table pos =
+  let k = Array.length pos in
+  let tbl = Array.make (1 lsl k) 0 in
+  for j = 0 to k - 1 do
+    let bit = 1 lsl pos.(j) in
+    let base = 1 lsl j in
+    for i = base to (2 * base) - 1 do
+      tbl.(i) <- tbl.(i - base) lor bit
+    done
+  done;
+  tbl
+
+(* Group the assignments of a child node by their row of parent factor
+   ids over all sibling assignments.  First-seen class numbering over
+   ascending child indices. *)
+let refine_child ~parent_ids ~child_scat ~sib_scat =
+  let nc = Array.length child_scat and ns = Array.length sib_scat in
+  let ids = Array.make nc 0 in
+  let reps = ref [] in
+  let next_id = ref 0 in
+  (* FNV-1a fingerprint of the row, verified element-wise on collision. *)
+  let row_hash base =
+    let h = ref 0x811c9dc5 in
+    for b = 0 to ns - 1 do
+      let x = parent_ids.(base lor sib_scat.(b)) in
+      h := (!h lxor (x land 0xffff)) * 0x01000193 land 0x3fffffff;
+      h := (!h lxor (x lsr 16)) * 0x01000193 land 0x3fffffff
+    done;
+    !h
   in
-  { f; vt; table; materialized = Array.make (Vtree.num_nodes vt) None }
+  let rows_equal base1 base2 =
+    let rec go b =
+      b >= ns
+      || (parent_ids.(base1 lor sib_scat.(b))
+            = parent_ids.(base2 lor sib_scat.(b))
+         && go (b + 1))
+    in
+    go 0
+  in
+  let buckets : (int, (int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  for a = 0 to nc - 1 do
+    let base = child_scat.(a) in
+    let h = row_hash base in
+    let id =
+      match Hashtbl.find_opt buckets h with
+      | Some entries ->
+        (match
+           List.find_opt (fun (_, rep) -> rows_equal base rep) !entries
+         with
+         | Some (id, _) -> id
+         | None ->
+           let id = !next_id in
+           Stdlib.incr next_id;
+           entries := (id, base) :: !entries;
+           reps := a :: !reps;
+           id)
+      | None ->
+        let id = !next_id in
+        Stdlib.incr next_id;
+        Hashtbl.add buckets h (ref [ (id, base) ]);
+        reps := a :: !reps;
+        id
+    in
+    ids.(a) <- id
+  done;
+  (ids, Array.of_list (List.rev !reps))
+
+let analyze f vt =
+  let fvars = Array.of_list (Boolfun.variables f) in
+  let tvars = Vtree.variables vt in
+  if not (Array.for_all (fun v -> List.mem v tvars) fvars) then
+    invalid_arg "Factor_width.analyze: vtree misses variables of the function";
+  Obs.incr "factor_width.analyze.calls";
+  let num_nodes = Vtree.num_nodes vt in
+  let table = Array.make num_nodes { count = 0; yvars = [||]; ids = [||]; rep_idx = [||] } in
+  let in_f =
+    let tbl = Hashtbl.create (Array.length fvars) in
+    Array.iter (fun v -> Hashtbl.replace tbl v ()) fvars;
+    fun v -> Hashtbl.mem tbl v
+  in
+  let yvars_of v =
+    Array.of_list (List.filter in_f (Vtree.vars_below vt v))
+  in
+  (* Root: Y = X, Z = ∅ — the factors are the models/non-models split,
+     read off the truth table in one scan. *)
+  let root = Vtree.root vt in
+  let n = Array.length fvars in
+  let root_nf =
+    let size = 1 lsl n in
+    let ids = Array.make size 0 in
+    let reps = ref [] in
+    let seen_true = ref (-1) and seen_false = ref (-1) in
+    for i = 0 to size - 1 do
+      let b = Boolfun.eval_index f i in
+      let cell = if b then seen_true else seen_false in
+      if !cell < 0 then begin
+        cell := List.length !reps;
+        reps := i :: !reps
+      end;
+      ids.(i) <- !cell
+    done;
+    let rep_idx = Array.of_list (List.rev !reps) in
+    { count = Array.length rep_idx; yvars = fvars; ids; rep_idx }
+  in
+  table.(root) <- root_nf;
+  (* Every other node, top-down: refine the parent's ids array. *)
+  let rec down v =
+    if not (Vtree.is_leaf vt v) then begin
+      let parent = table.(v) in
+      let w = Vtree.left vt v and w' = Vtree.right vt v in
+      let refine child =
+        let yv = yvars_of child in
+        let nf =
+          if Array.length yv = Array.length parent.yvars then
+            (* The sibling holds no variable of [f]: rows have length one
+               and the parent ids are already first-seen numbered, so the
+               partition data is shared as-is. *)
+            { parent with yvars = yv }
+          else if Array.length yv = 0 then
+            { count = 1; yvars = [||]; ids = [| 0 |]; rep_idx = [| 0 |] }
+          else if parent.count = 1 then begin
+            (* A single parent factor forces a single child factor. *)
+            { count = 1; yvars = yv; ids = Array.make (1 lsl Array.length yv) 0;
+              rep_idx = [| 0 |] }
+          end
+          else begin
+            let sib = if child == w then w' else w in
+            let ysib = yvars_of sib in
+            let child_scat =
+              scatter_table (positions_in ~sub:yv ~sup:parent.yvars)
+            in
+            let sib_scat =
+              scatter_table (positions_in ~sub:ysib ~sup:parent.yvars)
+            in
+            let ids, rep_idx =
+              refine_child ~parent_ids:parent.ids ~child_scat ~sib_scat
+            in
+            { count = Array.length rep_idx; yvars = yv; ids; rep_idx }
+          end
+        in
+        table.(child) <- nf
+      in
+      refine w;
+      refine w';
+      down w;
+      down w'
+    end
+  in
+  down root;
+  { f; vt; table; materialized = Array.make num_nodes None }
 
 let at a v = a.table.(v)
 let function_of a = a.f

@@ -1,17 +1,89 @@
-let minimize ?(max_steps = 50) ~score vt =
+let default_domains () =
+  match Sys.getenv_opt "CTWSDD_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* Order-preserving parallel map over up to [domains] domains with
+   atomic work stealing.  The calling domain participates, so [d]
+   domains means [d - 1] spawns; each spawned worker runs under
+   {!Obs.Worker.capture} and its metrics are absorbed after the join,
+   making the instrumented totals independent of the schedule.  Every
+   worker is joined even on failure; the first exception is re-raised. *)
+let parallel_map ~domains f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  let d = Stdlib.min domains n in
+  if d <= 1 then List.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec work () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (f arr.(i));
+        work ()
+      end
+    in
+    let spawned =
+      List.init (d - 1) (fun _ ->
+          Domain.spawn (fun () -> Obs.Worker.capture work))
+    in
+    let main_exn = match work () with () -> None | exception e -> Some e in
+    let joined =
+      List.map (fun dom -> try Ok (Domain.join dom) with e -> Error e) spawned
+    in
+    List.iter
+      (function Ok ((), cap) -> Obs.Worker.absorb cap | Error _ -> ())
+      joined;
+    (match main_exn with Some e -> raise e | None -> ());
+    List.iter (function Error e -> raise e | Ok _ -> ()) joined;
+    Array.to_list (Array.map Option.get results)
+  end
+
+let minimize ?(max_steps = 50) ?domains ~score vt =
   Obs.span "vtree_search.minimize" @@ fun () ->
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  (* Scores of visited vtrees, keyed by canonical serialization: moves
+     frequently revisit shapes (a rotation and its inverse, swaps
+     recreating an earlier tree), and a score evaluation is a full SDD
+     compilation.  The cache is per-climb, filled only by the calling
+     domain after each parallel scoring round. *)
+  let cache : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let scores_of candidates =
+    let keyed = List.map (fun c -> (c, Vtree.to_string c)) candidates in
+    let unknown =
+      List.filter (fun (_, k) -> not (Hashtbl.mem cache k)) keyed
+    in
+    if !Obs.enabled_ref then
+      Obs.incr
+        ~by:(List.length keyed - List.length unknown)
+        "vtree_search.score_cache_hits";
+    let scored = parallel_map ~domains (fun (c, _) -> score c) unknown in
+    List.iter2 (fun (_, k) s -> Hashtbl.add cache k s) unknown scored;
+    List.map (fun (_, k) -> Hashtbl.find cache k) keyed
+  in
   let rec climb vt current steps =
     if steps >= max_steps then (vt, current)
     else begin
+      let candidates = Vtree.local_moves vt in
+      if !Obs.enabled_ref then
+        Obs.incr ~by:(List.length candidates) "vtree_search.candidates";
+      let scores = scores_of candidates in
+      (* Select sequentially, in candidate order: first strict minimum
+         improving on the current score — byte-identical to the
+         sequential hill climb regardless of [domains]. *)
       let best =
-        List.fold_left
-          (fun acc candidate ->
-            if !Obs.enabled_ref then Obs.incr "vtree_search.candidates";
-            let s = score candidate in
+        List.fold_left2
+          (fun acc candidate s ->
             match acc with
             | Some (_, bs) when bs <= s -> acc
             | _ -> if s < current then Some (candidate, s) else acc)
-          None (Vtree.local_moves vt)
+          None candidates scores
       in
       match best with
       | Some (vt', s') ->
@@ -20,7 +92,7 @@ let minimize ?(max_steps = 50) ~score vt =
       | None -> (vt, current)
     end
   in
-  climb vt (score vt) 0
+  climb vt (List.hd (scores_of [ vt ])) 0
 
 let sdd_size_score f vt =
   let m = Sdd.manager vt in
@@ -32,10 +104,10 @@ let sdw_score f vt =
 
 let fw_score f vt = Factor_width.fw f vt
 
-let minimize_sdd_size ?max_steps f vt =
-  minimize ?max_steps ~score:(sdd_size_score f) vt
+let minimize_sdd_size ?max_steps ?domains f vt =
+  minimize ?max_steps ?domains ~score:(sdd_size_score f) vt
 
-let best_known ?max_steps f =
+let best_known ?max_steps ?domains f =
   let vars = Boolfun.variables f in
   if vars = [] then invalid_arg "Vtree_search.best_known: constant function";
   let starts =
@@ -46,11 +118,19 @@ let best_known ?max_steps f =
       Vtree.random ~seed:2 vars;
     ]
   in
+  let domains =
+    match domains with Some d -> d | None -> default_domains ()
+  in
+  (* Restarts are the coarser work units, so they take the outer level;
+     leftover parallelism goes to per-step candidate scoring inside each
+     climb. *)
+  let outer = Stdlib.min domains (List.length starts) in
+  let inner = Stdlib.max 1 (domains / Stdlib.max 1 outer) in
   let results =
-    List.map
+    parallel_map ~domains:outer
       (fun vt ->
         Obs.incr "vtree_search.restarts";
-        minimize_sdd_size ?max_steps f vt)
+        minimize ?max_steps ~domains:inner ~score:(sdd_size_score f) vt)
       starts
   in
   List.fold_left

@@ -6,13 +6,34 @@
     from any vtree, hill-climb through single rotations/swaps minimizing
     a score (SDD size by default).  Greedy and exact only in the limit —
     the ablation experiment compares it against the fixed constructions
-    (right-linear, balanced, Lemma 1). *)
+    (right-linear, balanced, Lemma 1).
+
+    {2 Parallelism}
+
+    Candidate scoring and restarts fan out over OCaml domains.  Every
+    entry point takes [?domains] (total worker budget, 1 = sequential);
+    the default is the [CTWSDD_DOMAINS] environment variable when set to
+    a positive integer, otherwise [Domain.recommended_domain_count ()].
+    The search result is deterministic: candidates are scored in
+    parallel but selected sequentially in move order, so any [domains]
+    value returns the same vtree and score.  Worker metrics are merged
+    into the calling domain via {!Obs.Worker}. *)
+
+val default_domains : unit -> int
+(** The [?domains] default: [CTWSDD_DOMAINS] if set to a positive
+    integer, otherwise [Domain.recommended_domain_count ()]. *)
 
 val minimize :
-  ?max_steps:int -> score:(Vtree.t -> int) -> Vtree.t -> Vtree.t * int
+  ?max_steps:int ->
+  ?domains:int ->
+  score:(Vtree.t -> int) ->
+  Vtree.t ->
+  Vtree.t * int
 (** Greedy steepest-descent over {!Vtree.local_moves}; stops at a local
     minimum or after [max_steps] (default 50) improving moves.  Returns
-    the best vtree and its score. *)
+    the best vtree and its score.  Scores of visited vtrees are cached
+    per climb (keyed by canonical serialization), so [score] must be
+    deterministic; candidate scoring runs across [domains] domains. *)
 
 val sdd_size_score : Boolfun.t -> Vtree.t -> int
 (** Size of the canonical SDD of the function for the vtree. *)
@@ -24,9 +45,12 @@ val fw_score : Boolfun.t -> Vtree.t -> int
 (** Factor width (Definition 2). *)
 
 val minimize_sdd_size :
-  ?max_steps:int -> Boolfun.t -> Vtree.t -> Vtree.t * int
+  ?max_steps:int -> ?domains:int -> Boolfun.t -> Vtree.t -> Vtree.t * int
 
 val best_known :
-  ?max_steps:int -> Boolfun.t -> Vtree.t * int
+  ?max_steps:int -> ?domains:int -> Boolfun.t -> Vtree.t * int
 (** Best SDD size over hill climbs started from the right-linear,
-    balanced and two random vtrees of the function's variables. *)
+    balanced and two random vtrees of the function's variables.
+    Restarts run in parallel (outer level), with remaining domain budget
+    given to candidate scoring inside each climb; the result is
+    identical for every [domains] value. *)

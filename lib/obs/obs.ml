@@ -14,8 +14,20 @@ let now () = Unix.gettimeofday ()
 (* Counters and gauges                                                 *)
 (* ------------------------------------------------------------------ *)
 
-let counter_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
-let gauge_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+(* All metric state is domain-local: worker domains spawned by the
+   parallel search record into their own tables and hand the result back
+   through {!Worker.capture}/{!Worker.absorb}, so instruments never race
+   on shared hash tables.  The main domain's slots hold the exported
+   state. *)
+
+let counters_key : (string, int ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let gauges_key : (string, int ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let counter_tbl () = Domain.DLS.get counters_key
+let gauge_tbl () = Domain.DLS.get gauges_key
 
 let cell tbl name =
   match Hashtbl.find_opt tbl name with
@@ -27,31 +39,31 @@ let cell tbl name =
 
 let incr ?(by = 1) name =
   if !enabled_flag then begin
-    let r = cell counter_tbl name in
+    let r = cell (counter_tbl ()) name in
     r := !r + by
   end
 
 let counter_value name =
-  match Hashtbl.find_opt counter_tbl name with Some r -> !r | None -> 0
+  match Hashtbl.find_opt (counter_tbl ()) name with Some r -> !r | None -> 0
 
 let sorted_bindings tbl =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
   |> List.sort compare
 
-let counters () = sorted_bindings counter_tbl
+let counters () = sorted_bindings (counter_tbl ())
 
-let gauge_set name v = if !enabled_flag then cell gauge_tbl name := v
+let gauge_set name v = if !enabled_flag then cell (gauge_tbl ()) name := v
 
 let gauge_max name v =
   if !enabled_flag then begin
-    let r = cell gauge_tbl name in
+    let r = cell (gauge_tbl ()) name in
     if v > !r then r := v
   end
 
 let gauge_value name =
-  Option.map (fun r -> !r) (Hashtbl.find_opt gauge_tbl name)
+  Option.map (fun r -> !r) (Hashtbl.find_opt (gauge_tbl ()) name)
 
-let gauges () = sorted_bindings gauge_tbl
+let gauges () = sorted_bindings (gauge_tbl ())
 
 (* ------------------------------------------------------------------ *)
 (* Cache statistics                                                    *)
@@ -65,11 +77,17 @@ module Cache = struct
     size_fn : unit -> int;
   }
 
-  let registry : t list ref = ref []
+  let registry_key : t list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let registry () = Domain.DLS.get registry_key
 
   let create ?(size = fun () -> 0) name =
     let c = { name; hits = 0; misses = 0; size_fn = size } in
-    if !enabled_flag then registry := c :: !registry;
+    if !enabled_flag then begin
+      let r = registry () in
+      r := c :: !r
+    end;
     c
 
   let name c = c.name
@@ -98,24 +116,29 @@ module Cache = struct
     }
 end
 
+(* Cache snapshots handed back by joined worker domains; folded into the
+   aggregation below so worker caches survive the worker's death. *)
+let absorbed_caches_key : Cache.snapshot list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
 let caches () =
   let by_name : (string, Cache.snapshot ref) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun c ->
-      let s = Cache.snapshot c in
-      match Hashtbl.find_opt by_name s.Cache.cache with
-      | None -> Hashtbl.add by_name s.Cache.cache (ref s)
-      | Some acc ->
-        acc :=
-          Cache.
-            {
-              cache = s.cache;
-              lookups = !acc.lookups + s.lookups;
-              hits = !acc.hits + s.hits;
-              misses = !acc.misses + s.misses;
-              entries = !acc.entries + s.entries;
-            })
-    !Cache.registry;
+  let add s =
+    match Hashtbl.find_opt by_name s.Cache.cache with
+    | None -> Hashtbl.add by_name s.Cache.cache (ref s)
+    | Some acc ->
+      acc :=
+        Cache.
+          {
+            cache = s.cache;
+            lookups = !acc.lookups + s.lookups;
+            hits = !acc.hits + s.hits;
+            misses = !acc.misses + s.misses;
+            entries = !acc.entries + s.entries;
+          }
+  in
+  List.iter (fun c -> add (Cache.snapshot c)) !(Cache.registry ());
+  List.iter add !(Domain.DLS.get absorbed_caches_key);
   Hashtbl.fold (fun _ s acc -> !s :: acc) by_name []
   |> List.sort (fun a b -> compare a.Cache.cache b.Cache.cache)
 
@@ -133,17 +156,20 @@ type span_node = {
 let mk_span name = { sname = name; calls = 0; total = 0.0; children = [] }
 
 (* The root is synthetic and never exported directly. *)
-let span_root = ref (mk_span "<root>")
-let span_stack : span_node list ref = ref []
+type span_state = { mutable sroot : span_node; mutable sstack : span_node list }
 
-let span_depth () = List.length !span_stack
+let span_key : span_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { sroot = mk_span "<root>"; sstack = [] })
+
+let span_state () = Domain.DLS.get span_key
+
+let span_depth () = List.length (span_state ()).sstack
 
 let span name f =
   if not !enabled_flag then f ()
   else begin
-    let parent =
-      match !span_stack with top :: _ -> top | [] -> !span_root
-    in
+    let st = span_state () in
+    let parent = match st.sstack with top :: _ -> top | [] -> st.sroot in
     let node =
       match List.find_opt (fun n -> n.sname = name) parent.children with
       | Some n -> n
@@ -152,14 +178,14 @@ let span name f =
         parent.children <- n :: parent.children;
         n
     in
-    span_stack := node :: !span_stack;
+    st.sstack <- node :: st.sstack;
     let t0 = now () in
     Fun.protect
       ~finally:(fun () ->
         node.calls <- node.calls + 1;
         node.total <- node.total +. (now () -. t0);
-        match !span_stack with
-        | top :: rest when top == node -> span_stack := rest
+        match st.sstack with
+        | top :: rest when top == node -> st.sstack <- rest
         | _ -> (* a reset happened inside the span *) ())
       f
   end
@@ -179,14 +205,99 @@ let rec freeze n =
     children = List.rev_map freeze n.children;
   }
 
-let span_roots () = (freeze !span_root).children
+let span_roots () = (freeze (span_state ()).sroot).children
 
 let reset () =
-  Hashtbl.reset counter_tbl;
-  Hashtbl.reset gauge_tbl;
-  Cache.registry := [];
-  span_root := mk_span "<root>";
-  span_stack := []
+  Hashtbl.reset (counter_tbl ());
+  Hashtbl.reset (gauge_tbl ());
+  Cache.registry () := [];
+  Domain.DLS.get absorbed_caches_key := [];
+  let st = span_state () in
+  st.sroot <- mk_span "<root>";
+  st.sstack <- []
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Worker = struct
+  type captured = {
+    wcounters : (string * int) list;
+    wgauges : (string * int) list;
+    wcaches : Cache.snapshot list;
+    wspans : span_tree list;
+  }
+
+  let fresh_state () =
+    Domain.DLS.set counters_key (Hashtbl.create 64);
+    Domain.DLS.set gauges_key (Hashtbl.create 64);
+    Domain.DLS.set Cache.registry_key (ref []);
+    Domain.DLS.set absorbed_caches_key (ref []);
+    Domain.DLS.set span_key { sroot = mk_span "<root>"; sstack = [] }
+
+  let capture f =
+    let old_counters = Domain.DLS.get counters_key in
+    let old_gauges = Domain.DLS.get gauges_key in
+    let old_registry = Domain.DLS.get Cache.registry_key in
+    let old_absorbed = Domain.DLS.get absorbed_caches_key in
+    let old_spans = Domain.DLS.get span_key in
+    let restore () =
+      Domain.DLS.set counters_key old_counters;
+      Domain.DLS.set gauges_key old_gauges;
+      Domain.DLS.set Cache.registry_key old_registry;
+      Domain.DLS.set absorbed_caches_key old_absorbed;
+      Domain.DLS.set span_key old_spans
+    in
+    fresh_state ();
+    match f () with
+    | r ->
+      let cap =
+        {
+          wcounters = counters ();
+          wgauges = gauges ();
+          wcaches = caches ();
+          wspans = span_roots ();
+        }
+      in
+      restore ();
+      (r, cap)
+    | exception e ->
+      restore ();
+      raise e
+
+  (* Merge a frozen worker span tree under [parent], find-or-create by
+     name, summing calls and durations — the same accumulation rule
+     [span] itself applies to repeat entries. *)
+  let rec merge_tree (parent : span_node) (t : span_tree) =
+    let node =
+      match List.find_opt (fun n -> n.sname = t.span) parent.children with
+      | Some n -> n
+      | None ->
+        let n = mk_span t.span in
+        parent.children <- n :: parent.children;
+        n
+    in
+    node.calls <- node.calls + t.calls;
+    node.total <- node.total +. t.total_s;
+    List.iter (merge_tree node) t.children
+
+  let absorb cap =
+    List.iter
+      (fun (k, v) ->
+        let r = cell (counter_tbl ()) k in
+        r := !r + v)
+      cap.wcounters;
+    List.iter
+      (fun (k, v) ->
+        let r = cell (gauge_tbl ()) k in
+        if v > !r then r := v)
+      cap.wgauges;
+    (let ab = Domain.DLS.get absorbed_caches_key in
+     ab := cap.wcaches @ !ab);
+    let st = span_state () in
+    let parent = match st.sstack with top :: _ -> top | [] -> st.sroot in
+    List.iter (merge_tree parent) cap.wspans
+end
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)

@@ -123,6 +123,42 @@ val span_roots : unit -> span_tree list
 val span_depth : unit -> int
 (** Number of currently open spans (0 outside any [span]). *)
 
+(** {1 Worker domains}
+
+    All metric state (counters, gauges, spans, the cache registry) is
+    domain-local: a freshly spawned domain starts with empty tables, so
+    instruments never contend across domains.  Code that fans work out to
+    [Domain.spawn] workers wraps each worker body in {!Worker.capture}
+    and, after joining, feeds every capture to {!Worker.absorb} so the
+    workers' metrics are merged into the calling domain:
+
+    {[
+      let d = Domain.spawn (fun () -> Obs.Worker.capture work) in
+      let result, cap = Domain.join d in
+      Obs.Worker.absorb cap
+    ]} *)
+
+module Worker : sig
+  type captured
+  (** Frozen metric state of one unit of work: counters, gauges, cache
+      snapshots and the span forest recorded while it ran. *)
+
+  val capture : (unit -> 'a) -> 'a * captured
+  (** [capture f] runs [f] against fresh, empty metric state and returns
+      its result together with everything it recorded; the previous
+      state of the calling domain is restored afterwards (also if [f]
+      raises, in which case the partial capture is discarded).  Safe to
+      call in any domain, including nested under another [capture]. *)
+
+  val absorb : captured -> unit
+  (** Merge a capture into the calling domain's state: counters add,
+      gauges take the maximum, cache snapshots are accumulated into the
+      {!caches} aggregation, and span trees are grafted under the
+      currently open span, summing durations of same-named spans — the
+      same rule {!span} applies to repeat entries.  Absorb captures only
+      after joining their workers (typically in the main domain). *)
+end
+
 (** {1 JSON} *)
 
 module Json : sig

@@ -7,16 +7,54 @@ type node_data =
   | DLit of string * bool * int  (* variable, polarity, vtree leaf *)
   | DDec of int * (int * int) array  (* vtree node, elements sorted by prime *)
 
+(* The unique table is keyed by [|v; p0; s0; p1; s1; ...|].  Polymorphic
+   hashing only samples a bounded prefix of a structured key, so wide
+   decision nodes collide pathologically; hash the whole key FNV-1a
+   style instead, and compare with a monomorphic int-array loop. *)
+module Dec_key = struct
+  type t = int array
+
+  let equal (a : int array) (b : int array) =
+    let n = Array.length a in
+    n = Array.length b
+    &&
+    let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+    go 0
+
+  let hash (a : int array) =
+    let h = ref 0x811c9dc5 in
+    for i = 0 to Array.length a - 1 do
+      let x = a.(i) in
+      h := (!h lxor (x land 0xffff)) * 0x01000193 land 0x3fffffff;
+      h := (!h lxor ((x lsr 16) land 0xffff)) * 0x01000193 land 0x3fffffff
+    done;
+    !h
+end
+
+module Dec_tbl = Hashtbl.Make (Dec_key)
+
+(* Apply/negate/condition caches use a single unboxed int key (node ids
+   and vtree nodes packed into one word), so a lookup allocates nothing
+   and hashing is one multiply instead of a polymorphic traversal. *)
+module Int_key = struct
+  type t = int
+
+  let equal (a : int) (b : int) = a = b
+  let hash (x : int) = (x * 0x9e3779b97f4a7c1) lsr 33 land 0x3fffffff
+end
+
+module Int_tbl = Hashtbl.Make (Int_key)
+
 type manager = {
   vt : Vtree.t;
   mutable data : node_data array;
   mutable count : int;
-  unique : (int * (int * int) list, int) Hashtbl.t;
-  lit_tbl : (string * bool, int) Hashtbl.t;
-  and_cache : (int * int, int) Hashtbl.t;
-  or_cache : (int * int, int) Hashtbl.t;
-  neg_cache : (int, int) Hashtbl.t;
-  cond_cache : (int * string * bool, int) Hashtbl.t;
+  unique : int Dec_tbl.t;
+  lit_tbl : int array;  (* 2 * vtree leaf + polarity -> node id, -1 free *)
+  and_cache : int Int_tbl.t;
+  or_cache : int Int_tbl.t;
+  neg_cache : int Int_tbl.t;
+  cond_cache : int Int_tbl.t;
   cs_unique : Obs.Cache.t;
   cs_and : Obs.Cache.t;
   cs_or : Obs.Cache.t;
@@ -24,37 +62,45 @@ type manager = {
   cs_cond : Obs.Cache.t;
 }
 
+(* Apply keys pack the commuted operand pair; node ids stay far below
+   2^31 in any workload that fits in memory. *)
+let[@inline] pair_key a b = (a lsl 31) lor b
+
 let manager vt =
-  let unique = Hashtbl.create 1024 in
-  let and_cache = Hashtbl.create 1024 in
-  let or_cache = Hashtbl.create 1024 in
-  let neg_cache = Hashtbl.create 256 in
-  let cond_cache = Hashtbl.create 256 in
-  let cache name tbl =
-    Obs.Cache.create ~size:(fun () -> Hashtbl.length tbl) name
-  in
+  let unique = Dec_tbl.create 1024 in
+  let and_cache = Int_tbl.create 1024 in
+  let or_cache = Int_tbl.create 1024 in
+  let neg_cache = Int_tbl.create 256 in
+  let cond_cache = Int_tbl.create 256 in
   let m =
     {
       vt;
       data = Array.make 1024 (DConst false);
       count = 2;
       unique;
-      lit_tbl = Hashtbl.create 64;
+      lit_tbl = Array.make (2 * Vtree.num_nodes vt) (-1);
       and_cache;
       or_cache;
       neg_cache;
       cond_cache;
-      cs_unique = cache "sdd.unique" unique;
-      cs_and = cache "sdd.and_cache" and_cache;
-      cs_or = cache "sdd.or_cache" or_cache;
-      cs_neg = cache "sdd.neg_cache" neg_cache;
-      cs_cond = cache "sdd.cond_cache" cond_cache;
+      cs_unique =
+        Obs.Cache.create ~size:(fun () -> Dec_tbl.length unique) "sdd.unique";
+      cs_and =
+        Obs.Cache.create ~size:(fun () -> Int_tbl.length and_cache) "sdd.and_cache";
+      cs_or =
+        Obs.Cache.create ~size:(fun () -> Int_tbl.length or_cache) "sdd.or_cache";
+      cs_neg =
+        Obs.Cache.create ~size:(fun () -> Int_tbl.length neg_cache) "sdd.neg_cache";
+      cs_cond =
+        Obs.Cache.create
+          ~size:(fun () -> Int_tbl.length cond_cache)
+          "sdd.cond_cache";
     }
   in
   m.data.(0) <- DConst false;
   m.data.(1) <- DConst true;
-  Hashtbl.add m.neg_cache 0 1;
-  Hashtbl.add m.neg_cache 1 0;
+  Int_tbl.add m.neg_cache 0 1;
+  Int_tbl.add m.neg_cache 1 0;
   m
 
 let vtree m = m.vt
@@ -88,13 +134,15 @@ let alloc m d =
   id
 
 let literal m v polarity =
-  match Hashtbl.find_opt m.lit_tbl (v, polarity) with
-  | Some id -> id
-  | None ->
-    let leaf = Vtree.leaf_of_var m.vt v in
+  let leaf = Vtree.leaf_of_var m.vt v in
+  let slot = (2 * leaf) + Bool.to_int polarity in
+  let cached = m.lit_tbl.(slot) in
+  if cached >= 0 then cached
+  else begin
     let id = alloc m (DLit (v, polarity, leaf)) in
-    Hashtbl.add m.lit_tbl (v, polarity) id;
+    m.lit_tbl.(slot) <- id;
     id
+  end
 
 let vtree_node m a =
   match m.data.(a) with
@@ -111,11 +159,11 @@ let is_false _ a = a = 0
 (* ------------------------------------------------------------------ *)
 
 let rec negate m a =
-  match Hashtbl.find_opt m.neg_cache a with
-  | Some r ->
+  match Int_tbl.find m.neg_cache a with
+  | r ->
     cache_hit m.cs_neg;
     r
-  | None ->
+  | exception Not_found ->
     cache_miss m.cs_neg;
     let r =
       match m.data.(a) with
@@ -125,8 +173,8 @@ let rec negate m a =
         mk_decision m v
           (Array.to_list (Array.map (fun (p, s) -> (p, negate m s)) elems))
     in
-    Hashtbl.replace m.neg_cache a r;
-    Hashtbl.replace m.neg_cache r a;
+    Int_tbl.replace m.neg_cache a r;
+    Int_tbl.replace m.neg_cache r a;
     r
 
 (* Builds the canonical node for a decision at vtree node [v] from an
@@ -163,17 +211,23 @@ and mk_decision m v elems =
   | [ (_, 0); (q, 1) ] -> q
   | _ ->
     let sorted =
-      List.sort (fun (p1, _) (p2, _) -> compare p1 p2) compressed
+      List.sort (fun (p1, _) (p2, _) -> Int.compare p1 p2) compressed
     in
-    let key = (v, sorted) in
-    (match Hashtbl.find_opt m.unique key with
-     | Some id ->
+    let k = List.length sorted in
+    let key = Array.make (1 + (2 * k)) v in
+    List.iteri
+      (fun i (p, s) ->
+        key.((2 * i) + 1) <- p;
+        key.((2 * i) + 2) <- s)
+      sorted;
+    (match Dec_tbl.find m.unique key with
+     | id ->
        cache_hit m.cs_unique;
        id
-     | None ->
+     | exception Not_found ->
        cache_miss m.cs_unique;
        let id = alloc m (DDec (v, Array.of_list sorted)) in
-       Hashtbl.add m.unique key id;
+       Dec_tbl.add m.unique key id;
        id)
 
 (* ------------------------------------------------------------------ *)
@@ -201,15 +255,19 @@ and apply m op_and a b =
   else if a = neutral then b
   else if b = neutral then a
   else if a = b then a
-  else if Hashtbl.find_opt m.neg_cache a = Some b then absorbing
+  else if
+    match Int_tbl.find m.neg_cache a with
+    | r -> r = b
+    | exception Not_found -> false
+  then absorbing
   else begin
-    let key = (Stdlib.min a b, Stdlib.max a b) in
+    let key = pair_key (Stdlib.min a b) (Stdlib.max a b) in
     let cstat = if op_and then m.cs_and else m.cs_or in
-    match Hashtbl.find_opt cache key with
-    | Some r ->
+    match Int_tbl.find cache key with
+    | r ->
       cache_hit cstat;
       r
-    | None ->
+    | exception Not_found ->
       cache_miss cstat;
       let va = Option.get (vtree_node m a) in
       let vb = Option.get (vtree_node m b) in
@@ -244,7 +302,7 @@ and apply m op_and a b =
           mk_decision m v !out
         end
       in
-      Hashtbl.add cache key r;
+      Int_tbl.add cache key r;
       r
   end
 
@@ -259,33 +317,39 @@ let disjoin_list m l = List.fold_left (disjoin m) 0 l
 (* ------------------------------------------------------------------ *)
 
 let condition m a x value =
-  let rec go a =
-    match m.data.(a) with
-    | DConst _ -> a
-    | DLit (y, polarity, _) ->
-      if y = x then (if polarity = value then 1 else 0) else a
-    | DDec (v, elems) ->
-      if not (List.mem x (Vtree.vars_below m.vt v)) then a
-      else begin
-        let key = (a, x, value) in
-        match Hashtbl.find_opt m.cond_cache key with
-        | Some r ->
-          cache_hit m.cs_cond;
-          r
-        | None ->
-          cache_miss m.cs_cond;
-          let in_left = List.mem x (Vtree.vars_below m.vt (Vtree.left m.vt v)) in
-          let elems' =
-            List.map
-              (fun (p, s) -> if in_left then (go p, s) else (p, go s))
-              (Array.to_list elems)
-          in
-          let r = mk_decision m v elems' in
-          Hashtbl.add m.cond_cache key r;
-          r
-      end
-  in
-  go a
+  match Vtree.leaf_of_var m.vt x with
+  | exception Not_found ->
+    (* x is not in the vtree, so no node of the manager mentions it. *)
+    a
+  | lx ->
+    let num_nodes = Vtree.num_nodes m.vt in
+    let rec go a =
+      match m.data.(a) with
+      | DConst _ -> a
+      | DLit (y, polarity, _) ->
+        if y = x then (if polarity = value then 1 else 0) else a
+      | DDec (v, elems) ->
+        if not (Vtree.is_ancestor m.vt v lx) then a
+        else begin
+          let key = (((a * num_nodes) + lx) lsl 1) lor Bool.to_int value in
+          match Int_tbl.find m.cond_cache key with
+          | r ->
+            cache_hit m.cs_cond;
+            r
+          | exception Not_found ->
+            cache_miss m.cs_cond;
+            let in_left = Vtree.is_ancestor m.vt (Vtree.left m.vt v) lx in
+            let elems' =
+              List.map
+                (fun (p, s) -> if in_left then (go p, s) else (p, go s))
+                (Array.to_list elems)
+            in
+            let r = mk_decision m v elems' in
+            Int_tbl.add m.cond_cache key r;
+            r
+        end
+    in
+    go a
 
 (* ------------------------------------------------------------------ *)
 (* Structure and views                                                 *)
@@ -566,7 +630,36 @@ let eval m a asg =
   go a
 
 let to_boolfun m a =
-  Boolfun.of_fun (Vtree.variables m.vt) (fun asg -> eval m a asg)
+  let vars = Vtree.variables m.vt in
+  (* Bit position of each leaf's variable in the sorted variable order:
+     literals evaluate with two shifts instead of a map lookup, and the
+     tabulation loop allocates no assignments. *)
+  let pos_of_leaf = Array.make (Vtree.num_nodes m.vt) (-1) in
+  List.iteri (fun j v -> pos_of_leaf.(Vtree.leaf_of_var m.vt v) <- j) vars;
+  let memo = Int_tbl.create 64 in
+  Boolfun.of_fun_index vars (fun i ->
+      Int_tbl.reset memo;
+      let rec go a =
+        match m.data.(a) with
+        | DConst b -> b
+        | DLit (_, polarity, leaf) ->
+          (i lsr pos_of_leaf.(leaf)) land 1 = Bool.to_int polarity
+        | DDec (_, elems) ->
+          (match Int_tbl.find memo a with
+           | r -> r
+           | exception Not_found ->
+             let rec find j =
+               if j >= Array.length elems then assert false (* exhaustive *)
+               else begin
+                 let p, s = elems.(j) in
+                 if go p then go s else find (j + 1)
+               end
+             in
+             let r = find 0 in
+             Int_tbl.add memo a r;
+             r)
+      in
+      go a)
 
 let to_nnf_circuit m a =
   let b = Circuit.Builder.create () in
