@@ -1,0 +1,89 @@
+(* E18 — circuit-native pipeline and dynamic minimization workload.
+
+   Fixed workloads through the truth-table-free path: UCQ lineage
+   compilation via Pipeline.compile (24-48 tuple variables), in-manager
+   dynamic vtree minimization on structured circuits, and the
+   head-to-head the dynamic edits exist for: the in-manager hill climb
+   against the recompile-per-candidate hill climb on the same start,
+   which must reach the same final size (trajectory parity) while doing
+   asymptotically less work per candidate.  Like E17 this makes no
+   claim from the paper; keep the workload fixed so BENCH_E18.json is
+   comparable across commits. *)
+
+let ms t0 = Printf.sprintf "%.1f" (1000.0 *. (Unix.gettimeofday () -. t0))
+
+let run () =
+  Table.section "E18 — pipeline compilation and dynamic minimization";
+  (* UCQ lineages beyond the tabulation limit: the pipeline's treedec
+     vtree against the balanced default it replaced. *)
+  let q_rs = Ucq.of_string "R(x), S(x,y)" in
+  let rows =
+    List.concat_map
+      (fun n ->
+        let db = Pdb.complete_rst n in
+        let c = Lineage.circuit q_rs db in
+        let vars = List.length (Circuit.variables c) in
+        List.map
+          (fun (name, strategy) ->
+            let t0 = Unix.gettimeofday () in
+            let m, node = Pipeline.compile ~vtree_strategy:strategy c in
+            [
+              Printf.sprintf "rs-lineage-%d" n;
+              name;
+              Table.fi vars;
+              Table.fi (Sdd.size m node);
+              ms t0;
+            ])
+          [ ("treedec", `Treedec); ("balanced", `Balanced) ])
+      [ 4; 5; 6 ]
+  in
+  Table.print
+    ~title:"UCQ lineage compilation (Pipeline.compile, no truth tables)"
+    ~header:[ "lineage"; "vtree"; "vars"; "size"; "ms" ]
+    rows;
+  (* Dynamic minimization on structured circuits, balanced starts. *)
+  let rows =
+    List.map
+      (fun n ->
+        let c = Generators.band_cnf ~width:3 n in
+        let m = Sdd.manager (Vtree.balanced (Circuit.variables c)) in
+        let node = Sdd.compile_circuit m c in
+        let size0 = Sdd.size m node in
+        let t0 = Unix.gettimeofday () in
+        let _, size = Vtree_search.minimize_manager ~max_steps:5 m node in
+        [ Printf.sprintf "band3-%d" n; Table.fi size0; Table.fi size; ms t0 ])
+      [ 24; 32; 40; 48 ]
+  in
+  Table.print
+    ~title:"in-manager minimization (minimize_manager, max_steps=5)"
+    ~header:[ "circuit"; "size before"; "size after"; "ms" ]
+    rows;
+  (* Head-to-head at 24 variables: both backends follow the same greedy
+     trajectory (same candidate order, same scores by canonicity), so
+     the final sizes must agree; the in-manager backend edits the live
+     manager instead of recompiling per candidate. *)
+  let c = Generators.band_cnf ~width:3 24 in
+  let vt0 = Vtree.balanced (Circuit.variables c) in
+  let t0 = Unix.gettimeofday () in
+  let _, s_re =
+    Vtree_search.minimize ~max_steps:3 ~domains:1
+      ~score:(fun vt ->
+        let m = Sdd.manager vt in
+        Sdd.size m (Sdd.compile_circuit m c))
+      vt0
+  in
+  let re_ms = ms t0 in
+  let m = Sdd.manager vt0 in
+  let node = Sdd.compile_circuit m c in
+  let t0 = Unix.gettimeofday () in
+  let _, s_mgr = Vtree_search.minimize_manager ~max_steps:3 m node in
+  let mgr_ms = ms t0 in
+  Table.print
+    ~title:"in-manager vs recompile hill climb (band3-24, max_steps=3)"
+    ~header:[ "backend"; "final size"; "ms" ]
+    [
+      [ "recompile"; Table.fi s_re; re_ms ];
+      [ "in-manager"; Table.fi s_mgr; mgr_ms ];
+    ];
+  Table.note "final sizes %s (trajectory parity)"
+    (if s_re = s_mgr then "agree" else "DISAGREE")

@@ -22,6 +22,7 @@ let experiments =
     ([ "E13"; "E16" ], "vtree ablation, pathwidth specialisation, SDD-to-OBDD", Exp_vtree.run);
     ([ "E14" ], "Tseitin route vs direct compilation", Exp_routes.run);
     ([ "E17" ], "fixed perf-tracking workload", Exp_perf.run);
+    ([ "E18" ], "pipeline compilation and dynamic minimization", Exp_pipeline.run);
   ]
 
 let metrics_file ids = "BENCH_" ^ String.concat "_" ids ^ ".json"

@@ -35,13 +35,31 @@ let read_circuit path_opt inline_opt =
 
 let vtree_of_choice choice circuit =
   let vars = Circuit.variables circuit in
-  if vars = [] then failwith "the circuit has no variables";
+  if vars = [] then raise (Cli_usage "the circuit has no variables");
   Obs.span "cli.vtree" @@ fun () ->
   match choice with
   | `Balanced -> Vtree.balanced vars
   | `Right -> Vtree.right_linear vars
   | `Left -> Vtree.left_linear vars
   | `Lemma1 -> fst (Lemma1.vtree_of_circuit circuit)
+
+(* Pipeline strategies go through [Pipeline.compile]; the legacy vtree
+   kinds build the vtree directly and compile on it.  [--minimize] runs
+   the in-manager dynamic vtree search either way. *)
+let compile_with_choice choice ~minimize c =
+  if Circuit.variables c = [] then raise (Cli_usage "the circuit has no variables");
+  match choice with
+  | (`Right | `Balanced | `Treedec | `Search) as s ->
+    Pipeline.compile ~vtree_strategy:s ~minimize c
+  | (`Left | `Lemma1) as ch ->
+    let vt = vtree_of_choice ch c in
+    let m = Sdd.manager vt in
+    let node = Obs.span "cli.compile" (fun () -> Sdd.compile_circuit m c) in
+    if minimize then begin
+      let node', _ = Vtree_search.minimize_manager m node in
+      (m, node')
+    end
+    else (m, node)
 
 let circuit_file =
   Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE"
@@ -54,7 +72,13 @@ let circuit_inline =
 let vtree_conv =
   Arg.enum
     [ ("balanced", `Balanced); ("right", `Right); ("left", `Left);
-      ("lemma1", `Lemma1) ]
+      ("lemma1", `Lemma1); ("treedec", `Treedec); ("search", `Search) ]
+
+let minimize_flag =
+  Arg.(value & flag & info [ "minimize" ]
+         ~doc:"After compilation, shrink the SDD by in-manager dynamic \
+               vtree search (greedy rotations and swaps applied to the \
+               live manager).")
 
 (* ------------------------------------------------------------------ *)
 (* Observability plumbing                                              *)
@@ -108,15 +132,13 @@ let print_manager_stats m =
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run file inline vtree_choice count validate stats trace =
+  let run file inline vtree_choice minimize count validate stats trace =
     run_with_obs stats trace @@ fun () ->
     let c = read_circuit file inline in
-    let vt = vtree_of_choice vtree_choice c in
     Printf.printf "circuit : %d gates, %d variables\n" (Circuit.size c)
       (Circuit.num_vars c);
-    Printf.printf "vtree   : %s\n" (Vtree.to_string vt);
-    let m = Sdd.manager vt in
-    let node = Sdd.compile_circuit m c in
+    let m, node = compile_with_choice vtree_choice ~minimize c in
+    Printf.printf "vtree   : %s\n" (Vtree.to_string (Sdd.vtree m));
     Printf.printf "SDD     : size %d, width %d, nodes %d\n" (Sdd.size m node)
       (Sdd.width m node) (Sdd.node_count m node);
     if count then
@@ -139,8 +161,11 @@ let compile_cmd =
   in
   let vtree_choice =
     Arg.(value & opt vtree_conv `Lemma1 & info [ "vtree" ] ~docv:"KIND"
-           ~doc:"Vtree: $(b,balanced), $(b,right), $(b,left) or $(b,lemma1) \
-                 (from a tree decomposition of the circuit).")
+           ~doc:"Vtree: $(b,balanced), $(b,right), $(b,left), $(b,lemma1) \
+                 (from a tree decomposition of the circuit), $(b,treedec) \
+                 (pipeline: best of direct and Tseitin-route \
+                 decompositions) or $(b,search) (compile several \
+                 candidates in parallel, keep the smallest SDD).")
   in
   let count =
     Arg.(value & flag & info [ "count" ] ~doc:"Print the exact model count.")
@@ -150,8 +175,8 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a circuit to a canonical SDD and an OBDD")
-    Term.(ret (const run $ circuit_file $ circuit_inline $ vtree_choice $ count
-               $ validate $ stats_flag $ trace_file))
+    Term.(ret (const run $ circuit_file $ circuit_inline $ vtree_choice
+               $ minimize_flag $ count $ validate $ stats_flag $ trace_file))
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
@@ -272,7 +297,7 @@ let query_cmd =
 (* ------------------------------------------------------------------ *)
 
 let cnf_cmd =
-  let run path vtree_choice stats trace =
+  let run path vtree_choice minimize stats trace =
     run_with_obs stats trace @@ fun () ->
     let d = Obs.span "cli.parse" (fun () -> Dimacs.parse_file path) in
     Printf.printf "cnf: %d variables, %d clauses (%d variables unused)\n"
@@ -288,9 +313,7 @@ let cnf_cmd =
            (if value then Bigint.pow2 d.Dimacs.num_vars else Bigint.zero))
     end
     else begin
-      let vt = vtree_of_choice vtree_choice c in
-      let m = Sdd.manager vt in
-      let node = Sdd.compile_circuit m c in
+      let m, node = compile_with_choice vtree_choice ~minimize c in
       Printf.printf "SDD: size %d, width %d\n" (Sdd.size m node) (Sdd.width m node);
       let count =
         Obs.span "cli.model_count" @@ fun () ->
@@ -305,11 +328,13 @@ let cnf_cmd =
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let vtree_choice =
     Arg.(value & opt vtree_conv `Lemma1 & info [ "vtree" ] ~docv:"KIND"
-           ~doc:"Vtree: $(b,balanced), $(b,right), $(b,left) or $(b,lemma1).")
+           ~doc:"Vtree: $(b,balanced), $(b,right), $(b,left), $(b,lemma1), \
+                 $(b,treedec) or $(b,search).")
   in
   Cmd.v
     (Cmd.info "cnf" ~doc:"Exact model counting for a DIMACS CNF file")
-    Term.(ret (const run $ path $ vtree_choice $ stats_flag $ trace_file))
+    Term.(ret (const run $ path $ vtree_choice $ minimize_flag $ stats_flag
+               $ trace_file))
 
 (* ------------------------------------------------------------------ *)
 (* isa                                                                 *)

@@ -1,0 +1,92 @@
+type vtree_strategy = [ `Right | `Balanced | `Treedec | `Search ]
+
+(* Map a tree decomposition of the Tseitin CNF's primal graph back to a
+   decomposition of the circuit's gate graph.  Tseitin names the signal
+   of gate [i] either "_g<i>" (internal and constant gates) or the input
+   variable itself, so the renaming is per-vertex and injective for
+   builder-constructed circuits, and every wire (j, i) of the circuit
+   appears in the clause relating gate [i] to its fanins — hence in some
+   primal bag.  The primal graph also has fanin-fanin edges the circuit
+   graph lacks, which only makes the mapped decomposition valid for a
+   supergraph — harmless.  If the mapping misses a gate (duplicate input
+   gates of a hand-assembled circuit), validation fails and the caller
+   falls back to the direct decomposition. *)
+let tseitin_decomposition c =
+  let cnf = Tseitin.transform c in
+  let g, names = Tseitin.primal_graph cnf in
+  let gate_of_name = Hashtbl.create 64 in
+  Array.iteri
+    (fun i gate ->
+      match gate with
+      | Circuit.Var x -> Hashtbl.replace gate_of_name x i
+      | _ -> Hashtbl.replace gate_of_name (Printf.sprintf "_g%d" i) i)
+    c.Circuit.gates;
+  let td = Treewidth.decomposition g in
+  let map_bag bag =
+    List.sort_uniq compare
+      (List.filter_map (fun v -> Hashtbl.find_opt gate_of_name names.(v)) bag)
+  in
+  let td' =
+    { Treedec.bags = Array.map map_bag td.Treedec.bags; tree = td.Treedec.tree }
+  in
+  match Treedec.validate (Circuit.underlying_graph c) td' with
+  | Ok () -> Some td'
+  | Error _ -> None
+
+let treedec_vtree c =
+  Obs.span "pipeline.treedec_vtree" @@ fun () ->
+  let direct = snd (Circuit.treewidth_upper c) in
+  let td =
+    match tseitin_decomposition c with
+    | Some td' when Treedec.width td' < Treedec.width direct -> td'
+    | _ -> direct
+  in
+  (Lemma1.vtree_of_decomposition c td, Treedec.width td)
+
+let compile_with_vtree vt c =
+  let m = Sdd.manager vt in
+  (m, Sdd.compile_circuit m c)
+
+let compile ?(vtree_strategy = `Treedec) ?(minimize = false) ?max_steps
+    ?domains c =
+  Obs.span "pipeline.compile" @@ fun () ->
+  let vars = Circuit.variables c in
+  if vars = [] then invalid_arg "Pipeline.compile: circuit has no variables";
+  let m, node =
+    match vtree_strategy with
+    | `Right -> compile_with_vtree (Vtree.right_linear vars) c
+    | `Balanced -> compile_with_vtree (Vtree.balanced vars) c
+    | `Treedec -> compile_with_vtree (fst (treedec_vtree c)) c
+    | `Search ->
+      (* Compile the deterministic candidate set in parallel and keep
+         the smallest result; the tie-break (first minimum in candidate
+         order) makes the choice independent of [domains]. *)
+      let candidates =
+        [ fst (treedec_vtree c); Vtree.balanced vars; Vtree.right_linear vars ]
+      in
+      let domains =
+        match domains with
+        | Some d -> d
+        | None -> Vtree_search.default_domains ()
+      in
+      let scored =
+        Vtree_search.parallel_map ~domains
+          (fun vt ->
+            let m = Sdd.manager vt in
+            let n = Sdd.compile_circuit m c in
+            (m, n, Sdd.size m n))
+          candidates
+      in
+      let bm, bn, _ =
+        List.fold_left
+          (fun (bm, bn, bs) (m', n', s') ->
+            if s' < bs then (m', n', s') else (bm, bn, bs))
+          (List.hd scored) (List.tl scored)
+      in
+      (bm, bn)
+  in
+  if minimize then begin
+    let node', _ = Vtree_search.minimize_manager ?max_steps m node in
+    (m, node')
+  end
+  else (m, node)

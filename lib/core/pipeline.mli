@@ -1,0 +1,53 @@
+(** Circuit-native compilation pipeline.
+
+    One entry point from a Boolean circuit to a canonical SDD, chaining
+    the paper's ingredients without ever tabulating a truth table:
+    Tseitin / primal-graph treewidth (Section 1), the Lemma 1 vtree of a
+    tree decomposition, bottom-up apply compilation, and in-manager
+    dynamic vtree minimization.  This is the path the probabilistic-
+    database evaluator and the CLI use for lineages beyond the
+    tabulation limit. *)
+
+type vtree_strategy = [ `Right | `Balanced | `Treedec | `Search ]
+(** How the starting vtree is chosen:
+    - [`Right] — right-linear over the circuit's variables (an OBDD-style
+      order, the paper's Section 2.2 baseline);
+    - [`Balanced] — balanced over the circuit's variables;
+    - [`Treedec] — the Lemma 1 vtree of the best available tree
+      decomposition of the circuit's gate graph (see {!treedec_vtree});
+    - [`Search] — compile the [`Treedec], [`Balanced] and [`Right]
+      candidates in parallel and keep the smallest SDD (deterministic:
+      first minimum in that order, independent of [domains]). *)
+
+val tseitin_decomposition : Circuit.t -> Treedec.t option
+(** Tree decomposition of the circuit's gate graph obtained indirectly:
+    decompose the primal graph of the circuit's Tseitin CNF, then rename
+    each CNF variable back to the gate it stands for.  The primal graph
+    has extra fanin–fanin edges, so the renamed decomposition covers a
+    supergraph of the gate graph and is usually at least as good as —
+    sometimes better than — the direct elimination-order bound.  [None]
+    if the renamed decomposition fails validation (possible for
+    hand-assembled circuits with duplicate input gates). *)
+
+val treedec_vtree : Circuit.t -> Vtree.t * int
+(** The Lemma 1 vtree of the circuit, from the narrower of the direct
+    decomposition ({!Circuit.treewidth_upper}) and the Tseitin-route one
+    ({!tseitin_decomposition}).  Also returns the width of the chosen
+    decomposition. *)
+
+val compile :
+  ?vtree_strategy:vtree_strategy ->
+  ?minimize:bool ->
+  ?max_steps:int ->
+  ?domains:int ->
+  Circuit.t ->
+  Sdd.manager * Sdd.t
+(** [compile c] builds the canonical SDD of [c] in a fresh manager.
+    Defaults: [vtree_strategy = `Treedec], [minimize = false].  When
+    [minimize] is set, the result is post-processed with
+    {!Vtree_search.minimize_manager} ([max_steps] forwarded, default
+    50), mutating the returned manager's vtree in place.  [domains]
+    bounds the parallelism of the [`Search] strategy (default
+    {!Vtree_search.default_domains}).
+    @raise Invalid_argument on a constant circuit (no variables — there
+    is no vtree to build; callers should special-case constants). *)

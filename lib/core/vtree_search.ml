@@ -48,14 +48,14 @@ let minimize ?(max_steps = 50) ?domains ~score vt =
   let domains =
     match domains with Some d -> d | None -> default_domains ()
   in
-  (* Scores of visited vtrees, keyed by canonical serialization: moves
+  (* Scores of visited vtrees, keyed by structural fingerprint: moves
      frequently revisit shapes (a rotation and its inverse, swaps
      recreating an earlier tree), and a score evaluation is a full SDD
      compilation.  The cache is per-climb, filled only by the calling
      domain after each parallel scoring round. *)
-  let cache : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let cache : (int, int) Hashtbl.t = Hashtbl.create 64 in
   let scores_of candidates =
-    let keyed = List.map (fun c -> (c, Vtree.to_string c)) candidates in
+    let keyed = List.map (fun c -> (c, Vtree.fingerprint c)) candidates in
     let unknown =
       List.filter (fun (_, k) -> not (Hashtbl.mem cache k)) keyed
     in
@@ -93,6 +93,62 @@ let minimize ?(max_steps = 50) ?domains ~score vt =
     end
   in
   climb vt (List.hd (scores_of [ vt ])) 0
+
+(* In-manager hill climb: rather than recompiling the function for every
+   candidate vtree, apply each local move to the live manager with
+   [Sdd.apply_move], read [Sdd.size] off the forwarded root, and revert
+   with the inverse move.  By canonicity the size read after an edit
+   equals the size a fresh compile for that vtree would report, and
+   [Vtree.local_moves_with] enumerates candidates in exactly the
+   [Vtree.local_moves] order, so the climb retraces [minimize]'s
+   trajectory move for move — same final vtree, same final size —
+   without ever tabulating the function. *)
+let minimize_manager ?(max_steps = 50) m root =
+  Obs.span "vtree_search.minimize_manager" @@ fun () ->
+  let cache : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let root = ref root in
+  let score_move mv =
+    let k = Vtree.fingerprint (Vtree.apply_move (Sdd.vtree m) mv) in
+    match Hashtbl.find_opt cache k with
+    | Some s ->
+      if !Obs.enabled_ref then Obs.incr "vtree_search.score_cache_hits";
+      s
+    | None ->
+      let fwd = Sdd.apply_move m mv !root in
+      let s = Sdd.size m fwd in
+      root := Sdd.apply_move m (Vtree.inverse_move mv) fwd;
+      Hashtbl.add cache k s;
+      s
+  in
+  let rec climb current steps =
+    if steps >= max_steps then current
+    else begin
+      let moves = Vtree.local_moves_with (Sdd.vtree m) in
+      if !Obs.enabled_ref then
+        Obs.incr ~by:(List.length moves) "vtree_search.candidates";
+      let scores = List.map (fun (mv, _) -> score_move mv) moves in
+      (* Same selection rule as [minimize]: first strict minimum in
+         candidate order improving on the current score. *)
+      let best =
+        List.fold_left2
+          (fun acc (mv, _) s ->
+            match acc with
+            | Some (_, bs) when bs <= s -> acc
+            | _ -> if s < current then Some (mv, s) else acc)
+          None moves scores
+      in
+      match best with
+      | Some (mv, s') ->
+        Obs.incr "vtree_search.steps";
+        root := Sdd.apply_move m mv !root;
+        climb s' (steps + 1)
+      | None -> current
+    end
+  in
+  let s0 = Sdd.size m !root in
+  Hashtbl.add cache (Vtree.fingerprint (Sdd.vtree m)) s0;
+  let final = climb s0 0 in
+  (!root, final)
 
 let sdd_size_score f vt =
   let m = Sdd.manager vt in

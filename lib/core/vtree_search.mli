@@ -23,6 +23,13 @@ val default_domains : unit -> int
 (** The [?domains] default: [CTWSDD_DOMAINS] if set to a positive
     integer, otherwise [Domain.recommended_domain_count ()]. *)
 
+val parallel_map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map over up to [domains] domains with
+    atomic work stealing; [domains <= 1] degrades to [List.map].  The
+    calling domain participates; spawned workers run under
+    {!Obs.Worker.capture} and their metrics are absorbed after the
+    join. *)
+
 val minimize :
   ?max_steps:int ->
   ?domains:int ->
@@ -32,8 +39,23 @@ val minimize :
 (** Greedy steepest-descent over {!Vtree.local_moves}; stops at a local
     minimum or after [max_steps] (default 50) improving moves.  Returns
     the best vtree and its score.  Scores of visited vtrees are cached
-    per climb (keyed by canonical serialization), so [score] must be
+    per climb (keyed by {!Vtree.fingerprint}), so [score] must be
     deterministic; candidate scoring runs across [domains] domains. *)
+
+val minimize_manager :
+  ?max_steps:int -> Sdd.manager -> Sdd.t -> Sdd.t * int
+(** The in-manager backend of {!minimize}: hill-climbs by applying each
+    candidate move to the live manager with {!Sdd.apply_move}, reading
+    {!Sdd.size} from the forwarded root, and reverting via
+    {!Vtree.inverse_move} — no recompilation, no truth tables.
+    Candidates come from {!Vtree.local_moves_with} in the
+    {!Vtree.local_moves} order and the selection rule is the one used by
+    {!minimize}, so for [score = sdd_size_score f] both backends follow
+    the same trajectory and return the same final size (canonicity makes
+    the per-candidate scores equal).  Mutates the manager's vtree and
+    invalidates outstanding handles; returns the forwarded root and its
+    size.  Sequential ([?domains] does not apply: edits share the
+    manager). *)
 
 val sdd_size_score : Boolfun.t -> Vtree.t -> int
 (** Size of the canonical SDD of the function for the vtree. *)

@@ -21,19 +21,49 @@ let via_obdd ?order q db =
   let node = Bdd.compile_circuit m (Lineage.circuit q db) in
   (Bdd.probability_ratio m node (weight_fun db), Bdd.size m node)
 
-let via_sdd ?vtree q db =
-  let vt =
-    match vtree with
-    | Some vt -> vt
-    | None -> Vtree.balanced (Lineage.variables db)
-  in
-  let m = Sdd.manager vt in
-  let node = Sdd.compile_circuit m (Lineage.circuit q db) in
-  (Sdd.probability_ratio m node (weight_fun db), Sdd.size m node)
+(* A lineage with no variables is a constant (empty database, or a query
+   decided without touching any tuple); there is no vtree to build, so
+   short-circuit before the pipeline. *)
+let constant_lineage c =
+  if Circuit.variables c = [] then
+    Some (if Circuit.eval c Boolfun.Smap.empty then Ratio.one else Ratio.zero)
+  else None
 
-let via_dnnf q db =
-  let vt = Vtree.balanced (Lineage.variables db) in
-  let m = Sdd.manager vt in
-  let node = Sdd.compile_circuit m (Lineage.circuit q db) in
-  let c = Sdd.to_nnf_circuit m node in
-  (Snnf.probability_ratio c (weight_fun db), Circuit.size c)
+let compile_lineage ?vtree ?(minimize = false) q db =
+  let c = Lineage.circuit q db in
+  match constant_lineage c with
+  | Some p -> Error p
+  | None ->
+    Ok
+      (match vtree with
+       | Some vt ->
+         let m = Sdd.manager vt in
+         let node = Sdd.compile_circuit m c in
+         if minimize then
+           let node', _ = Vtree_search.minimize_manager m node in
+           (m, node')
+         else (m, node)
+       | None ->
+         (* The treewidth-derived vtree is the paper's route for
+            inversion-free queries (bounded-treewidth lineages,
+            quasipolynomial SDDs).  Outside that class the lineage
+            treewidth grows and apply-compilation on the Lemma 1 vtree
+            explodes on instances a balanced vtree handles easily, so
+            keep the balanced start there. *)
+         let strategy =
+           if Qsafety.inversion_free q then `Treedec else `Balanced
+         in
+         Pipeline.compile ~vtree_strategy:strategy ~minimize c)
+
+let via_sdd ?vtree ?minimize q db =
+  match compile_lineage ?vtree ?minimize q db with
+  | Error p -> (p, 0)
+  | Ok (m, node) ->
+    (Sdd.probability_ratio m node (weight_fun db), Sdd.size m node)
+
+let via_dnnf ?minimize q db =
+  match compile_lineage ?minimize q db with
+  | Error p -> (p, 0)
+  | Ok (m, node) ->
+    let c = Sdd.to_nnf_circuit m node in
+    (Snnf.probability_ratio c (weight_fun db), Circuit.size c)

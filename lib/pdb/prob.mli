@@ -13,11 +13,22 @@ val via_obdd : ?order:string list -> Ucq.t -> Pdb.t -> Ratio.t * int
     hierarchical and none is supplied, else sorted variables); returns
     the exact probability and the OBDD size. *)
 
-val via_sdd : ?vtree:Vtree.t -> Ucq.t -> Pdb.t -> Ratio.t * int
-(** Same through the canonical SDD (balanced vtree by default); returns
-    probability and SDD size. *)
+val via_sdd :
+  ?vtree:Vtree.t -> ?minimize:bool -> Ucq.t -> Pdb.t -> Ratio.t * int
+(** Same through the canonical SDD; returns probability and SDD size.
+    By default inversion-free queries are compiled with
+    {!Pipeline.compile} on a treewidth-derived vtree ([`Treedec]) — the
+    paper's pipeline, exponentially better than the balanced vtree that
+    used to be the default here on bounded-treewidth lineages; queries
+    with inversions keep the balanced vtree (their lineage treewidth
+    grows, and the Lemma 1 vtree degrades apply compilation there).
+    An explicit [vtree] bypasses the pipeline.  [minimize] runs the
+    in-manager dynamic vtree search after compilation.  Constant
+    lineages (no variables) return size 0 without building a
+    manager. *)
 
-val via_dnnf : Ucq.t -> Pdb.t -> Ratio.t * int
+val via_dnnf : ?minimize:bool -> Ucq.t -> Pdb.t -> Ratio.t * int
 (** Same through a deterministic structured NNF circuit (the SDD exported
     as a d-SDNNF), counted by the linear-time d-DNNF algorithm of
-    [Snnf].  Returns probability and circuit size. *)
+    [Snnf].  Compiles via the same pipeline as {!via_sdd}.  Returns
+    probability and circuit size. *)

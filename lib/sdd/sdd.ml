@@ -46,7 +46,7 @@ end
 module Int_tbl = Hashtbl.Make (Int_key)
 
 type manager = {
-  vt : Vtree.t;
+  mutable vt : Vtree.t;
   mutable data : node_data array;
   mutable count : int;
   unique : int Dec_tbl.t;
@@ -350,6 +350,222 @@ let condition m a x value =
         end
     in
     go a
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic vtree edits                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A local move (rotation or child swap) at an internal vtree node
+   changes how functions straddling that node decompose, but nothing
+   else: the decisions that must be rebuilt semantically are exactly
+   those normalized to the edited node (and, for rotations, to the
+   rotated child).  Every other node survives with at most a renumbered
+   vtree id, because [Vtree.of_shape] assigns pre-order ids: the edit
+   shifts the id blocks of the three grandchild subtrees by constant
+   offsets and leaves everything outside the edited subtree in place.
+
+   The rewrite walks the nodes reachable from the caller's root in
+   dependency order (elements before the decision referencing them —
+   ascending ids are NOT that order once the manager has been edited
+   before, because a decision can keep a small id through a unique-table
+   claim while an earlier edit rebuilt its elements to freshly allocated
+   larger ids), maintaining a forwarding array [fwd] with the invariant
+   that [fwd.(a)] is the new canonical id of the function of old node
+   [a]:
+
+   - literals keep their ids (the leaf id is remapped);
+   - an unaffected decision keeps its id unless an equal node was
+     already created by an earlier rebuild, in which case it forwards to
+     it — the unique table is re-keyed either way;
+   - an affected decision is recomputed as [∨ᵢ fwd(pᵢ) ∧ fwd(sᵢ)] with
+     the ordinary apply, which renormalizes it to the new vtree.
+
+   The walk doubles as a garbage collection: nodes not reachable from
+   the root (dead compile intermediates, leftovers of earlier edits) are
+   tombstoned instead of rewritten, so a long chain of edits — the
+   in-manager vtree search applies and reverts hundreds — costs
+   O(reachable) per edit rather than O(allocated), and the unique table
+   tracks the live set.  This is exactly the documented handle contract:
+   an edit invalidates every outstanding handle except the forwarded
+   root it returns.
+
+   The apply/negate/condition caches are snapshotted, cleared for the
+   duration of the rebuild (their entries reference old ids), and then
+   reinserted with keys and values passed through [fwd] — a cached
+   result is the canonical node of a function, and [fwd] maps old
+   canonical ids to new canonical ids of the same functions, so entries
+   whose nodes survive the collection are corrected, and only entries
+   referencing dropped nodes are discarded. *)
+
+let subtree_span vt u = (2 * Vtree.num_vars_below vt u) - 1
+
+let dynamic_edit m move root =
+  Obs.span "sdd.edit" @@ fun () ->
+  let old_vt = m.vt in
+  (* Validates the move (raises Invalid_argument before any mutation). *)
+  let new_vt = Vtree.apply_move old_vt move in
+  let nn = Vtree.num_nodes old_vt in
+  let map = Array.init nn Fun.id in
+  let affected = Array.make nn false in
+  let shift u by =
+    let lo = u and len = subtree_span old_vt u in
+    for i = lo to lo + len - 1 do
+      map.(i) <- i + by
+    done
+  in
+  (match move with
+   | Vtree.Swap v ->
+     affected.(v) <- true;
+     let a = Vtree.left old_vt v and b = Vtree.right old_vt v in
+     let sa = subtree_span old_vt a and sb = subtree_span old_vt b in
+     shift a sb;
+     shift b (-sa)
+   | Vtree.Rotate_right v ->
+     (* ((a b) c) -> (a (b c)): only the a-block moves (one slot left,
+        into the place of the dissolved child); b and c keep their ids. *)
+     let w = Vtree.left old_vt v in
+     affected.(v) <- true;
+     affected.(w) <- true;
+     map.(w) <- -1;
+     shift (Vtree.left old_vt w) (-1)
+   | Vtree.Rotate_left v ->
+     (* (a (b c)) -> ((a b) c): the a-block moves one slot right, under
+        the fresh internal node; b and c keep their ids. *)
+     let w = Vtree.right old_vt v in
+     affected.(v) <- true;
+     affected.(w) <- true;
+     map.(w) <- -1;
+     shift (Vtree.left old_vt v) 1);
+  let old_count = m.count in
+  let saved tbl = Int_tbl.fold (fun k r acc -> (k, r) :: acc) tbl [] in
+  let saved_and = saved m.and_cache in
+  let saved_or = saved m.or_cache in
+  let saved_neg = saved m.neg_cache in
+  let saved_cond = saved m.cond_cache in
+  Int_tbl.reset m.and_cache;
+  Int_tbl.reset m.or_cache;
+  Int_tbl.reset m.neg_cache;
+  Int_tbl.reset m.cond_cache;
+  Dec_tbl.reset m.unique;
+  Array.fill m.lit_tbl 0 (Array.length m.lit_tbl) (-1);
+  m.vt <- new_vt;
+  Int_tbl.replace m.neg_cache 0 1;
+  Int_tbl.replace m.neg_cache 1 0;
+  let fwd = Array.init old_count Fun.id in
+  let live = Array.make old_count false in
+  live.(0) <- true;
+  live.(1) <- true;
+  (* Literals first: they depend on nothing, and refilling lit_tbl up
+     front keeps [literal] (hence [negate]) from allocating duplicate
+     literal nodes during the decision rebuilds below.  All literals are
+     kept live regardless of reachability — there are at most two per
+     variable and lit_tbl must stay consistent. *)
+  for id = 2 to old_count - 1 do
+    match m.data.(id) with
+    | DLit (x, pol, leaf) ->
+      let leaf' = map.(leaf) in
+      m.data.(id) <- DLit (x, pol, leaf');
+      m.lit_tbl.((2 * leaf') + Bool.to_int pol) <- id;
+      live.(id) <- true
+    | DConst _ | DDec _ -> ()
+  done;
+  (* Decisions reachable from the root, in dependency order (elements
+     recursively before the decision referencing them). *)
+  let rebuilt = ref 0 in
+  let rec process id =
+    if id >= 2 && id < old_count && not live.(id) then begin
+      live.(id) <- true;
+      match m.data.(id) with
+      | DConst _ | DLit _ -> ()
+      | DDec (u, elems) ->
+        Array.iter
+          (fun (p, s) ->
+            process p;
+            process s)
+          elems;
+        if affected.(u) then begin
+          incr rebuilt;
+          fwd.(id) <-
+            Array.fold_left
+              (fun acc (p, s) -> disjoin m acc (conjoin m fwd.(p) fwd.(s)))
+              0 elems
+        end
+        else begin
+          let u' = map.(u) in
+          let k = Array.length elems in
+          let elems' = Array.map (fun (p, s) -> (fwd.(p), fwd.(s))) elems in
+          Array.sort (fun (p1, _) (p2, _) -> Int.compare p1 p2) elems';
+          let key = Array.make (1 + (2 * k)) u' in
+          Array.iteri
+            (fun i (p, s) ->
+              key.((2 * i) + 1) <- p;
+              key.((2 * i) + 2) <- s)
+            elems';
+          (match Dec_tbl.find m.unique key with
+           | n -> fwd.(id) <- n
+           | exception Not_found ->
+             m.data.(id) <- DDec (u', elems');
+             Dec_tbl.add m.unique key id)
+        end
+    end
+  in
+  process root;
+  (* Tombstone every node that forwarded away or fell unreachable: its
+     data still describes the old vtree, and a later edit must not
+     mistake it for a live decision (it could steal a unique-table claim
+     from the live node of the same function).  Dead ids are never
+     referenced again — every surviving handle and cache entry goes
+     through [fwd], and entries touching dead nodes are dropped. *)
+  for id = 2 to old_count - 1 do
+    if (not live.(id)) || fwd.(id) <> id then m.data.(id) <- DConst false
+  done;
+  (* Reinsert the cache entries whose nodes survived, under forwarded
+     keys; entries referencing collected nodes are dropped. *)
+  let mask31 = (1 lsl 31) - 1 in
+  let reinsert_apply tbl entries =
+    List.iter
+      (fun (k, r) ->
+        let ka = k lsr 31 and kb = k land mask31 in
+        if live.(ka) && live.(kb) && live.(r) then begin
+          let a = fwd.(ka) and b = fwd.(kb) in
+          Int_tbl.replace tbl
+            (pair_key (Stdlib.min a b) (Stdlib.max a b))
+            fwd.(r)
+        end)
+      entries
+  in
+  reinsert_apply m.and_cache saved_and;
+  reinsert_apply m.or_cache saved_or;
+  List.iter
+    (fun (a, b) ->
+      if live.(a) && live.(b) then Int_tbl.replace m.neg_cache fwd.(a) fwd.(b))
+    saved_neg;
+  List.iter
+    (fun (k, r) ->
+      let value = k land 1 in
+      let k2 = k lsr 1 in
+      let ka = k2 / nn in
+      if live.(ka) && live.(r) then begin
+        let a = fwd.(ka) and lx = map.(k2 mod nn) in
+        Int_tbl.replace m.cond_cache
+          ((((a * nn) + lx) lsl 1) lor value)
+          fwd.(r)
+      end)
+    saved_cond;
+  if !Obs.enabled_ref then begin
+    Obs.incr
+      (match move with
+       | Vtree.Swap _ -> "sdd.edit.swap"
+       | Vtree.Rotate_left _ -> "sdd.edit.rotate_left"
+       | Vtree.Rotate_right _ -> "sdd.edit.rotate_right");
+    Obs.incr ~by:!rebuilt "sdd.edit.rebuilt_decisions"
+  end;
+  fwd.(root)
+
+let apply_move = dynamic_edit
+let swap m v root = dynamic_edit m (Vtree.Swap v) root
+let rotate_left m v root = dynamic_edit m (Vtree.Rotate_left v) root
+let rotate_right m v root = dynamic_edit m (Vtree.Rotate_right v) root
 
 (* ------------------------------------------------------------------ *)
 (* Structure and views                                                 *)

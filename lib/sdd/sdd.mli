@@ -42,6 +42,44 @@ val disjoin_list : manager -> t list -> t
 
 val condition : manager -> t -> string -> bool -> t
 
+(** {1 Dynamic vtree edits}
+
+    In-manager vtree minimization (Choi & Darwiche style): a local move
+    — child swap or rotation at an internal vtree node — is applied to
+    the manager {e in place}.  Only the decisions normalized to the
+    edited vtree node (and, for rotations, to the rotated child) are
+    rebuilt semantically; every other node is re-keyed with its vtree id
+    renumbered, and the apply/negate/condition caches are remapped
+    through the node forwarding rather than dropped, so the invalidation
+    is scoped to the touched vtree fragment.  Canonicity is preserved:
+    after the edit, handle equality is again function equality for the
+    new vtree.
+
+    The edit changes [vtree m] and {e invalidates outstanding node
+    handles}: each function takes the handle the caller cares about and
+    returns its forwarded equivalent.  Nodes not reachable from that
+    root (dead compile intermediates, leftovers of earlier edits) are
+    garbage-collected during the rewrite, so a long chain of edits —
+    the in-manager search applies and reverts hundreds — costs
+    O(reachable) per edit rather than O(allocated).  Reverting with
+    [Vtree.inverse_move] restores the vtree (and, by canonicity, the
+    represented functions and their sizes), not necessarily the literal
+    node ids. *)
+
+val apply_move : manager -> Vtree.move -> t -> t
+(** [apply_move m mv root] applies the move to the manager's vtree and
+    returns the node now representing [root]'s function.
+    @raise Invalid_argument if the move does not apply at its node. *)
+
+val swap : manager -> Vtree.node -> t -> t
+(** [apply_move] with [Vtree.Swap]. *)
+
+val rotate_left : manager -> Vtree.node -> t -> t
+(** [apply_move] with [Vtree.Rotate_left]: [(a (b c))] → [((a b) c)]. *)
+
+val rotate_right : manager -> Vtree.node -> t -> t
+(** [apply_move] with [Vtree.Rotate_right]: [((a b) c)] → [(a (b c))]. *)
+
 val decision : manager -> Vtree.node -> (t * t) list -> t
 (** [decision m v elements] is the canonical node for the decision
     [∨ᵢ (pᵢ ∧ sᵢ)] at the internal vtree node [v].  The primes must

@@ -229,22 +229,6 @@ let leaf_order t =
   go t.root;
   List.rev !acc
 
-(* All shapes obtained by applying one local move somewhere in the tree. *)
-let rec shape_moves = function
-  | L _ -> []
-  | N (a, b) ->
-    let here =
-      (* swap *)
-      [ N (b, a) ]
-      (* left rotation: (A (B C)) -> ((A B) C) *)
-      @ (match b with N (b1, b2) -> [ N (N (a, b1), b2) ] | L _ -> [])
-      (* right rotation: ((A B) C) -> (A (B C)) *)
-      @ (match a with N (a1, a2) -> [ N (a1, N (a2, b)) ] | L _ -> [])
-    in
-    here
-    @ List.map (fun a' -> N (a', b)) (shape_moves a)
-    @ List.map (fun b' -> N (a, b')) (shape_moves b)
-
 let rec shape_of t v =
   if is_leaf t v then L t.var.(v)
   else N (shape_of t t.left.(v), shape_of t t.right.(v))
@@ -253,10 +237,106 @@ let to_shape t = shape_of t t.root
 
 let equal a b = to_shape a = to_shape b
 
-let local_moves t =
+(* ------------------------------------------------------------------ *)
+(* Local moves                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type move = Swap of node | Rotate_left of node | Rotate_right of node
+
+let inverse_move = function
+  | Swap v -> Swap v
+  | Rotate_left v -> Rotate_right v
+  | Rotate_right v -> Rotate_left v
+
+let pp_move ppf = function
+  | Swap v -> Format.fprintf ppf "swap@%d" v
+  | Rotate_left v -> Format.fprintf ppf "rotl@%d" v
+  | Rotate_right v -> Format.fprintf ppf "rotr@%d" v
+
+(* Rebuild the shape with the subtree at [v] replaced by [f] applied to
+   its current shape.  Node ids are pre-order, matching [of_shape]. *)
+let edit_shape t v f =
+  let rec go u =
+    if u = v then f (shape_of t u)
+    else if is_leaf t u then L t.var.(u)
+    else N (go t.left.(u), go t.right.(u))
+  in
+  go t.root
+
+let move_shape t = function
+  | Swap v ->
+    edit_shape t v (function
+      | N (a, b) -> N (b, a)
+      | L _ -> invalid_arg "Vtree.apply_move: swap at a leaf")
+  | Rotate_left v ->
+    (* (a (b c)) -> ((a b) c) *)
+    edit_shape t v (function
+      | N (a, N (b, c)) -> N (N (a, b), c)
+      | _ -> invalid_arg "Vtree.apply_move: rotate_left needs an internal right child")
+  | Rotate_right v ->
+    (* ((a b) c) -> (a (b c)) *)
+    edit_shape t v (function
+      | N (N (a, b), c) -> N (a, N (b, c))
+      | _ -> invalid_arg "Vtree.apply_move: rotate_right needs an internal left child")
+
+let apply_move t mv = of_shape (move_shape t mv)
+
+(* All applicable single moves with their resulting vtrees, sorted and
+   deduplicated by resulting shape — the same candidate set and order as
+   [local_moves] (which is defined through this function). *)
+let local_moves_with t =
   let original = to_shape t in
-  let shapes = List.filter (fun s -> s <> original) (shape_moves original) in
-  List.map of_shape (List.sort_uniq compare shapes)
+  let acc = ref [] in
+  let rec go v =
+    if not (is_leaf t v) then begin
+      acc := Swap v :: !acc;
+      if not (is_leaf t t.left.(v)) then acc := Rotate_right v :: !acc;
+      if not (is_leaf t t.right.(v)) then acc := Rotate_left v :: !acc;
+      go t.left.(v);
+      go t.right.(v)
+    end
+  in
+  go t.root;
+  let candidates =
+    List.filter_map
+      (fun mv ->
+        let s = move_shape t mv in
+        if s = original then None else Some (mv, s))
+      !acc
+  in
+  let sorted =
+    List.sort_uniq (fun (_, s1) (_, s2) -> compare s1 s2) candidates
+  in
+  List.map (fun (mv, s) -> (mv, of_shape s)) sorted
+
+let local_moves t = List.map snd (local_moves_with t)
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprint                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural fingerprint: an FNV-1a style hash over a pre-order walk,
+   folding leaf variable names byte by byte.  Replaces string
+   serialization as a cache key in the vtree search — equality of
+   fingerprints is probabilistic (62-bit), equality of shapes implies
+   equality of fingerprints. *)
+let fingerprint t =
+  let h = ref 0x0bf29ce484222325 in
+  let mix x = h := (!h lxor x) * 0x100000001b3 land max_int in
+  let rec go v =
+    if is_leaf t v then begin
+      mix 2;
+      String.iter (fun c -> mix (Char.code c)) t.var.(v)
+    end
+    else begin
+      mix 3;
+      go t.left.(v);
+      mix 5;
+      go t.right.(v)
+    end
+  in
+  go t.root;
+  !h
 
 let rec pp_shape ppf = function
   | L v -> Format.pp_print_string ppf v

@@ -85,9 +85,36 @@ val leaf_order : t -> string list
     dynamic minimization): right rotation, left rotation and child swap
     at each internal node. *)
 
+type move =
+  | Swap of node  (** [(a b)] -> [(b a)] at the node. *)
+  | Rotate_left of node  (** [(a (b c))] -> [((a b) c)] at the node. *)
+  | Rotate_right of node  (** [((a b) c)] -> [(a (b c))] at the node. *)
+
+val apply_move : t -> move -> t
+(** The vtree after one local move.  Node ids are pre-order, so the
+    edited node keeps its id, as do all nodes outside its subtree.
+    @raise Invalid_argument if the move does not apply at the node (leaf,
+    or the rotated child is a leaf). *)
+
+val inverse_move : move -> move
+(** The move undoing the given one {e at the same node id} —
+    [apply_move (apply_move t m) (inverse_move m)] equals [t]. *)
+
 val local_moves : t -> t list
 (** All vtrees reachable by one rotation or swap (duplicates removed,
     the input excluded). *)
+
+val local_moves_with : t -> (move * t) list
+(** Like {!local_moves} but each result is paired with a move producing
+    it; the vtree list ([List.map snd]) is exactly [local_moves]. *)
+
+val pp_move : Format.formatter -> move -> unit
+
+val fingerprint : t -> int
+(** Structural hash of the shape (including variable placement): equal
+    vtrees have equal fingerprints; distinct vtrees collide with
+    negligible probability (62-bit FNV-1a).  Constant-size cache key for
+    the vtree search. *)
 
 (** {1 Equality and printing} *)
 
