@@ -1,14 +1,24 @@
-(* Diff two ctwsdd-metrics/v1 files and print a per-span speedup table:
+(* Diff two ctwsdd-metrics files (v1 or v2) and print a per-span speedup
+   table:
 
-     dune exec bench/compare.exe -- OLD.json NEW.json
+     dune exec bench/compare.exe -- [--gate PCT] OLD.json NEW.json
 
    Spans are aggregated by name across the whole tree (the same span can
    appear under several parents), so the table reads as "total time spent
    in this phase".  Speedup is old/new; rows are sorted by old total so
-   the hottest phases come first.  See EXPERIMENTS.md, "Performance
-   methodology". *)
+   the hottest phases come first.  Spans present in only one file are
+   reported as `added` / `removed` rather than dropped.
+
+   With --gate PCT the exit code becomes a CI regression gate: exit 1 if
+   any span present in both files — or the wall clock — slowed down by
+   more than PCT percent, where the old total is above a small noise
+   floor (spans in the sub-5ms range flap with scheduler noise).  See
+   EXPERIMENTS.md, "Performance methodology". *)
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
+
+(* Spans faster than this in the baseline are exempt from gating. *)
+let gate_floor_s = 0.005
 
 let read_file path =
   match open_in_bin path with
@@ -65,25 +75,40 @@ let fmt_speedup old_t new_t =
   if new_t <= 0.0 then (if old_t <= 0.0 then "-" else "inf")
   else Printf.sprintf "%.2fx" (old_t /. new_t)
 
+let usage () =
+  prerr_endline "usage: compare [--gate PCT] OLD.json NEW.json";
+  exit 2
+
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [ old_path; new_path ] ->
-    let old_j = load old_path and new_j = load new_path in
-    let old_spans = flatten_spans old_j and new_spans = flatten_spans new_j in
-    let names =
-      let tbl = Hashtbl.create 32 in
-      let add n _ = Hashtbl.replace tbl n () in
-      Hashtbl.iter add old_spans;
-      Hashtbl.iter add new_spans;
-      Hashtbl.fold (fun n () acc -> n :: acc) tbl []
-    in
-    let lookup tbl n = Option.value ~default:(0, 0.0) (Hashtbl.find_opt tbl n) in
-    let rows =
-      names
-      |> List.map (fun n -> (n, lookup old_spans n, lookup new_spans n))
-      |> List.sort (fun (_, (_, t1), _) (_, (_, t2), _) -> compare t2 t1)
-      |> List.map (fun (n, (oc, ot), (nc, nt)) ->
+  let rec parse gate = function
+    | "--gate" :: pct :: rest ->
+      (match float_of_string_opt pct with
+       | Some p when p > 0.0 -> parse (Some p) rest
+       | _ -> die "compare: --gate expects a positive percentage, got %s" pct)
+    | [ old_path; new_path ] -> (gate, old_path, new_path)
+    | _ -> usage ()
+  in
+  let gate, old_path, new_path = parse None args in
+  let old_j = load old_path and new_j = load new_path in
+  let old_spans = flatten_spans old_j and new_spans = flatten_spans new_j in
+  let names =
+    let tbl = Hashtbl.create 32 in
+    let add n _ = Hashtbl.replace tbl n () in
+    Hashtbl.iter add old_spans;
+    Hashtbl.iter add new_spans;
+    Hashtbl.fold (fun n () acc -> n :: acc) tbl []
+  in
+  let rows =
+    names
+    |> List.map (fun n ->
+           (n, Hashtbl.find_opt old_spans n, Hashtbl.find_opt new_spans n))
+    |> List.sort (fun (_, o1, _) (_, o2, _) ->
+           let t = function Some (_, t) -> t | None -> -1.0 in
+           compare (t o2) (t o1))
+    |> List.map (fun (n, o, nw) ->
+           match (o, nw) with
+           | Some (oc, ot), Some (nc, nt) ->
              [
                n;
                string_of_int oc;
@@ -91,18 +116,60 @@ let () =
                string_of_int nc;
                fmt_ms nt;
                fmt_speedup ot nt;
-             ])
+             ]
+           | None, Some (nc, nt) ->
+             [ n; "-"; "-"; string_of_int nc; fmt_ms nt; "added" ]
+           | Some (oc, ot), None ->
+             [ n; string_of_int oc; fmt_ms ot; "-"; "-"; "removed" ]
+           | None, None -> assert false)
+  in
+  Table.print
+    ~title:
+      (Printf.sprintf "span timings: %s (old) vs %s (new)" old_path new_path)
+    ~header:[ "span"; "calls"; "old ms"; "calls"; "new ms"; "speedup" ]
+    rows;
+  let wall =
+    match (float_member "wall_s" old_j, float_member "wall_s" new_j) with
+    | Some ow, Some nw ->
+      Table.note "wall clock: %s ms -> %s ms (%s)" (fmt_ms ow) (fmt_ms nw)
+        (fmt_speedup ow nw);
+      Some (ow, nw)
+    | _ -> None
+  in
+  match gate with
+  | None -> ()
+  | Some pct ->
+    let limit = 1.0 +. (pct /. 100.0) in
+    let shared_timings =
+      List.filter_map
+        (fun n ->
+          match (Hashtbl.find_opt old_spans n, Hashtbl.find_opt new_spans n) with
+          | Some (_, ot), Some (_, nt) -> Some ("span " ^ n, ot, nt)
+          | _ -> None)
+        names
     in
-    Table.print
-      ~title:
-        (Printf.sprintf "span timings: %s (old) vs %s (new)" old_path new_path)
-      ~header:[ "span"; "calls"; "old ms"; "calls"; "new ms"; "speedup" ]
-      rows;
-    (match (float_member "wall_s" old_j, float_member "wall_s" new_j) with
-     | Some ow, Some nw ->
-       Table.note "wall clock: %s ms -> %s ms (%s)" (fmt_ms ow) (fmt_ms nw)
-         (fmt_speedup ow nw)
-     | _ -> ())
-  | _ ->
-    prerr_endline "usage: compare OLD.json NEW.json";
-    exit 2
+    let timings =
+      match wall with
+      | Some (ow, nw) -> ("wall clock", ow, nw) :: shared_timings
+      | None -> shared_timings
+    in
+    let regressions =
+      List.filter
+        (fun (_, ot, nt) -> ot >= gate_floor_s && nt > ot *. limit)
+        timings
+    in
+    if regressions = [] then
+      Printf.printf "GATE OK: no timing regressed beyond +%.0f%% (%d checked, \
+                     floor %.0fms)\n"
+        pct (List.length timings) (1000.0 *. gate_floor_s)
+    else begin
+      List.iter
+        (fun (what, ot, nt) ->
+          Printf.printf "GATE FAIL: %s regressed %.1f%% (%s ms -> %s ms, \
+                         threshold +%.0f%%)\n"
+            what
+            (100.0 *. ((nt /. ot) -. 1.0))
+            (fmt_ms ot) (fmt_ms nt) pct)
+        regressions;
+      exit 1
+    end

@@ -6,11 +6,15 @@
      dune exec bench/main.exe -- E8         -- selected experiments
      dune exec bench/main.exe -- --bechamel -- micro-benchmarks too
      dune exec bench/main.exe -- --no-json  -- skip BENCH_*.json dumps
+     dune exec bench/main.exe -- --trace    -- also write TRACE_<ids>.json
 
    Each experiment additionally writes its metrics (span timings, cache
-   statistics, counters) to BENCH_<ids>.json in the working directory,
-   in the ctwsdd-metrics/v1 schema documented in EXPERIMENTS.md, so the
-   performance trajectory across commits is machine-readable. *)
+   statistics, counters, histograms, GC deltas, trajectory events) to
+   BENCH_<ids>.json in the working directory, in the ctwsdd-metrics/v2
+   schema documented in EXPERIMENTS.md, so the performance trajectory
+   across commits is machine-readable.  With --trace, every span call is
+   also recorded individually and dumped as a Chrome trace_event file
+   TRACE_<ids>.json (open in Perfetto or chrome://tracing). *)
 
 let experiments =
   [
@@ -31,8 +35,11 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let bechamel = List.mem "--bechamel" args in
   let json = not (List.mem "--no-json" args) in
+  let trace = List.mem "--trace" args in
   let selected =
-    List.filter (fun a -> a <> "--bechamel" && a <> "--no-json") args
+    List.filter
+      (fun a -> a <> "--bechamel" && a <> "--no-json" && a <> "--trace")
+      args
   in
   let wanted (ids, _, _) =
     selected = [] || List.exists (fun s -> List.mem s ids) selected
@@ -41,9 +48,10 @@ let () =
   List.iter
     (fun ((ids, name, run) as e) ->
       if wanted e then begin
-        if json then begin
+        if json || trace then begin
           Obs.set_enabled true;
-          Obs.reset ()
+          Obs.reset ();
+          if trace then Obs.set_tracing true
         end;
         let t = Unix.gettimeofday () in
         Obs.span "experiment" run;
@@ -60,9 +68,15 @@ let () =
                 ("wall_s", Obs.Json.Float dt);
               ]
             file;
-          Printf.printf "  [metrics -> %s]\n" file;
-          Obs.set_enabled false
-        end
+          Printf.printf "  [metrics -> %s]\n" file
+        end;
+        if trace then begin
+          let file = "TRACE_" ^ String.concat "_" ids ^ ".json" in
+          Obs.write_trace file;
+          Printf.printf "  [trace -> %s]\n" file;
+          Obs.set_tracing false
+        end;
+        if json || trace then Obs.set_enabled false
       end)
     experiments;
   if bechamel then Micro.run ();

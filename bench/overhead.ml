@@ -5,11 +5,14 @@
    pays < 2% over uninstrumented code.  This check re-derives the bound
    from first principles on the current build:
 
-     1. measure the per-call cost of a disabled [Obs.span] and
-        [Obs.incr] by tight-loop timing;
+     1. measure the per-call cost of a disabled [Obs.span], [Obs.incr],
+        [Obs.hist_record] and [Obs.event] by tight-loop timing (the span
+        measurement covers the GC-delta probes too: those only run in
+        enabled mode, so the disabled span is still one branch);
      2. run a fixed compilation workload once with observability ON and
         count how many instrument calls it performs (span calls from the
-        recorded tree, counter bumps from the counter values);
+        recorded tree, counter bumps from the counter values, histogram
+        samples from the recorded counts, events from the event log);
      3. time the same workload with observability OFF;
      4. fail (exit 1) if (calls x per-call cost) exceeds 2% of the
         disabled wall time.
@@ -43,6 +46,24 @@ let per_call_incr () =
   in
   t /. float_of_int calib_iters
 
+let per_call_hist () =
+  let t =
+    time (fun () ->
+        for i = 1 to calib_iters do
+          Obs.hist_record "overhead.calib" i
+        done)
+  in
+  t /. float_of_int calib_iters
+
+let per_call_event () =
+  let t =
+    time (fun () ->
+        for _ = 1 to calib_iters do
+          Obs.event "overhead.calib" []
+        done)
+  in
+  t /. float_of_int calib_iters
+
 (* Fixed, deterministic workload exercising the instrumented pipeline:
    factor analysis, SDD compilation, CNNF, a short vtree search. *)
 let workload () =
@@ -62,7 +83,14 @@ let workload () =
         ])
     [ 1; 2 ];
   let g = Boolfun.random ~seed:5 (vars 8) in
-  ignore (Sys.opaque_identity (Vtree_search.best_known ~max_steps:4 ~domains:1 g))
+  ignore
+    (Sys.opaque_identity (Vtree_search.best_known ~max_steps:4 ~domains:1 g));
+  (* Dynamic edits: exercises the tombstone counters, occupancy probes
+     and trajectory events of the in-manager search. *)
+  let h = Boolfun.random ~seed:7 (vars 8) in
+  let m = Sdd.manager (Vtree.balanced (vars 8)) in
+  let root = Compile.sdd_of_boolfun m h in
+  ignore (Sys.opaque_identity (Vtree_search.minimize_manager ~max_steps:2 m root))
 
 let rec sum_span_calls acc (t : Obs.span_tree) =
   List.fold_left sum_span_calls (acc + t.Obs.calls) t.Obs.children
@@ -79,6 +107,13 @@ let () =
     (* Upper bound: [incr ~by] counts as [by] calls. *)
     List.fold_left (fun acc (_, v) -> acc + v) 0 (Obs.counters ())
   in
+  let hist_samples =
+    (* Upper bound: [hist_record ~n] counts as [n] calls. *)
+    List.fold_left
+      (fun acc s -> acc + s.Obs.Histogram.count)
+      0 (Obs.histograms ())
+  in
+  let event_count = List.length (Obs.events ()) in
   Obs.reset ();
   (* 3: disabled wall time (best of 3 to shed scheduling noise) and
      per-call disabled instrument cost. *)
@@ -89,15 +124,22 @@ let () =
       infinity [ 1; 2; 3 ]
   in
   let span_cost = per_call_span () and incr_cost = per_call_incr () in
+  let hist_cost = per_call_hist () and event_cost = per_call_event () in
   let est_overhead_s =
     (float_of_int span_calls *. span_cost)
     +. (float_of_int counter_bumps *. incr_cost)
+    +. (float_of_int hist_samples *. hist_cost)
+    +. (float_of_int event_count *. event_cost)
   in
   let fraction = est_overhead_s /. disabled_s in
   Printf.printf "disabled span     : %.2f ns/call\n" (1e9 *. span_cost);
   Printf.printf "disabled incr     : %.2f ns/call\n" (1e9 *. incr_cost);
+  Printf.printf "disabled hist     : %.2f ns/call\n" (1e9 *. hist_cost);
+  Printf.printf "disabled event    : %.2f ns/call\n" (1e9 *. event_cost);
   Printf.printf "span calls        : %d\n" span_calls;
   Printf.printf "counter bumps     : %d (upper bound)\n" counter_bumps;
+  Printf.printf "hist samples      : %d (upper bound)\n" hist_samples;
+  Printf.printf "events            : %d\n" event_count;
   Printf.printf "workload disabled : %.1f ms\n" (1e3 *. disabled_s);
   Printf.printf "est. overhead     : %.3f ms (%.3f%% of workload, bound %.1f%%)\n"
     (1e3 *. est_overhead_s) (100. *. fraction) (100. *. bound);

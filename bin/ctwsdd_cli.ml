@@ -7,9 +7,11 @@
 
    Database files contain one fact per line: `R(a,b) 1/2`.
 
-   Every subcommand accepts --stats (human-readable span timings and
-   cache statistics on stdout) and --trace FILE (ctwsdd-metrics/v1 JSON
-   dump); see EXPERIMENTS.md for the schema. *)
+   Every subcommand accepts --stats (human-readable span timings, cache
+   statistics and histograms on stderr, keeping stdout pipeable),
+   --trace FILE (ctwsdd-metrics/v2 JSON dump) and --trace-out FILE
+   (Chrome trace_event file for Perfetto / chrome://tracing); see
+   EXPERIMENTS.md for the schema. *)
 
 open Cmdliner
 
@@ -91,28 +93,43 @@ let stats_flag =
 
 let trace_file =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Write all recorded metrics to $(docv) as ctwsdd-metrics/v1 \
+         ~doc:"Write all recorded metrics to $(docv) as ctwsdd-metrics/v2 \
                JSON (implies collection, like $(b,--stats)).")
 
-(* Runs the body with observability enabled when requested, then exports;
-   also centralizes error handling so bad input terminates through
-   Cmdliner (exit code 124) instead of an uncaught backtrace. *)
-let run_with_obs stats trace f =
-  if stats || trace <> None then begin
+let trace_out_file =
+  Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE"
+         ~doc:"Record every span call and event individually and write a \
+               Chrome trace_event file to $(docv); open it in Perfetto \
+               (ui.perfetto.dev) or chrome://tracing.  Implies collection.")
+
+(* Runs the body with observability enabled when requested, then exports.
+   Human summaries go to stderr so stdout stays pipeable; errors
+   terminate through Cmdliner (exit code 124) instead of an uncaught
+   backtrace. *)
+let run_with_obs stats trace trace_out f =
+  let collecting = stats || trace <> None || trace_out <> None in
+  if collecting then begin
     Obs.set_enabled true;
-    Obs.reset ()
+    Obs.reset ();
+    if trace_out <> None then Obs.set_tracing true
   end;
   match
     f ();
     if stats then begin
-      print_newline ();
-      Obs.pp_summary Format.std_formatter ()
+      prerr_newline ();
+      Obs.pp_summary Format.err_formatter ()
     end;
     Option.iter
       (fun path ->
         Obs.write_json path;
-        Printf.printf "metrics : wrote %s\n" path)
-      trace
+        Printf.eprintf "metrics : wrote %s\n%!" path)
+      trace;
+    Option.iter
+      (fun path ->
+        Obs.write_trace path;
+        Obs.set_tracing false;
+        Printf.eprintf "trace   : wrote %s\n%!" path)
+      trace_out
   with
   | () -> `Ok ()
   | exception Cli_usage msg -> `Error (true, msg)
@@ -122,7 +139,7 @@ let run_with_obs stats trace f =
 let print_manager_stats m =
   List.iter
     (fun s ->
-      Printf.printf "  %-16s lookups %-8d hits %-8d misses %-8d entries %d\n"
+      Printf.eprintf "  %-16s lookups %-8d hits %-8d misses %-8d entries %d\n"
         s.Obs.Cache.cache s.Obs.Cache.lookups s.Obs.Cache.hits
         s.Obs.Cache.misses s.Obs.Cache.entries)
     (Sdd.stats m)
@@ -132,8 +149,9 @@ let print_manager_stats m =
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run file inline vtree_choice minimize count validate stats trace =
-    run_with_obs stats trace @@ fun () ->
+  let run file inline vtree_choice minimize count validate stats trace
+      trace_out =
+    run_with_obs stats trace trace_out @@ fun () ->
     let c = read_circuit file inline in
     Printf.printf "circuit : %d gates, %d variables\n" (Circuit.size c)
       (Circuit.num_vars c);
@@ -155,7 +173,8 @@ let compile_cmd =
       (Bdd.width bm bnode)
       (String.concat "<" order);
     if stats then begin
-      Printf.printf "manager : %d nodes allocated\n" (Sdd.num_nodes_allocated m);
+      Printf.eprintf "manager : %d nodes allocated\n"
+        (Sdd.num_nodes_allocated m);
       print_manager_stats m
     end
   in
@@ -176,15 +195,16 @@ let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a circuit to a canonical SDD and an OBDD")
     Term.(ret (const run $ circuit_file $ circuit_inline $ vtree_choice
-               $ minimize_flag $ count $ validate $ stats_flag $ trace_file))
+               $ minimize_flag $ count $ validate $ stats_flag $ trace_file
+               $ trace_out_file))
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let treewidth_cmd =
-  let run file inline stats trace =
-    run_with_obs stats trace @@ fun () ->
+  let run file inline stats trace trace_out =
+    run_with_obs stats trace trace_out @@ fun () ->
     let c = read_circuit file inline in
     let g = Circuit.underlying_graph c in
     Printf.printf "gates: %d, wires: %d\n" (Ugraph.num_vertices g)
@@ -209,7 +229,7 @@ let treewidth_cmd =
     (Cmd.info "treewidth"
        ~doc:"Treewidth, pathwidth and the paper's widths of a circuit")
     Term.(ret (const run $ circuit_file $ circuit_inline $ stats_flag
-               $ trace_file))
+               $ trace_file $ trace_out_file))
 
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)
@@ -243,8 +263,8 @@ let parse_db path =
   Pdb.make (List.rev !entries)
 
 let query_cmd =
-  let run query db_path brute stats trace =
-    run_with_obs stats trace @@ fun () ->
+  let run query db_path brute stats trace trace_out =
+    run_with_obs stats trace trace_out @@ fun () ->
     let q = Ucq.of_string query in
     let db =
       match db_path with
@@ -290,15 +310,16 @@ let query_cmd =
   in
   Cmd.v
     (Cmd.info "query" ~doc:"Probability of a UCQ over a probabilistic database")
-    Term.(ret (const run $ query $ db $ brute $ stats_flag $ trace_file))
+    Term.(ret (const run $ query $ db $ brute $ stats_flag $ trace_file
+               $ trace_out_file))
 
 (* ------------------------------------------------------------------ *)
 (* cnf : DIMACS model counting                                         *)
 (* ------------------------------------------------------------------ *)
 
 let cnf_cmd =
-  let run path vtree_choice minimize stats trace =
-    run_with_obs stats trace @@ fun () ->
+  let run path vtree_choice minimize stats trace trace_out =
+    run_with_obs stats trace trace_out @@ fun () ->
     let d = Obs.span "cli.parse" (fun () -> Dimacs.parse_file path) in
     Printf.printf "cnf: %d variables, %d clauses (%d variables unused)\n"
       d.Dimacs.num_vars
@@ -334,15 +355,15 @@ let cnf_cmd =
   Cmd.v
     (Cmd.info "cnf" ~doc:"Exact model counting for a DIMACS CNF file")
     Term.(ret (const run $ path $ vtree_choice $ minimize_flag $ stats_flag
-               $ trace_file))
+               $ trace_file $ trace_out_file))
 
 (* ------------------------------------------------------------------ *)
 (* isa                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let isa_cmd =
-  let run n explicit stats trace =
-    run_with_obs stats trace @@ fun () ->
+  let run n explicit stats trace trace_out =
+    run_with_obs stats trace trace_out @@ fun () ->
     (match Families.isa_params n with
      | None -> failwith (Printf.sprintf "%d is not a valid ISA size (5, 18, 261, ...)" n)
      | Some (k, m) -> Printf.printf "ISA_%d: k = %d, m = %d\n" n k m);
@@ -373,7 +394,8 @@ let isa_cmd =
   in
   Cmd.v
     (Cmd.info "isa" ~doc:"The indirect storage access function (Appendix A)")
-    Term.(ret (const run $ n $ explicit $ stats_flag $ trace_file))
+    Term.(ret (const run $ n $ explicit $ stats_flag $ trace_file
+               $ trace_out_file))
 
 let () =
   let info =

@@ -193,6 +193,10 @@ let analyze f vt =
     end
   in
   down root;
+  if !Obs.enabled_ref then
+    Array.iter
+      (fun nf -> Obs.hist_record "factor_width.partition_size" nf.count)
+      table;
   { f; vt; table; materialized = Array.make num_nodes None }
 
 let at a v = a.table.(v)

@@ -36,11 +36,15 @@ let tseitin_decomposition c =
 let treedec_vtree c =
   Obs.span "pipeline.treedec_vtree" @@ fun () ->
   let direct = snd (Circuit.treewidth_upper c) in
-  let td =
+  let td, source =
     match tseitin_decomposition c with
-    | Some td' when Treedec.width td' < Treedec.width direct -> td'
-    | _ -> direct
+    | Some td' when Treedec.width td' < Treedec.width direct -> (td', "tseitin")
+    | _ -> (direct, "direct")
   in
+  if !Obs.enabled_ref then begin
+    Obs.incr ("pipeline.treedec." ^ source);
+    Obs.hist_record "pipeline.treedec_width" (Treedec.width td)
+  end;
   (Lemma1.vtree_of_decomposition c td, Treedec.width td)
 
 let compile_with_vtree vt c =
@@ -52,6 +56,20 @@ let compile ?(vtree_strategy = `Treedec) ?(minimize = false) ?max_steps
   Obs.span "pipeline.compile" @@ fun () ->
   let vars = Circuit.variables c in
   if vars = [] then invalid_arg "Pipeline.compile: circuit has no variables";
+  if !Obs.enabled_ref then
+    Obs.event "pipeline.compile"
+      [
+        ( "strategy",
+          Obs.Json.String
+            (match vtree_strategy with
+             | `Right -> "right"
+             | `Balanced -> "balanced"
+             | `Treedec -> "treedec"
+             | `Search -> "search") );
+        ("minimize", Obs.Json.Bool minimize);
+        ("vars", Obs.Json.Int (List.length vars));
+        ("gates", Obs.Json.Int (Circuit.size c));
+      ];
   let m, node =
     match vtree_strategy with
     | `Right -> compile_with_vtree (Vtree.right_linear vars) c
@@ -77,12 +95,24 @@ let compile ?(vtree_strategy = `Treedec) ?(minimize = false) ?max_steps
             (m, n, Sdd.size m n))
           candidates
       in
-      let bm, bn, _ =
+      let bm, bn, bs =
         List.fold_left
           (fun (bm, bn, bs) (m', n', s') ->
             if s' < bs then (m', n', s') else (bm, bn, bs))
           (List.hd scored) (List.tl scored)
       in
+      if !Obs.enabled_ref then
+        List.iteri
+          (fun i (m', _, s') ->
+            Obs.event "pipeline.search_candidate"
+              [
+                ("index", Obs.Json.Int i);
+                ("size", Obs.Json.Int s');
+                ( "fingerprint",
+                  Obs.Json.Int (Vtree.fingerprint (Sdd.vtree m')) );
+                ("accepted", Obs.Json.Bool (s' = bs && m' == bm));
+              ])
+          scored;
       (bm, bn)
   in
   if minimize then begin

@@ -43,6 +43,46 @@ let parallel_map ~domains f items =
     Array.to_list (Array.map Option.get results)
   end
 
+let move_kind = function
+  | Vtree.Swap _ -> "swap"
+  | Vtree.Rotate_left _ -> "rotate_left"
+  | Vtree.Rotate_right _ -> "rotate_right"
+
+let move_node = function
+  | Vtree.Swap v | Vtree.Rotate_left v | Vtree.Rotate_right v -> v
+
+(* One trajectory record per scored candidate: move kind and target
+   vtree node, candidate score and delta against the current score, the
+   candidate vtree's structural fingerprint, and whether the climb took
+   the move.  Score deltas also feed a pair of histograms (improving
+   magnitudes and non-improving excesses — log histograms hold
+   non-negative samples only).  Everything here is emitted by the
+   calling domain after a scoring round completes, so the log is
+   deterministic and independent of [domains]. *)
+let emit_move ~backend ~step ~current ~accepted mv fp s =
+  let delta = s - current in
+  if delta < 0 then Obs.hist_record "vtree_search.improvement" (-delta)
+  else Obs.hist_record "vtree_search.non_improvement" delta;
+  Obs.event "vtree_search.move"
+    [
+      ("backend", Obs.Json.String backend);
+      ("step", Obs.Json.Int step);
+      ("kind", Obs.Json.String (move_kind mv));
+      ("node", Obs.Json.Int (move_node mv));
+      ("score", Obs.Json.Int s);
+      ("delta", Obs.Json.Int delta);
+      ("accepted", Obs.Json.Bool accepted);
+      ("fingerprint", Obs.Json.Int fp);
+    ]
+
+let emit_endpoint ~backend name score vt =
+  Obs.event name
+    [
+      ("backend", Obs.Json.String backend);
+      ("score", Obs.Json.Int score);
+      ("fingerprint", Obs.Json.Int (Vtree.fingerprint vt));
+    ]
+
 let minimize ?(max_steps = 50) ?domains ~score vt =
   Obs.span "vtree_search.minimize" @@ fun () ->
   let domains =
@@ -70,7 +110,10 @@ let minimize ?(max_steps = 50) ?domains ~score vt =
   let rec climb vt current steps =
     if steps >= max_steps then (vt, current)
     else begin
-      let candidates = Vtree.local_moves vt in
+      (* [local_moves_with] enumerates in [local_moves] order, so the
+         trajectory is unchanged; the move labels feed the event log. *)
+      let moves = Vtree.local_moves_with vt in
+      let candidates = List.map snd moves in
       if !Obs.enabled_ref then
         Obs.incr ~by:(List.length candidates) "vtree_search.candidates";
       let scores = scores_of candidates in
@@ -78,21 +121,35 @@ let minimize ?(max_steps = 50) ?domains ~score vt =
          improving on the current score — byte-identical to the
          sequential hill climb regardless of [domains]. *)
       let best =
+        let i = ref (-1) in
         List.fold_left2
           (fun acc candidate s ->
+            Stdlib.incr i;
             match acc with
-            | Some (_, bs) when bs <= s -> acc
-            | _ -> if s < current then Some (candidate, s) else acc)
+            | Some (_, _, bs) when bs <= s -> acc
+            | _ -> if s < current then Some (!i, candidate, s) else acc)
           None candidates scores
       in
+      if !Obs.enabled_ref then begin
+        let acc_i = match best with Some (i, _, _) -> i | None -> -1 in
+        List.iteri
+          (fun i ((mv, c), s) ->
+            emit_move ~backend:"recompile" ~step:steps ~current
+              ~accepted:(i = acc_i) mv (Vtree.fingerprint c) s)
+          (List.combine moves scores)
+      end;
       match best with
-      | Some (vt', s') ->
+      | Some (_, vt', s') ->
         Obs.incr "vtree_search.steps";
         climb vt' s' (steps + 1)
       | None -> (vt, current)
     end
   in
-  climb vt (List.hd (scores_of [ vt ])) 0
+  let s0 = List.hd (scores_of [ vt ]) in
+  if !Obs.enabled_ref then emit_endpoint ~backend:"recompile" "vtree_search.start" s0 vt;
+  let vt', s' = climb vt s0 0 in
+  if !Obs.enabled_ref then emit_endpoint ~backend:"recompile" "vtree_search.done" s' vt';
+  (vt', s')
 
 (* In-manager hill climb: rather than recompiling the function for every
    candidate vtree, apply each local move to the live manager with
@@ -112,13 +169,13 @@ let minimize_manager ?(max_steps = 50) m root =
     match Hashtbl.find_opt cache k with
     | Some s ->
       if !Obs.enabled_ref then Obs.incr "vtree_search.score_cache_hits";
-      s
+      (s, k)
     | None ->
       let fwd = Sdd.apply_move m mv !root in
       let s = Sdd.size m fwd in
       root := Sdd.apply_move m (Vtree.inverse_move mv) fwd;
       Hashtbl.add cache k s;
-      s
+      (s, k)
   in
   let rec climb current steps =
     if steps >= max_steps then current
@@ -130,15 +187,25 @@ let minimize_manager ?(max_steps = 50) m root =
       (* Same selection rule as [minimize]: first strict minimum in
          candidate order improving on the current score. *)
       let best =
+        let i = ref (-1) in
         List.fold_left2
-          (fun acc (mv, _) s ->
+          (fun acc (mv, _) (s, _) ->
+            Stdlib.incr i;
             match acc with
-            | Some (_, bs) when bs <= s -> acc
-            | _ -> if s < current then Some (mv, s) else acc)
+            | Some (_, _, bs) when bs <= s -> acc
+            | _ -> if s < current then Some (!i, mv, s) else acc)
           None moves scores
       in
+      if !Obs.enabled_ref then begin
+        let acc_i = match best with Some (i, _, _) -> i | None -> -1 in
+        List.iteri
+          (fun i ((mv, _), (s, k)) ->
+            emit_move ~backend:"manager" ~step:steps ~current
+              ~accepted:(i = acc_i) mv k s)
+          (List.combine moves scores)
+      end;
       match best with
-      | Some (mv, s') ->
+      | Some (_, mv, s') ->
         Obs.incr "vtree_search.steps";
         root := Sdd.apply_move m mv !root;
         climb s' (steps + 1)
@@ -147,7 +214,11 @@ let minimize_manager ?(max_steps = 50) m root =
   in
   let s0 = Sdd.size m !root in
   Hashtbl.add cache (Vtree.fingerprint (Sdd.vtree m)) s0;
+  if !Obs.enabled_ref then
+    emit_endpoint ~backend:"manager" "vtree_search.start" s0 (Sdd.vtree m);
   let final = climb s0 0 in
+  if !Obs.enabled_ref then
+    emit_endpoint ~backend:"manager" "vtree_search.done" final (Sdd.vtree m);
   (!root, final)
 
 let sdd_size_score f vt =

@@ -1,4 +1,5 @@
-(* Observability: spans, counters, gauges, cache statistics.  See the
+(* Observability: spans, counters, gauges, histograms, cache statistics,
+   GC telemetry, structured events and Chrome-trace recording.  See the
    interface for the cost model; the invariant throughout is that with
    the master switch off every global instrument is a single load and
    branch. *)
@@ -8,296 +9,14 @@ let enabled_flag = enabled_ref
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
 
+(* Tracing (per-call Chrome trace_event recording) is a second, rarer
+   switch on top of the master one: span aggregation is cheap, but one
+   event per span call is not free, so it is opt-in. *)
+let tracing_ref = ref false
+let tracing () = !tracing_ref
+let set_tracing b = tracing_ref := b
+
 let now () = Unix.gettimeofday ()
-
-(* ------------------------------------------------------------------ *)
-(* Counters and gauges                                                 *)
-(* ------------------------------------------------------------------ *)
-
-(* All metric state is domain-local: worker domains spawned by the
-   parallel search record into their own tables and hand the result back
-   through {!Worker.capture}/{!Worker.absorb}, so instruments never race
-   on shared hash tables.  The main domain's slots hold the exported
-   state. *)
-
-let counters_key : (string, int ref) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
-
-let gauges_key : (string, int ref) Hashtbl.t Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
-
-let counter_tbl () = Domain.DLS.get counters_key
-let gauge_tbl () = Domain.DLS.get gauges_key
-
-let cell tbl name =
-  match Hashtbl.find_opt tbl name with
-  | Some r -> r
-  | None ->
-    let r = ref 0 in
-    Hashtbl.add tbl name r;
-    r
-
-let incr ?(by = 1) name =
-  if !enabled_flag then begin
-    let r = cell (counter_tbl ()) name in
-    r := !r + by
-  end
-
-let counter_value name =
-  match Hashtbl.find_opt (counter_tbl ()) name with Some r -> !r | None -> 0
-
-let sorted_bindings tbl =
-  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
-  |> List.sort compare
-
-let counters () = sorted_bindings (counter_tbl ())
-
-let gauge_set name v = if !enabled_flag then cell (gauge_tbl ()) name := v
-
-let gauge_max name v =
-  if !enabled_flag then begin
-    let r = cell (gauge_tbl ()) name in
-    if v > !r then r := v
-  end
-
-let gauge_value name =
-  Option.map (fun r -> !r) (Hashtbl.find_opt (gauge_tbl ()) name)
-
-let gauges () = sorted_bindings (gauge_tbl ())
-
-(* ------------------------------------------------------------------ *)
-(* Cache statistics                                                    *)
-(* ------------------------------------------------------------------ *)
-
-module Cache = struct
-  type t = {
-    name : string;
-    mutable hits : int;
-    mutable misses : int;
-    size_fn : unit -> int;
-  }
-
-  let registry_key : t list ref Domain.DLS.key =
-    Domain.DLS.new_key (fun () -> ref [])
-
-  let registry () = Domain.DLS.get registry_key
-
-  let create ?(size = fun () -> 0) name =
-    let c = { name; hits = 0; misses = 0; size_fn = size } in
-    if !enabled_flag then begin
-      let r = registry () in
-      r := c :: !r
-    end;
-    c
-
-  let name c = c.name
-  let hit c = c.hits <- c.hits + 1
-  let miss c = c.misses <- c.misses + 1
-  let hits c = c.hits
-  let misses c = c.misses
-  let lookups c = c.hits + c.misses
-  let size c = c.size_fn ()
-
-  type snapshot = {
-    cache : string;
-    lookups : int;
-    hits : int;
-    misses : int;
-    entries : int;
-  }
-
-  let snapshot c =
-    {
-      cache = c.name;
-      lookups = lookups c;
-      hits = c.hits;
-      misses = c.misses;
-      entries = size c;
-    }
-end
-
-(* Cache snapshots handed back by joined worker domains; folded into the
-   aggregation below so worker caches survive the worker's death. *)
-let absorbed_caches_key : Cache.snapshot list ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref [])
-
-let caches () =
-  let by_name : (string, Cache.snapshot ref) Hashtbl.t = Hashtbl.create 16 in
-  let add s =
-    match Hashtbl.find_opt by_name s.Cache.cache with
-    | None -> Hashtbl.add by_name s.Cache.cache (ref s)
-    | Some acc ->
-      acc :=
-        Cache.
-          {
-            cache = s.cache;
-            lookups = !acc.lookups + s.lookups;
-            hits = !acc.hits + s.hits;
-            misses = !acc.misses + s.misses;
-            entries = !acc.entries + s.entries;
-          }
-  in
-  List.iter (fun c -> add (Cache.snapshot c)) !(Cache.registry ());
-  List.iter add !(Domain.DLS.get absorbed_caches_key);
-  Hashtbl.fold (fun _ s acc -> !s :: acc) by_name []
-  |> List.sort (fun a b -> compare a.Cache.cache b.Cache.cache)
-
-(* ------------------------------------------------------------------ *)
-(* Spans                                                               *)
-(* ------------------------------------------------------------------ *)
-
-type span_node = {
-  sname : string;
-  mutable calls : int;
-  mutable total : float;
-  mutable children : span_node list;  (* reverse first-entry order *)
-}
-
-let mk_span name = { sname = name; calls = 0; total = 0.0; children = [] }
-
-(* The root is synthetic and never exported directly. *)
-type span_state = { mutable sroot : span_node; mutable sstack : span_node list }
-
-let span_key : span_state Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { sroot = mk_span "<root>"; sstack = [] })
-
-let span_state () = Domain.DLS.get span_key
-
-let span_depth () = List.length (span_state ()).sstack
-
-let span name f =
-  if not !enabled_flag then f ()
-  else begin
-    let st = span_state () in
-    let parent = match st.sstack with top :: _ -> top | [] -> st.sroot in
-    let node =
-      match List.find_opt (fun n -> n.sname = name) parent.children with
-      | Some n -> n
-      | None ->
-        let n = mk_span name in
-        parent.children <- n :: parent.children;
-        n
-    in
-    st.sstack <- node :: st.sstack;
-    let t0 = now () in
-    Fun.protect
-      ~finally:(fun () ->
-        node.calls <- node.calls + 1;
-        node.total <- node.total +. (now () -. t0);
-        match st.sstack with
-        | top :: rest when top == node -> st.sstack <- rest
-        | _ -> (* a reset happened inside the span *) ())
-      f
-  end
-
-type span_tree = {
-  span : string;
-  calls : int;
-  total_s : float;
-  children : span_tree list;
-}
-
-let rec freeze n =
-  {
-    span = n.sname;
-    calls = n.calls;
-    total_s = n.total;
-    children = List.rev_map freeze n.children;
-  }
-
-let span_roots () = (freeze (span_state ()).sroot).children
-
-let reset () =
-  Hashtbl.reset (counter_tbl ());
-  Hashtbl.reset (gauge_tbl ());
-  Cache.registry () := [];
-  Domain.DLS.get absorbed_caches_key := [];
-  let st = span_state () in
-  st.sroot <- mk_span "<root>";
-  st.sstack <- []
-
-(* ------------------------------------------------------------------ *)
-(* Worker domains                                                      *)
-(* ------------------------------------------------------------------ *)
-
-module Worker = struct
-  type captured = {
-    wcounters : (string * int) list;
-    wgauges : (string * int) list;
-    wcaches : Cache.snapshot list;
-    wspans : span_tree list;
-  }
-
-  let fresh_state () =
-    Domain.DLS.set counters_key (Hashtbl.create 64);
-    Domain.DLS.set gauges_key (Hashtbl.create 64);
-    Domain.DLS.set Cache.registry_key (ref []);
-    Domain.DLS.set absorbed_caches_key (ref []);
-    Domain.DLS.set span_key { sroot = mk_span "<root>"; sstack = [] }
-
-  let capture f =
-    let old_counters = Domain.DLS.get counters_key in
-    let old_gauges = Domain.DLS.get gauges_key in
-    let old_registry = Domain.DLS.get Cache.registry_key in
-    let old_absorbed = Domain.DLS.get absorbed_caches_key in
-    let old_spans = Domain.DLS.get span_key in
-    let restore () =
-      Domain.DLS.set counters_key old_counters;
-      Domain.DLS.set gauges_key old_gauges;
-      Domain.DLS.set Cache.registry_key old_registry;
-      Domain.DLS.set absorbed_caches_key old_absorbed;
-      Domain.DLS.set span_key old_spans
-    in
-    fresh_state ();
-    match f () with
-    | r ->
-      let cap =
-        {
-          wcounters = counters ();
-          wgauges = gauges ();
-          wcaches = caches ();
-          wspans = span_roots ();
-        }
-      in
-      restore ();
-      (r, cap)
-    | exception e ->
-      restore ();
-      raise e
-
-  (* Merge a frozen worker span tree under [parent], find-or-create by
-     name, summing calls and durations — the same accumulation rule
-     [span] itself applies to repeat entries. *)
-  let rec merge_tree (parent : span_node) (t : span_tree) =
-    let node =
-      match List.find_opt (fun n -> n.sname = t.span) parent.children with
-      | Some n -> n
-      | None ->
-        let n = mk_span t.span in
-        parent.children <- n :: parent.children;
-        n
-    in
-    node.calls <- node.calls + t.calls;
-    node.total <- node.total +. t.total_s;
-    List.iter (merge_tree node) t.children
-
-  let absorb cap =
-    List.iter
-      (fun (k, v) ->
-        let r = cell (counter_tbl ()) k in
-        r := !r + v)
-      cap.wcounters;
-    List.iter
-      (fun (k, v) ->
-        let r = cell (gauge_tbl ()) k in
-        if v > !r then r := v)
-      cap.wgauges;
-    (let ab = Domain.DLS.get absorbed_caches_key in
-     ab := cap.wcaches @ !ab);
-    let st = span_state () in
-    let parent = match st.sstack with top :: _ -> top | [] -> st.sroot in
-    List.iter (merge_tree parent) cap.wspans
-end
 
 (* ------------------------------------------------------------------ *)
 (* JSON                                                                *)
@@ -553,10 +272,627 @@ module Json = struct
 end
 
 (* ------------------------------------------------------------------ *)
+(* Track ids and the trace epoch                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every domain gets a stable track id: 0 for the main domain, fresh
+   ids for spawned workers.  Events carry their tid, so absorbing a
+   worker's capture keeps its work on a separate Chrome-trace track. *)
+let next_tid = Atomic.make 1
+
+let tid_key : int Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      if Domain.is_main_domain () then 0 else Atomic.fetch_and_add next_tid 1)
+
+let current_tid () = Domain.DLS.get tid_key
+
+(* Timestamps are recorded absolute and rebased to the epoch of the last
+   [reset] on export, so worker events (captured against their own
+   clock-free state) line up with the main domain's. *)
+let epoch_key : float ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (now ()))
+
+let epoch () = !(Domain.DLS.get epoch_key)
+
+(* ------------------------------------------------------------------ *)
+(* Counters and gauges                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* All metric state is domain-local: worker domains spawned by the
+   parallel search record into their own tables and hand the result back
+   through {!Worker.capture}/{!Worker.absorb}, so instruments never race
+   on shared hash tables.  The main domain's slots hold the exported
+   state. *)
+
+let counters_key : (string, int ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let gauges_key : (string, int ref) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let counter_tbl () = Domain.DLS.get counters_key
+let gauge_tbl () = Domain.DLS.get gauges_key
+
+let cell tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add tbl name r;
+    r
+
+let incr ?(by = 1) name =
+  if !enabled_flag then begin
+    let r = cell (counter_tbl ()) name in
+    r := !r + by
+  end
+
+let counter_value name =
+  match Hashtbl.find_opt (counter_tbl ()) name with Some r -> !r | None -> 0
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
+  |> List.sort compare
+
+let counters () = sorted_bindings (counter_tbl ())
+
+let gauge_set name v = if !enabled_flag then cell (gauge_tbl ()) name := v
+
+let gauge_max name v =
+  if !enabled_flag then begin
+    let r = cell (gauge_tbl ()) name in
+    if v > !r then r := v
+  end
+
+let gauge_value name =
+  Option.map (fun r -> !r) (Hashtbl.find_opt (gauge_tbl ()) name)
+
+let gauges () = sorted_bindings (gauge_tbl ())
+
+(* ------------------------------------------------------------------ *)
+(* Histograms                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Histogram = struct
+  (* Log-scale: bucket [i] counts the samples of bit length [i], i.e.
+     bucket 0 holds the value 0 and bucket i >= 1 holds (2^(i-1), 2^i-1].
+     63 buckets cover every non-negative OCaml int; negative samples
+     clamp to 0.  Constant-size state, O(1) record, exact count/sum. *)
+  let nbuckets = 63
+
+  type t = {
+    hname : string;
+    hbuckets : int array;
+    mutable hcount : int;
+    mutable hsum : int;
+    mutable hmin : int;
+    mutable hmax : int;
+  }
+
+  let create name =
+    {
+      hname = name;
+      hbuckets = Array.make nbuckets 0;
+      hcount = 0;
+      hsum = 0;
+      hmin = max_int;
+      hmax = min_int;
+    }
+
+  let name h = h.hname
+  let count h = h.hcount
+  let sum h = h.hsum
+
+  let bucket_of v =
+    let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
+    go v 0
+
+  let record ?(n = 1) h v =
+    let v = if v < 0 then 0 else v in
+    let b = bucket_of v in
+    h.hbuckets.(b) <- h.hbuckets.(b) + n;
+    h.hcount <- h.hcount + n;
+    h.hsum <- h.hsum + (n * v);
+    if v < h.hmin then h.hmin <- v;
+    if v > h.hmax then h.hmax <- v
+
+  let merge dst src =
+    Array.iteri
+      (fun i c -> if c > 0 then dst.hbuckets.(i) <- dst.hbuckets.(i) + c)
+      src.hbuckets;
+    dst.hcount <- dst.hcount + src.hcount;
+    dst.hsum <- dst.hsum + src.hsum;
+    if src.hmin < dst.hmin then dst.hmin <- src.hmin;
+    if src.hmax > dst.hmax then dst.hmax <- src.hmax
+
+  (* Percentile estimate: the upper bound of the bucket where the
+     cumulative count first reaches p% of the samples, clamped to the
+     observed [min, max] so exact extremes stay exact. *)
+  let percentile h p =
+    if h.hcount = 0 then 0
+    else begin
+      let target =
+        Stdlib.max 1
+          (int_of_float (Float.ceil (p /. 100.0 *. float_of_int h.hcount)))
+      in
+      let rec go i cum =
+        if i >= nbuckets then h.hmax
+        else begin
+          let cum = cum + h.hbuckets.(i) in
+          if cum >= target then begin
+            let ub = if i = 0 then 0 else (1 lsl Stdlib.min i 62) - 1 in
+            Stdlib.min h.hmax (Stdlib.max h.hmin ub)
+          end
+          else go (i + 1) cum
+        end
+      in
+      go 0 0
+    end
+
+  type snapshot = {
+    hist : string;
+    count : int;
+    sum : int;
+    min_value : int;
+    max_value : int;
+    p50 : int;
+    p90 : int;
+    p99 : int;
+    buckets : (int * int) list;
+  }
+
+  let snapshot h =
+    let buckets = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if h.hbuckets.(i) > 0 then begin
+        let ub = if i = 0 then 0 else (1 lsl Stdlib.min i 62) - 1 in
+        buckets := (ub, h.hbuckets.(i)) :: !buckets
+      end
+    done;
+    {
+      hist = h.hname;
+      count = h.hcount;
+      sum = h.hsum;
+      min_value = (if h.hcount = 0 then 0 else h.hmin);
+      max_value = (if h.hcount = 0 then 0 else h.hmax);
+      p50 = percentile h 50.0;
+      p90 = percentile h 90.0;
+      p99 = percentile h 99.0;
+      buckets = !buckets;
+    }
+end
+
+let hists_key : (string, Histogram.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 32)
+
+let hist_tbl () = Domain.DLS.get hists_key
+
+let hist_cell name =
+  let tbl = hist_tbl () in
+  match Hashtbl.find_opt tbl name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create name in
+    Hashtbl.add tbl name h;
+    h
+
+let hist_record ?(n = 1) name v =
+  if !enabled_flag then Histogram.record ~n (hist_cell name) v
+
+let hist_value name =
+  Option.map Histogram.snapshot (Hashtbl.find_opt (hist_tbl ()) name)
+
+let histograms () =
+  Hashtbl.fold (fun _ h acc -> Histogram.snapshot h :: acc) (hist_tbl ()) []
+  |> List.sort (fun a b -> compare a.Histogram.hist b.Histogram.hist)
+
+(* ------------------------------------------------------------------ *)
+(* Cache statistics                                                    *)
+(* ------------------------------------------------------------------ *)
+
+module Cache = struct
+  type t = {
+    name : string;
+    mutable hits : int;
+    mutable misses : int;
+    size_fn : unit -> int;
+  }
+
+  let registry_key : t list ref Domain.DLS.key =
+    Domain.DLS.new_key (fun () -> ref [])
+
+  let registry () = Domain.DLS.get registry_key
+
+  let create ?(size = fun () -> 0) name =
+    let c = { name; hits = 0; misses = 0; size_fn = size } in
+    if !enabled_flag then begin
+      let r = registry () in
+      r := c :: !r
+    end;
+    c
+
+  let name c = c.name
+  let hit c = c.hits <- c.hits + 1
+  let miss c = c.misses <- c.misses + 1
+  let hits c = c.hits
+  let misses c = c.misses
+  let lookups c = c.hits + c.misses
+  let size c = c.size_fn ()
+
+  type snapshot = {
+    cache : string;
+    lookups : int;
+    hits : int;
+    misses : int;
+    entries : int;
+  }
+
+  let snapshot c =
+    {
+      cache = c.name;
+      lookups = lookups c;
+      hits = c.hits;
+      misses = c.misses;
+      entries = size c;
+    }
+end
+
+(* Cache snapshots handed back by joined worker domains; folded into the
+   aggregation below so worker caches survive the worker's death. *)
+let absorbed_caches_key : Cache.snapshot list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let caches () =
+  let by_name : (string, Cache.snapshot ref) Hashtbl.t = Hashtbl.create 16 in
+  let add s =
+    match Hashtbl.find_opt by_name s.Cache.cache with
+    | None -> Hashtbl.add by_name s.Cache.cache (ref s)
+    | Some acc ->
+      acc :=
+        Cache.
+          {
+            cache = s.cache;
+            lookups = !acc.lookups + s.lookups;
+            hits = !acc.hits + s.hits;
+            misses = !acc.misses + s.misses;
+            entries = !acc.entries + s.entries;
+          }
+  in
+  List.iter (fun c -> add (Cache.snapshot c)) !(Cache.registry ());
+  List.iter add !(Domain.DLS.get absorbed_caches_key);
+  Hashtbl.fold (fun _ s acc -> !s :: acc) by_name []
+  |> List.sort (fun a b -> compare a.Cache.cache b.Cache.cache)
+
+(* ------------------------------------------------------------------ *)
+(* Trace events and structured events                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* A raw Chrome trace_event: either a complete span occurrence ('X') or
+   an instant ('i').  Timestamps are absolute seconds. *)
+type trace_ev = {
+  ev_name : string;
+  ev_ph : char;
+  ev_ts : float;
+  ev_dur : float;
+  ev_tid : int;
+  ev_args : (string * Json.t) list;
+}
+
+type trace_buf = {
+  mutable tevs : trace_ev list;  (* reverse order of arrival *)
+  mutable tcount : int;
+  mutable tdropped : int;
+}
+
+let trace_limit = 2_000_000
+
+let trace_key : trace_buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { tevs = []; tcount = 0; tdropped = 0 })
+
+let trace_buf () = Domain.DLS.get trace_key
+
+let push_trace ev =
+  let b = trace_buf () in
+  if b.tcount < trace_limit then begin
+    b.tevs <- ev :: b.tevs;
+    b.tcount <- b.tcount + 1
+  end
+  else b.tdropped <- b.tdropped + 1
+
+(* Structured events (search trajectories, pipeline decisions): named,
+   timestamped, with JSON arguments.  Low volume by design — they are
+   exported in full inside the metrics document. *)
+type event = {
+  event : string;
+  ts : float;
+  tid : int;
+  args : (string * Json.t) list;
+}
+
+type event_buf = {
+  mutable uevs : event list;  (* reverse order of arrival *)
+  mutable ucount : int;
+  mutable udropped : int;
+}
+
+let event_limit = 200_000
+
+let events_key : event_buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { uevs = []; ucount = 0; udropped = 0 })
+
+let event_buf () = Domain.DLS.get events_key
+
+let push_event e =
+  let b = event_buf () in
+  if b.ucount < event_limit then begin
+    b.uevs <- e :: b.uevs;
+    b.ucount <- b.ucount + 1
+  end
+  else b.udropped <- b.udropped + 1
+
+let event name args =
+  if !enabled_flag then begin
+    let t = now () in
+    let tid = current_tid () in
+    push_event { event = name; ts = t; tid; args };
+    if !tracing_ref then
+      push_trace
+        { ev_name = name; ev_ph = 'i'; ev_ts = t; ev_dur = 0.0; ev_tid = tid;
+          ev_args = args }
+  end
+
+let events () =
+  let t0 = epoch () in
+  (event_buf ()).uevs
+  |> List.rev_map (fun e -> { e with ts = e.ts -. t0 })
+  |> List.sort (fun a b -> Float.compare a.ts b.ts)
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span_node = {
+  sname : string;
+  mutable calls : int;
+  mutable total : float;
+  mutable gminor : float;
+  mutable gmajor : float;
+  mutable gpromoted : float;
+  mutable gminor_c : int;
+  mutable gmajor_c : int;
+  mutable children : span_node list;  (* reverse first-entry order *)
+}
+
+let mk_span name =
+  { sname = name; calls = 0; total = 0.0; gminor = 0.0; gmajor = 0.0;
+    gpromoted = 0.0; gminor_c = 0; gmajor_c = 0; children = [] }
+
+(* The root is synthetic and never exported directly. *)
+type span_state = { mutable sroot : span_node; mutable sstack : span_node list }
+
+let span_key : span_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { sroot = mk_span "<root>"; sstack = [] })
+
+let span_state () = Domain.DLS.get span_key
+
+let span_depth () = List.length (span_state ()).sstack
+
+let span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let st = span_state () in
+    let parent = match st.sstack with top :: _ -> top | [] -> st.sroot in
+    let node =
+      match List.find_opt (fun n -> n.sname = name) parent.children with
+      | Some n -> n
+      | None ->
+        let n = mk_span name in
+        parent.children <- n :: parent.children;
+        n
+    in
+    st.sstack <- node :: st.sstack;
+    let g0 = Gc.quick_stat () in
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let t1 = now () in
+        let g1 = Gc.quick_stat () in
+        node.calls <- node.calls + 1;
+        node.total <- node.total +. (t1 -. t0);
+        node.gminor <- node.gminor +. (g1.Gc.minor_words -. g0.Gc.minor_words);
+        node.gmajor <- node.gmajor +. (g1.Gc.major_words -. g0.Gc.major_words);
+        node.gpromoted <-
+          node.gpromoted +. (g1.Gc.promoted_words -. g0.Gc.promoted_words);
+        node.gminor_c <-
+          node.gminor_c + (g1.Gc.minor_collections - g0.Gc.minor_collections);
+        node.gmajor_c <-
+          node.gmajor_c + (g1.Gc.major_collections - g0.Gc.major_collections);
+        if !tracing_ref then
+          push_trace
+            { ev_name = name; ev_ph = 'X'; ev_ts = t0; ev_dur = t1 -. t0;
+              ev_tid = current_tid (); ev_args = [] };
+        match st.sstack with
+        | top :: rest when top == node -> st.sstack <- rest
+        | _ -> (* a reset happened inside the span *) ())
+      f
+  end
+
+type span_tree = {
+  span : string;
+  calls : int;
+  total_s : float;
+  gc_minor_words : float;
+  gc_major_words : float;
+  gc_promoted_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
+  children : span_tree list;
+}
+
+let rec freeze n =
+  {
+    span = n.sname;
+    calls = n.calls;
+    total_s = n.total;
+    gc_minor_words = n.gminor;
+    gc_major_words = n.gmajor;
+    gc_promoted_words = n.gpromoted;
+    gc_minor_collections = n.gminor_c;
+    gc_major_collections = n.gmajor_c;
+    children = List.rev_map freeze n.children;
+  }
+
+let span_roots () = (freeze (span_state ()).sroot).children
+
+(* GC counters at the last [reset]: the exported "gc" section reports
+   deltas against this baseline. *)
+let gc_baseline_key : Gc.stat Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Gc.quick_stat ())
+
+let reset () =
+  Hashtbl.reset (counter_tbl ());
+  Hashtbl.reset (gauge_tbl ());
+  Hashtbl.reset (hist_tbl ());
+  Cache.registry () := [];
+  Domain.DLS.get absorbed_caches_key := [];
+  let tb = trace_buf () in
+  tb.tevs <- [];
+  tb.tcount <- 0;
+  tb.tdropped <- 0;
+  let eb = event_buf () in
+  eb.uevs <- [];
+  eb.ucount <- 0;
+  eb.udropped <- 0;
+  Domain.DLS.get epoch_key := now ();
+  Domain.DLS.set gc_baseline_key (Gc.quick_stat ());
+  let st = span_state () in
+  st.sroot <- mk_span "<root>";
+  st.sstack <- []
+
+(* ------------------------------------------------------------------ *)
+(* Worker domains                                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Worker = struct
+  type captured = {
+    wcounters : (string * int) list;
+    wgauges : (string * int) list;
+    wcaches : Cache.snapshot list;
+    whists : Histogram.t list;
+    wevents : event list;  (* absolute timestamps, original tids *)
+    wtrace : trace_ev list;
+    wtrace_dropped : int;
+    wevents_dropped : int;
+    wspans : span_tree list;
+  }
+
+  let fresh_state () =
+    Domain.DLS.set counters_key (Hashtbl.create 64);
+    Domain.DLS.set gauges_key (Hashtbl.create 64);
+    Domain.DLS.set hists_key (Hashtbl.create 32);
+    Domain.DLS.set Cache.registry_key (ref []);
+    Domain.DLS.set absorbed_caches_key (ref []);
+    Domain.DLS.set trace_key { tevs = []; tcount = 0; tdropped = 0 };
+    Domain.DLS.set events_key { uevs = []; ucount = 0; udropped = 0 };
+    Domain.DLS.set gc_baseline_key (Gc.quick_stat ());
+    Domain.DLS.set span_key { sroot = mk_span "<root>"; sstack = [] }
+
+  let capture f =
+    let old_counters = Domain.DLS.get counters_key in
+    let old_gauges = Domain.DLS.get gauges_key in
+    let old_hists = Domain.DLS.get hists_key in
+    let old_registry = Domain.DLS.get Cache.registry_key in
+    let old_absorbed = Domain.DLS.get absorbed_caches_key in
+    let old_trace = Domain.DLS.get trace_key in
+    let old_events = Domain.DLS.get events_key in
+    let old_gc = Domain.DLS.get gc_baseline_key in
+    let old_spans = Domain.DLS.get span_key in
+    let restore () =
+      Domain.DLS.set counters_key old_counters;
+      Domain.DLS.set gauges_key old_gauges;
+      Domain.DLS.set hists_key old_hists;
+      Domain.DLS.set Cache.registry_key old_registry;
+      Domain.DLS.set absorbed_caches_key old_absorbed;
+      Domain.DLS.set trace_key old_trace;
+      Domain.DLS.set events_key old_events;
+      Domain.DLS.set gc_baseline_key old_gc;
+      Domain.DLS.set span_key old_spans
+    in
+    fresh_state ();
+    match f () with
+    | r ->
+      let tb = trace_buf () and eb = event_buf () in
+      let cap =
+        {
+          wcounters = counters ();
+          wgauges = gauges ();
+          wcaches = caches ();
+          whists =
+            Hashtbl.fold (fun _ h acc -> h :: acc) (hist_tbl ()) [];
+          wevents = List.rev eb.uevs;
+          wtrace = List.rev tb.tevs;
+          wtrace_dropped = tb.tdropped;
+          wevents_dropped = eb.udropped;
+          wspans = span_roots ();
+        }
+      in
+      restore ();
+      (r, cap)
+    | exception e ->
+      restore ();
+      raise e
+
+  (* Merge a frozen worker span tree under [parent], find-or-create by
+     name, summing calls, durations and GC deltas — the same
+     accumulation rule [span] itself applies to repeat entries. *)
+  let rec merge_tree (parent : span_node) (t : span_tree) =
+    let node =
+      match List.find_opt (fun n -> n.sname = t.span) parent.children with
+      | Some n -> n
+      | None ->
+        let n = mk_span t.span in
+        parent.children <- n :: parent.children;
+        n
+    in
+    node.calls <- node.calls + t.calls;
+    node.total <- node.total +. t.total_s;
+    node.gminor <- node.gminor +. t.gc_minor_words;
+    node.gmajor <- node.gmajor +. t.gc_major_words;
+    node.gpromoted <- node.gpromoted +. t.gc_promoted_words;
+    node.gminor_c <- node.gminor_c + t.gc_minor_collections;
+    node.gmajor_c <- node.gmajor_c + t.gc_major_collections;
+    List.iter (merge_tree node) t.children
+
+  let absorb cap =
+    List.iter
+      (fun (k, v) ->
+        let r = cell (counter_tbl ()) k in
+        r := !r + v)
+      cap.wcounters;
+    List.iter
+      (fun (k, v) ->
+        let r = cell (gauge_tbl ()) k in
+        if v > !r then r := v)
+      cap.wgauges;
+    (let ab = Domain.DLS.get absorbed_caches_key in
+     ab := cap.wcaches @ !ab);
+    List.iter
+      (fun h -> Histogram.merge (hist_cell (Histogram.name h)) h)
+      cap.whists;
+    List.iter push_event cap.wevents;
+    List.iter push_trace cap.wtrace;
+    (trace_buf ()).tdropped <- (trace_buf ()).tdropped + cap.wtrace_dropped;
+    (event_buf ()).udropped <- (event_buf ()).udropped + cap.wevents_dropped;
+    let st = span_state () in
+    let parent = match st.sstack with top :: _ -> top | [] -> st.sroot in
+    List.iter (merge_tree parent) cap.wspans
+end
+
+(* ------------------------------------------------------------------ *)
 (* Export                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = "ctwsdd-metrics/v1"
+let schema_version = "ctwsdd-metrics/v2"
 
 let rec span_to_json t =
   Json.Obj
@@ -564,10 +900,83 @@ let rec span_to_json t =
       ("name", Json.String t.span);
       ("calls", Json.Int t.calls);
       ("total_s", Json.Float t.total_s);
+      ( "gc",
+        Json.Obj
+          [
+            ("minor_words", Json.Float t.gc_minor_words);
+            ("major_words", Json.Float t.gc_major_words);
+            ("promoted_words", Json.Float t.gc_promoted_words);
+            ("minor_collections", Json.Int t.gc_minor_collections);
+            ("major_collections", Json.Int t.gc_major_collections);
+          ] );
       ("children", Json.List (List.map span_to_json t.children));
     ]
 
+let hist_to_json (s : Histogram.snapshot) =
+  Json.Obj
+    [
+      ("name", Json.String s.Histogram.hist);
+      ("count", Json.Int s.Histogram.count);
+      ("sum", Json.Int s.Histogram.sum);
+      ("min", Json.Int s.Histogram.min_value);
+      ("max", Json.Int s.Histogram.max_value);
+      ("p50", Json.Int s.Histogram.p50);
+      ("p90", Json.Int s.Histogram.p90);
+      ("p99", Json.Int s.Histogram.p99);
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, c) ->
+               Json.Obj [ ("le", Json.Int le); ("count", Json.Int c) ])
+             s.Histogram.buckets) );
+    ]
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("name", Json.String e.event);
+      ("ts_s", Json.Float e.ts);
+      ("tid", Json.Int e.tid);
+      ("args", Json.Obj e.args);
+    ]
+
+let gc_to_json () =
+  let b = Domain.DLS.get gc_baseline_key in
+  let g = Gc.quick_stat () in
+  Json.Obj
+    [
+      ("minor_words", Json.Float (g.Gc.minor_words -. b.Gc.minor_words));
+      ("major_words", Json.Float (g.Gc.major_words -. b.Gc.major_words));
+      ("promoted_words", Json.Float (g.Gc.promoted_words -. b.Gc.promoted_words));
+      ( "minor_collections",
+        Json.Int (g.Gc.minor_collections - b.Gc.minor_collections) );
+      ( "major_collections",
+        Json.Int (g.Gc.major_collections - b.Gc.major_collections) );
+      ("compactions", Json.Int (g.Gc.compactions - b.Gc.compactions));
+      ("heap_words", Json.Int g.Gc.heap_words);
+      ("top_heap_words", Json.Int g.Gc.top_heap_words);
+    ]
+
+let trace_section () =
+  let tb = trace_buf () and eb = event_buf () in
+  let tids =
+    List.sort_uniq compare
+      (List.rev_append
+         (List.rev_map (fun e -> e.ev_tid) tb.tevs)
+         (List.map (fun e -> e.tid) eb.uevs))
+  in
+  Json.Obj
+    [
+      ("tids", Json.List (List.map (fun t -> Json.Int t) tids));
+      ("span_events", Json.Int tb.tcount);
+      ("instants", Json.Int eb.ucount);
+      ("dropped", Json.Int (tb.tdropped + eb.udropped));
+    ]
+
 let snapshot ?(extra = []) () =
+  (* Peak-heap gauge: refreshed at every export so the watermark is
+     visible among the ordinary gauges too. *)
+  gauge_max "gc.top_heap_words" (Gc.quick_stat ()).Gc.top_heap_words;
   Json.Obj
     (("schema", Json.String schema_version)
      :: extra
@@ -589,6 +998,10 @@ let snapshot ?(extra = []) () =
                      ("entries", Json.Int s.Cache.entries);
                    ])
                (caches ())) );
+        ("histograms", Json.List (List.map hist_to_json (histograms ())));
+        ("gc", gc_to_json ());
+        ("events", Json.List (List.map event_to_json (events ())));
+        ("trace", trace_section ());
         ("spans", Json.List (List.map span_to_json (span_roots ())));
       ])
 
@@ -600,15 +1013,105 @@ let write_json ?extra path =
       output_string oc (Json.to_string (snapshot ?extra ()));
       output_char oc '\n')
 
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event export                                           *)
+(* ------------------------------------------------------------------ *)
+
+let trace_json () =
+  let evs = List.rev (trace_buf ()).tevs in
+  let base =
+    List.fold_left (fun acc e -> Stdlib.min acc e.ev_ts) (epoch ()) evs
+  in
+  let us t = (t -. base) *. 1e6 in
+  let tids = List.sort_uniq compare (0 :: List.map (fun e -> e.ev_tid) evs) in
+  let meta =
+    Json.Obj
+      [
+        ("name", Json.String "process_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int 0);
+        ("args", Json.Obj [ ("name", Json.String "ctwsdd") ]);
+      ]
+    :: List.map
+         (fun t ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 1);
+               ("tid", Json.Int t);
+               ( "args",
+                 Json.Obj
+                   [
+                     ( "name",
+                       Json.String
+                         (if t = 0 then "main" else Printf.sprintf "domain-%d" t)
+                     );
+                   ] );
+             ])
+         tids
+  in
+  let ev_json e =
+    let common =
+      [
+        ("name", Json.String e.ev_name);
+        ("cat", Json.String "ctwsdd");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int e.ev_tid);
+        ("ts", Json.Float (us e.ev_ts));
+      ]
+    in
+    let args =
+      if e.ev_args = [] then [] else [ ("args", Json.Obj e.ev_args) ]
+    in
+    match e.ev_ph with
+    | 'X' ->
+      Json.Obj
+        (common
+        @ [ ("ph", Json.String "X"); ("dur", Json.Float (e.ev_dur *. 1e6)) ]
+        @ args)
+    | _ ->
+      Json.Obj
+        (common @ [ ("ph", Json.String "i"); ("s", Json.String "t") ] @ args)
+  in
+  let sorted =
+    List.stable_sort (fun a b -> Float.compare a.ev_ts b.ev_ts) evs
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (meta @ List.map ev_json sorted));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (Json.to_string (trace_json ()));
+      output_char oc '\n')
+
+(* ------------------------------------------------------------------ *)
+(* Human summary                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_words w =
+  if w >= 1e9 then Printf.sprintf "%.1fGw" (w /. 1e9)
+  else if w >= 1e6 then Printf.sprintf "%.1fMw" (w /. 1e6)
+  else if w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
+
 let pp_summary ppf () =
   let spans = span_roots () in
   if spans <> [] then begin
     Format.fprintf ppf "@[<v>spans:@,";
-    Format.fprintf ppf "  %-40s %8s %12s@," "name" "calls" "total";
+    Format.fprintf ppf "  %-40s %8s %12s %10s@," "name" "calls" "total" "alloc";
     let rec pp_span indent t =
-      Format.fprintf ppf "  %-40s %8d %10.3fms@,"
+      Format.fprintf ppf "  %-40s %8d %10.3fms %10s@,"
         (String.make indent ' ' ^ t.span)
-        t.calls (1000.0 *. t.total_s);
+        t.calls (1000.0 *. t.total_s)
+        (fmt_words (t.gc_minor_words +. t.gc_major_words));
       List.iter (pp_span (indent + 2)) t.children
     in
     List.iter (pp_span 0) spans;
@@ -631,6 +1134,30 @@ let pp_summary ppf () =
       cache_list;
     Format.fprintf ppf "@]"
   end;
+  let hist_list = histograms () in
+  if hist_list <> [] then begin
+    Format.fprintf ppf "@[<v>histograms:@,";
+    Format.fprintf ppf "  %-32s %10s %6s %8s %8s %8s %8s@," "name" "count"
+      "min" "p50" "p90" "p99" "max";
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  %-32s %10d %6d %8d %8d %8d %8d@,"
+          s.Histogram.hist s.Histogram.count s.Histogram.min_value
+          s.Histogram.p50 s.Histogram.p90 s.Histogram.p99 s.Histogram.max_value)
+      hist_list;
+    Format.fprintf ppf "@]"
+  end;
+  (let b = Domain.DLS.get gc_baseline_key in
+   let g = Gc.quick_stat () in
+   Format.fprintf ppf
+     "@[<v>gc: minor %s, major %s, promoted %s, collections %d/%d, top heap \
+      %s@,@]"
+     (fmt_words (g.Gc.minor_words -. b.Gc.minor_words))
+     (fmt_words (g.Gc.major_words -. b.Gc.major_words))
+     (fmt_words (g.Gc.promoted_words -. b.Gc.promoted_words))
+     (g.Gc.minor_collections - b.Gc.minor_collections)
+     (g.Gc.major_collections - b.Gc.major_collections)
+     (fmt_words (float_of_int g.Gc.top_heap_words)));
   let counter_list = counters () in
   if counter_list <> [] then begin
     Format.fprintf ppf "@[<v>counters:@,";

@@ -1,18 +1,24 @@
-(** Observability: hierarchical timed spans, monotonic counters, gauges
-    and cache statistics for the compilation pipeline.
+(** Observability: hierarchical timed spans, monotonic counters, gauges,
+    log-scale histograms, cache statistics, GC telemetry, structured
+    events and Chrome-trace recording for the compilation pipeline.
 
     The instrumentation is designed to be effectively free when disabled
-    (the default): every global instrument ([span], [incr], [gauge_max],
-    …) first checks a single boolean and becomes a no-op, so hot paths
-    pay one predictable branch.  Per-cache statistics ({!Cache}) are
-    plain field increments on a record owned by the instrumented
-    structure and are always maintained — they cost a couple of stores
-    next to a hash-table probe that dwarfs them.
+    (the default): every global instrument ([span], [incr],
+    [hist_record], [event], …) first checks a single boolean and becomes
+    a no-op, so hot paths pay one predictable branch.  Per-cache
+    statistics ({!Cache}) are plain field increments on a record owned
+    by the instrumented structure and are always maintained — they cost
+    a couple of stores next to a hash-table probe that dwarfs them.
 
     Metrics are exported either as a human-readable summary table
-    ({!pp_summary}) or as JSON under the stable [ctwsdd-metrics/v1]
-    schema ({!snapshot}, {!write_json}).  See EXPERIMENTS.md for the
-    schema reference. *)
+    ({!pp_summary}) or as JSON under the stable [ctwsdd-metrics/v2]
+    schema ({!snapshot}, {!write_json}) — a strict superset of v1 adding
+    [histograms], [gc], [events] and [trace] sections and per-span GC
+    deltas.  With {!set_tracing} on, every span call and event is also
+    recorded individually and exported as a Chrome [trace_event] file
+    ({!write_trace}) that loads in Perfetto / chrome://tracing, with one
+    track per OCaml domain.  See EXPERIMENTS.md for the schema
+    reference. *)
 
 (** {1 Enabling} *)
 
@@ -24,11 +30,19 @@ val enabled_ref : bool ref
     single load-and-branch ([if !Obs.enabled_ref then ...]) instead of a
     cross-module call.  Treat as read-only; use {!set_enabled} to flip. *)
 
+val tracing : unit -> bool
+
+val set_tracing : bool -> unit
+(** Turn per-call Chrome-trace recording on or off.  Only effective
+    while {!enabled}: aggregation stays cheap, but tracing appends one
+    event per span call, so it is a separate, opt-in switch. *)
+
 val reset : unit -> unit
-(** Forget all recorded counters, gauges, spans and registered caches.
-    Does not change the enabled flag.  Open spans are kept on the stack
-    (their enclosing [span] calls still pop correctly) but their timings
-    are discarded with the old tree. *)
+(** Forget all recorded counters, gauges, histograms, spans, events,
+    trace buffers and registered caches, and rebase the GC baseline and
+    trace epoch.  Does not change the enabled or tracing flags.  Open
+    spans are kept on the stack (their enclosing [span] calls still pop
+    correctly) but their timings are discarded with the old tree. *)
 
 (** {1 Counters and gauges} *)
 
@@ -51,6 +65,58 @@ val gauge_max : string -> int -> unit
 
 val gauge_value : string -> int option
 val gauges : unit -> (string * int) list
+
+(** {1 Histograms} *)
+
+module Histogram : sig
+  type t
+  (** A log-scale (power-of-two bucket) histogram over non-negative
+      integers: constant-size state, O(1) record, exact count/sum/min/
+      max, percentile estimates within one power of two.  Negative
+      samples clamp to 0. *)
+
+  val create : string -> t
+  val name : t -> string
+  val count : t -> int
+  val sum : t -> int
+
+  val record : ?n:int -> t -> int -> unit
+  (** [record ~n h v] adds [n] (default 1) samples of value [v]. *)
+
+  val merge : t -> t -> unit
+  (** [merge dst src] folds [src]'s samples into [dst]. *)
+
+  val percentile : t -> float -> int
+  (** [percentile h p] for [p] in [0..100]: the upper bound of the
+      bucket where the cumulative count reaches [p]%, clamped to the
+      observed range.  0 on an empty histogram. *)
+
+  type snapshot = {
+    hist : string;
+    count : int;
+    sum : int;
+    min_value : int;
+    max_value : int;
+    p50 : int;
+    p90 : int;
+    p99 : int;
+    buckets : (int * int) list;
+        (** Non-empty buckets as [(upper_bound, count)], ascending. *)
+  }
+
+  val snapshot : t -> snapshot
+end
+
+val hist_record : ?n:int -> string -> int -> unit
+(** Record [n] (default 1) samples of a value into the named global
+    histogram, creating it on first use.  No-op when disabled. *)
+
+val hist_value : string -> Histogram.snapshot option
+(** Snapshot of a named histogram; [None] if never recorded. *)
+
+val histograms : unit -> Histogram.snapshot list
+(** All histograms (including those absorbed from worker domains),
+    sorted by name. *)
 
 (** {1 Cache statistics} *)
 
@@ -104,16 +170,24 @@ val caches : unit -> Cache.snapshot list
 (** {1 Spans} *)
 
 val span : string -> (unit -> 'a) -> 'a
-(** [span name f] times [f ()] and accumulates the duration into the
-    span tree under the currently open span (spans nest).  Re-entering
-    the same name under the same parent accumulates into one node.
-    Exception-safe: the span is closed even if [f] raises.  When
-    disabled this is exactly [f ()]. *)
+(** [span name f] times [f ()] and accumulates the duration and
+    {!Gc.quick_stat} deltas (allocation, collections) into the span tree
+    under the currently open span (spans nest).  Re-entering the same
+    name under the same parent accumulates into one node.  With
+    {!set_tracing} on, each call additionally records one complete
+    Chrome-trace event on the calling domain's track.  Exception-safe:
+    the span is closed even if [f] raises.  When disabled this is
+    exactly [f ()]. *)
 
 type span_tree = {
   span : string;
   calls : int;
   total_s : float;  (** Wall-clock seconds, summed over calls. *)
+  gc_minor_words : float;  (** Minor-heap words allocated inside. *)
+  gc_major_words : float;
+  gc_promoted_words : float;
+  gc_minor_collections : int;
+  gc_major_collections : int;
   children : span_tree list;
 }
 
@@ -123,41 +197,7 @@ val span_roots : unit -> span_tree list
 val span_depth : unit -> int
 (** Number of currently open spans (0 outside any [span]). *)
 
-(** {1 Worker domains}
-
-    All metric state (counters, gauges, spans, the cache registry) is
-    domain-local: a freshly spawned domain starts with empty tables, so
-    instruments never contend across domains.  Code that fans work out to
-    [Domain.spawn] workers wraps each worker body in {!Worker.capture}
-    and, after joining, feeds every capture to {!Worker.absorb} so the
-    workers' metrics are merged into the calling domain:
-
-    {[
-      let d = Domain.spawn (fun () -> Obs.Worker.capture work) in
-      let result, cap = Domain.join d in
-      Obs.Worker.absorb cap
-    ]} *)
-
-module Worker : sig
-  type captured
-  (** Frozen metric state of one unit of work: counters, gauges, cache
-      snapshots and the span forest recorded while it ran. *)
-
-  val capture : (unit -> 'a) -> 'a * captured
-  (** [capture f] runs [f] against fresh, empty metric state and returns
-      its result together with everything it recorded; the previous
-      state of the calling domain is restored afterwards (also if [f]
-      raises, in which case the partial capture is discarded).  Safe to
-      call in any domain, including nested under another [capture]. *)
-
-  val absorb : captured -> unit
-  (** Merge a capture into the calling domain's state: counters add,
-      gauges take the maximum, cache snapshots are accumulated into the
-      {!caches} aggregation, and span trees are grafted under the
-      currently open span, summing durations of same-named spans — the
-      same rule {!span} applies to repeat entries.  Absorb captures only
-      after joining their workers (typically in the main domain). *)
-end
+(** {1 Structured events} *)
 
 (** {1 JSON} *)
 
@@ -183,19 +223,92 @@ module Json : sig
   (** Field lookup in an [Obj]; [None] otherwise. *)
 end
 
+type event = {
+  event : string;  (** Event name, e.g. ["vtree_search.move"]. *)
+  ts : float;  (** Seconds since the last {!reset}. *)
+  tid : int;  (** Track id of the recording domain (0 = main). *)
+  args : (string * Json.t) list;
+}
+
+val event : string -> (string * Json.t) list -> unit
+(** Record a named, timestamped structured event (search-trajectory
+    steps, pipeline decisions).  Exported in full in the [events]
+    section of the metrics JSON and, when tracing, mirrored as an
+    instant event in the Chrome trace.  No-op when disabled. *)
+
+val events : unit -> event list
+(** All recorded events (including those absorbed from worker domains),
+    sorted by timestamp. *)
+
+(** {1 Worker domains}
+
+    All metric state (counters, gauges, histograms, spans, events, trace
+    buffers, the cache registry) is domain-local: a freshly spawned
+    domain starts with empty tables, so instruments never contend across
+    domains.  Code that fans work out to [Domain.spawn] workers wraps
+    each worker body in {!Worker.capture} and, after joining, feeds
+    every capture to {!Worker.absorb} so the workers' metrics are merged
+    into the calling domain:
+
+    {[
+      let d = Domain.spawn (fun () -> Obs.Worker.capture work) in
+      let result, cap = Domain.join d in
+      Obs.Worker.absorb cap
+    ]} *)
+
+module Worker : sig
+  type captured
+  (** Frozen metric state of one unit of work: counters, gauges, cache
+      snapshots, histograms, events, trace events and the span forest
+      recorded while it ran. *)
+
+  val capture : (unit -> 'a) -> 'a * captured
+  (** [capture f] runs [f] against fresh, empty metric state and returns
+      its result together with everything it recorded; the previous
+      state of the calling domain is restored afterwards (also if [f]
+      raises, in which case the partial capture is discarded).  Safe to
+      call in any domain, including nested under another [capture]. *)
+
+  val absorb : captured -> unit
+  (** Merge a capture into the calling domain's state: counters add,
+      gauges take the maximum, cache snapshots are accumulated into the
+      {!caches} aggregation, histograms merge by name, events and trace
+      events are appended (keeping the worker's track id, so its work
+      shows on its own Chrome-trace track), and span trees are grafted
+      under the currently open span, summing durations of same-named
+      spans — the same rule {!span} applies to repeat entries.  Absorb
+      captures only after joining their workers (typically in the main
+      domain). *)
+end
+
 (** {1 Export} *)
 
 val schema_version : string
-(** ["ctwsdd-metrics/v1"]. *)
+(** ["ctwsdd-metrics/v2"]. *)
 
 val snapshot : ?extra:(string * Json.t) list -> unit -> Json.t
-(** The full metrics state as a [ctwsdd-metrics/v1] object.  [extra]
-    fields are prepended after the [schema] field. *)
+(** The full metrics state as a [ctwsdd-metrics/v2] object: [schema],
+    [counters], [gauges], [caches], [histograms], [gc] (deltas since
+    {!reset} plus current/top heap words), [events], [trace] (track ids
+    and buffer statistics) and [spans] (with per-span [gc] sub-objects).
+    [extra] fields are prepended after the [schema] field. *)
 
 val write_json : ?extra:(string * Json.t) list -> string -> unit
 (** [write_json path] writes [snapshot ()] to [path]. *)
 
+val trace_json : unit -> Json.t
+(** The recorded trace buffer as a Chrome [trace_event] document:
+    [{"traceEvents": [...], "displayTimeUnit": "ms"}] with complete
+    ([ph:"X"]) events for span calls, instant ([ph:"i"]) events for
+    structured events, and [ph:"M"] metadata naming one track per OCaml
+    domain ([main], [domain-N]).  Timestamps are microseconds since the
+    earliest recorded event.  Loads in Perfetto and chrome://tracing. *)
+
+val write_trace : string -> unit
+(** [write_trace path] writes {!trace_json} to [path]. *)
+
 val pp_summary : Format.formatter -> unit -> unit
-(** Human-readable tables: spans (indented, with timings), cache
-    hit/miss rates, counters and gauges.  Sections with no data are
+(** Human-readable tables: spans (indented, with timings and allocation),
+    cache hit/miss rates, histograms (count and percentiles), a GC
+    summary line, counters and gauges.  Sections with no data are
     omitted. *)

@@ -118,6 +118,24 @@ let stats m =
   List.map Obs.Cache.snapshot
     [ m.cs_unique; m.cs_and; m.cs_or; m.cs_neg; m.cs_cond ]
 
+(* Unique-table and apply-cache occupancy telemetry: bucket-length
+   distribution from [Hashtbl.statistics], entry watermarks and load
+   factor.  Called after whole-circuit compiles and dynamic edits, not
+   per operation, so the bucket walk stays off the hot path. *)
+let probe_occupancy m =
+  let st = Dec_tbl.stats m.unique in
+  Obs.gauge_max "sdd.unique.entries_peak" st.Hashtbl.num_bindings;
+  Obs.gauge_max "sdd.unique.max_bucket" st.Hashtbl.max_bucket_length;
+  Array.iteri
+    (fun len count ->
+      if count > 0 then Obs.hist_record ~n:count "sdd.unique.bucket_len" len)
+    st.Hashtbl.bucket_histogram;
+  if st.Hashtbl.num_buckets > 0 then
+    Obs.hist_record "sdd.unique.load_pct"
+      (100 * st.Hashtbl.num_bindings / st.Hashtbl.num_buckets);
+  Obs.gauge_max "sdd.apply_cache.entries_peak"
+    (Int_tbl.length m.and_cache + Int_tbl.length m.or_cache)
+
 let false_ _ = 0
 let true_ _ = 1
 
@@ -214,6 +232,7 @@ and mk_decision m v elems =
       List.sort (fun (p1, _) (p2, _) -> Int.compare p1 p2) compressed
     in
     let k = List.length sorted in
+    if !Obs.enabled_ref then Obs.hist_record "sdd.decision_fanout" k;
     let key = Array.make (1 + (2 * k)) v in
     List.iteri
       (fun i (p, s) ->
@@ -299,6 +318,8 @@ and apply m op_and a b =
                   end)
                 eb)
             ea;
+          if !Obs.enabled_ref then
+            Obs.hist_record "sdd.apply_elements" (List.length !out);
           mk_decision m v !out
         end
       in
@@ -516,8 +537,12 @@ let dynamic_edit m move root =
      from the live node of the same function).  Dead ids are never
      referenced again — every surviving handle and cache entry goes
      through [fwd], and entries touching dead nodes are dropped. *)
+  let tombstoned = ref 0 in
   for id = 2 to old_count - 1 do
-    if (not live.(id)) || fwd.(id) <> id then m.data.(id) <- DConst false
+    if (not live.(id)) || fwd.(id) <> id then begin
+      m.data.(id) <- DConst false;
+      incr tombstoned
+    end
   done;
   (* Reinsert the cache entries whose nodes survived, under forwarded
      keys; entries referencing collected nodes are dropped. *)
@@ -558,7 +583,10 @@ let dynamic_edit m move root =
        | Vtree.Swap _ -> "sdd.edit.swap"
        | Vtree.Rotate_left _ -> "sdd.edit.rotate_left"
        | Vtree.Rotate_right _ -> "sdd.edit.rotate_right");
-    Obs.incr ~by:!rebuilt "sdd.edit.rebuilt_decisions"
+    Obs.incr ~by:!rebuilt "sdd.edit.rebuilt_decisions";
+    Obs.incr ~by:!tombstoned "sdd.edit.tombstoned";
+    Obs.hist_record "sdd.edit.tombstoned_per_edit" !tombstoned;
+    probe_occupancy m
   end;
   fwd.(root)
 
@@ -806,6 +834,7 @@ let compile_circuit m c =
        | Circuit.And js -> conjoin_list m (List.map (fun j -> res.(j)) js)
        | Circuit.Or js -> disjoin_list m (List.map (fun j -> res.(j)) js))
   done;
+  if !Obs.enabled_ref then probe_occupancy m;
   res.(Circuit.output c)
 
 let of_boolfun_naive m f =

@@ -117,11 +117,13 @@ let json_suite =
             | Ok _ -> Alcotest.failf "accepted %S" s
             | Error _ -> ())
           [ "{"; "[1,]"; "\"open"; "tru"; "{\"a\":1,}"; "1 2"; "" ]);
-    case "snapshot follows the ctwsdd-metrics/v1 schema" (fun () ->
+    case "snapshot follows the ctwsdd-metrics/v2 schema" (fun () ->
         with_obs (fun () ->
             Obs.incr ~by:3 "work.items";
             Obs.gauge_max "work.peak" 9;
             Obs.span "stage" (fun () -> ());
+            Obs.hist_record "work.sizes" 5;
+            Obs.event "work.step" [ ("n", Obs.Json.Int 1) ];
             let j = Obs.snapshot ~extra:[ ("run", Obs.Json.Int 1) ] () in
             (* The exporter's output must parse back to itself. *)
             (match Obs.Json.of_string (Obs.Json.to_string j) with
@@ -130,6 +132,7 @@ let json_suite =
             checkb "schema field" true
               (Obs.Json.member "schema" j
               = Some (Obs.Json.String Obs.schema_version));
+            checks "schema is v2" "ctwsdd-metrics/v2" Obs.schema_version;
             checkb "extra field" true
               (Obs.Json.member "run" j = Some (Obs.Json.Int 1));
             (match Obs.Json.member "counters" j with
@@ -137,12 +140,255 @@ let json_suite =
                checkb "counter exported" true
                  (List.assoc_opt "work.items" fields = Some (Obs.Json.Int 3))
              | _ -> Alcotest.fail "counters missing");
+            (* v2 additions: histograms, gc, events, trace ids. *)
+            (match Obs.Json.member "histograms" j with
+             | Some (Obs.Json.List [ h ]) ->
+               checkb "hist name" true
+                 (Obs.Json.member "name" h
+                 = Some (Obs.Json.String "work.sizes"));
+               checkb "hist p50" true
+                 (Obs.Json.member "p50" h = Some (Obs.Json.Int 5))
+             | _ -> Alcotest.fail "histograms missing");
+            (match Obs.Json.member "gc" j with
+             | Some gc ->
+               checkb "gc minor_words" true
+                 (match Obs.Json.member "minor_words" gc with
+                  | Some (Obs.Json.Float _) -> true
+                  | _ -> false);
+               checkb "gc top_heap_words" true
+                 (Obs.Json.member "top_heap_words" gc <> None)
+             | None -> Alcotest.fail "gc missing");
+            (match Obs.Json.member "events" j with
+             | Some (Obs.Json.List [ e ]) ->
+               checkb "event name" true
+                 (Obs.Json.member "name" e
+                 = Some (Obs.Json.String "work.step"));
+               checkb "event tid" true
+                 (Obs.Json.member "tid" e = Some (Obs.Json.Int 0))
+             | _ -> Alcotest.fail "events missing");
+            (match Obs.Json.member "trace" j with
+             | Some tr ->
+               checkb "trace tids" true
+                 (match Obs.Json.member "tids" tr with
+                  | Some (Obs.Json.List _) -> true
+                  | _ -> false)
+             | None -> Alcotest.fail "trace missing");
             match Obs.Json.member "spans" j with
             | Some (Obs.Json.List [ span ]) ->
               checkb "span name" true
                 (Obs.Json.member "name" span
-                = Some (Obs.Json.String "stage"))
+                = Some (Obs.Json.String "stage"));
+              checkb "span gc sub-object" true
+                (match Obs.Json.member "gc" span with
+                 | Some gc -> Obs.Json.member "minor_words" gc <> None
+                 | None -> false)
             | _ -> Alcotest.fail "spans missing"));
+    case "write_json output round-trips through the parser" (fun () ->
+        with_obs (fun () ->
+            let m = Sdd.manager (Vtree.balanced [ "a"; "b"; "c" ]) in
+            ignore (Sdd.compile_circuit m (Circuit.of_string "(and a (or b c))"));
+            let path = Filename.temp_file "ctwsdd_metrics" ".json" in
+            Fun.protect
+              ~finally:(fun () -> Sys.remove path)
+              (fun () ->
+                Obs.write_json path;
+                let ic = open_in_bin path in
+                let s =
+                  Fun.protect
+                    ~finally:(fun () -> close_in_noerr ic)
+                    (fun () -> really_input_string ic (in_channel_length ic))
+                in
+                match Obs.Json.of_string (String.trim s) with
+                | Error e -> Alcotest.fail e
+                | Ok j ->
+                  checkb "schema" true
+                    (Obs.Json.member "schema" j
+                    = Some (Obs.Json.String Obs.schema_version));
+                  (* hits + misses = lookups for every exported cache. *)
+                  (match Obs.Json.member "caches" j with
+                   | Some (Obs.Json.List caches) ->
+                     checkb "has caches" true (caches <> []);
+                     List.iter
+                       (fun c ->
+                         let geti k =
+                           match Obs.Json.member k c with
+                           | Some (Obs.Json.Int i) -> i
+                           | _ -> Alcotest.failf "cache field %s missing" k
+                         in
+                         checki "hits+misses=lookups"
+                           (geti "hits" + geti "misses")
+                           (geti "lookups"))
+                       caches
+                   | _ -> Alcotest.fail "caches missing"))));
+  ]
+
+let hist_suite =
+  [
+    case "disabled hist_record is inert" (fun () ->
+        Obs.set_enabled false;
+        Obs.reset ();
+        Obs.hist_record "h" 3;
+        checkb "no histogram" true (Obs.hist_value "h" = None));
+    case "record, count, sum, percentiles" (fun () ->
+        with_obs (fun () ->
+            (* 1..100: p50 is in the bucket holding 50 (33..64 -> ub 63),
+               p99 in the bucket holding 99 (65..128 -> ub 127, clamped
+               to the observed max 100). *)
+            for v = 1 to 100 do
+              Obs.hist_record "h" v
+            done;
+            match Obs.hist_value "h" with
+            | None -> Alcotest.fail "histogram missing"
+            | Some s ->
+              checki "count" 100 s.Obs.Histogram.count;
+              checki "sum" 5050 s.Obs.Histogram.sum;
+              checki "min" 1 s.Obs.Histogram.min_value;
+              checki "max" 100 s.Obs.Histogram.max_value;
+              checki "p50" 63 s.Obs.Histogram.p50;
+              checki "p99" 100 s.Obs.Histogram.p99;
+              checkb "buckets cover the count" true
+                (List.fold_left (fun a (_, c) -> a + c) 0 s.Obs.Histogram.buckets
+                = 100)));
+    case "weighted records and negative clamping" (fun () ->
+        with_obs (fun () ->
+            Obs.hist_record ~n:7 "w" 4;
+            Obs.hist_record "w" (-3);
+            match Obs.hist_value "w" with
+            | None -> Alcotest.fail "histogram missing"
+            | Some s ->
+              checki "count" 8 s.Obs.Histogram.count;
+              checki "sum" 28 s.Obs.Histogram.sum;
+              checki "min clamps to 0" 0 s.Obs.Histogram.min_value));
+    case "merge combines exactly" (fun () ->
+        let a = Obs.Histogram.create "a" in
+        let b = Obs.Histogram.create "b" in
+        Obs.Histogram.record a 10;
+        Obs.Histogram.record ~n:3 b 1000;
+        Obs.Histogram.merge a b;
+        let s = Obs.Histogram.snapshot a in
+        checki "count" 4 s.Obs.Histogram.count;
+        checki "sum" 3010 s.Obs.Histogram.sum;
+        checki "min" 10 s.Obs.Histogram.min_value;
+        checki "max" 1000 s.Obs.Histogram.max_value;
+        checki "empty percentile" 0
+          (Obs.Histogram.percentile (Obs.Histogram.create "e") 50.0));
+    case "worker captures merge histograms and keep event tids" (fun () ->
+        with_obs (fun () ->
+            Obs.hist_record "shared" 2;
+            Obs.event "main.ev" [];
+            let d =
+              Domain.spawn (fun () ->
+                  Obs.Worker.capture (fun () ->
+                      Obs.hist_record "shared" 200;
+                      Obs.event "worker.ev" []))
+            in
+            let (), cap = Domain.join d in
+            Obs.Worker.absorb cap;
+            (match Obs.hist_value "shared" with
+             | None -> Alcotest.fail "histogram missing"
+             | Some s ->
+               checki "merged count" 2 s.Obs.Histogram.count;
+               checki "merged sum" 202 s.Obs.Histogram.sum);
+            let evs = Obs.events () in
+            checki "two events" 2 (List.length evs);
+            let worker_ev =
+              List.find (fun e -> e.Obs.event = "worker.ev") evs
+            in
+            let main_ev = List.find (fun e -> e.Obs.event = "main.ev") evs in
+            checki "main tid" 0 main_ev.Obs.tid;
+            checkb "worker tid distinct" true (worker_ev.Obs.tid <> 0)));
+  ]
+
+let trace_suite =
+  [
+    case "chrome trace export: X events, metadata, per-domain tracks"
+      (fun () ->
+        with_obs (fun () ->
+            Obs.set_tracing true;
+            Fun.protect
+              ~finally:(fun () -> Obs.set_tracing false)
+              (fun () ->
+                Obs.span "t.main" (fun () -> ());
+                Obs.event "t.instant" [ ("k", Obs.Json.Int 7) ];
+                let d =
+                  Domain.spawn (fun () ->
+                      Obs.Worker.capture (fun () ->
+                          Obs.span "t.worker" (fun () -> ())))
+                in
+                let (), cap = Domain.join d in
+                Obs.Worker.absorb cap;
+                let path = Filename.temp_file "ctwsdd_trace" ".json" in
+                Fun.protect
+                  ~finally:(fun () -> Sys.remove path)
+                  (fun () ->
+                    Obs.write_trace path;
+                    let ic = open_in_bin path in
+                    let s =
+                      Fun.protect
+                        ~finally:(fun () -> close_in_noerr ic)
+                        (fun () ->
+                          really_input_string ic (in_channel_length ic))
+                    in
+                    match Obs.Json.of_string (String.trim s) with
+                    | Error e -> Alcotest.fail e
+                    | Ok j ->
+                      let evs =
+                        match Obs.Json.member "traceEvents" j with
+                        | Some (Obs.Json.List l) -> l
+                        | _ -> Alcotest.fail "traceEvents missing"
+                      in
+                      let named n e =
+                        Obs.Json.member "name" e
+                        = Some (Obs.Json.String n)
+                      in
+                      let phase p e =
+                        Obs.Json.member "ph" e = Some (Obs.Json.String p)
+                      in
+                      let main_ev = List.find (named "t.main") evs in
+                      let worker_ev = List.find (named "t.worker") evs in
+                      checkb "complete events" true
+                        (phase "X" main_ev && phase "X" worker_ev);
+                      checkb "instant event" true
+                        (List.exists
+                           (fun e -> named "t.instant" e && phase "i" e)
+                           evs);
+                      checkb "has duration" true
+                        (match Obs.Json.member "dur" main_ev with
+                         | Some (Obs.Json.Float d) -> d >= 0.0
+                         | _ -> false);
+                      let tid e =
+                        match Obs.Json.member "tid" e with
+                        | Some (Obs.Json.Int t) -> t
+                        | _ -> Alcotest.fail "tid missing"
+                      in
+                      checki "main track" 0 (tid main_ev);
+                      checkb "worker on its own track" true
+                        (tid worker_ev <> 0);
+                      (* ph:"M" thread_name metadata for both tracks. *)
+                      let thread_names =
+                        List.filter_map
+                          (fun e ->
+                            if named "thread_name" e && phase "M" e then
+                              Some (tid e)
+                            else None)
+                          evs
+                      in
+                      checkb "main track named" true
+                        (List.mem 0 thread_names);
+                      checkb "worker track named" true
+                        (List.mem (tid worker_ev) thread_names)))));
+    case "tracing off records nothing" (fun () ->
+        with_obs (fun () ->
+            Obs.span "quiet" (fun () -> ());
+            let j = Obs.trace_json () in
+            match Obs.Json.member "traceEvents" j with
+            | Some (Obs.Json.List evs) ->
+              checkb "only metadata" true
+                (List.for_all
+                   (fun e ->
+                     Obs.Json.member "ph" e = Some (Obs.Json.String "M"))
+                   evs)
+            | _ -> Alcotest.fail "traceEvents missing"));
   ]
 
 let sdd_stats_suite =
@@ -209,5 +455,7 @@ let suites =
     ("obs counters", counters_suite);
     ("obs spans", spans_suite);
     ("obs json", json_suite);
+    ("obs histograms", hist_suite);
+    ("obs trace", trace_suite);
     ("obs sdd stats", sdd_stats_suite);
   ]
