@@ -100,7 +100,7 @@ let run () =
     List.map
       (fun (name, f) ->
         let t0 = Unix.gettimeofday () in
-        let _, s = Vtree_search.best_known ~max_steps:10 f in
+        let _, s = Vtree_search.best_known_exn ~max_steps:10 f in
         let dt = Unix.gettimeofday () -. t0 in
         [ name; Table.fi s; Printf.sprintf "%.1f" (1000.0 *. dt) ])
       [

@@ -1,7 +1,7 @@
 (* E18 — circuit-native pipeline and dynamic minimization workload.
 
    Fixed workloads through the truth-table-free path: UCQ lineage
-   compilation via Pipeline.compile (24-48 tuple variables), in-manager
+   compilation via Pipeline.compile_exn (24-48 tuple variables), in-manager
    dynamic vtree minimization on structured circuits, and the
    head-to-head the dynamic edits exist for: the in-manager hill climb
    against the recompile-per-candidate hill climb on the same start,
@@ -26,7 +26,7 @@ let run () =
         List.map
           (fun (name, strategy) ->
             let t0 = Unix.gettimeofday () in
-            let m, node = Pipeline.compile ~vtree_strategy:strategy c in
+            let m, node = Pipeline.compile_exn ~vtree_strategy:strategy c in
             [
               Printf.sprintf "rs-lineage-%d" n;
               name;
@@ -38,7 +38,7 @@ let run () =
       [ 4; 5; 6 ]
   in
   Table.print
-    ~title:"UCQ lineage compilation (Pipeline.compile, no truth tables)"
+    ~title:"UCQ lineage compilation (Pipeline.compile_exn, no truth tables)"
     ~header:[ "lineage"; "vtree"; "vars"; "size"; "ms" ]
     rows;
   (* Dynamic minimization on structured circuits, balanced starts. *)
@@ -50,7 +50,7 @@ let run () =
         let node = Sdd.compile_circuit m c in
         let size0 = Sdd.size m node in
         let t0 = Unix.gettimeofday () in
-        let _, size = Vtree_search.minimize_manager ~max_steps:5 m node in
+        let _, size = Vtree_search.minimize_manager_exn ~max_steps:5 m node in
         [ Printf.sprintf "band3-%d" n; Table.fi size0; Table.fi size; ms t0 ])
       [ 24; 32; 40; 48 ]
   in
@@ -66,7 +66,7 @@ let run () =
   let vt0 = Vtree.balanced (Circuit.variables c) in
   let t0 = Unix.gettimeofday () in
   let _, s_re =
-    Vtree_search.minimize ~max_steps:3 ~domains:1
+    Vtree_search.minimize_exn ~max_steps:3 ~domains:1
       ~score:(fun vt ->
         let m = Sdd.manager vt in
         Sdd.size m (Sdd.compile_circuit m c))
@@ -76,7 +76,7 @@ let run () =
   let m = Sdd.manager vt0 in
   let node = Sdd.compile_circuit m c in
   let t0 = Unix.gettimeofday () in
-  let _, s_mgr = Vtree_search.minimize_manager ~max_steps:3 m node in
+  let _, s_mgr = Vtree_search.minimize_manager_exn ~max_steps:3 m node in
   let mgr_ms = ms t0 in
   Table.print
     ~title:"in-manager vs recompile hill climb (band3-24, max_steps=3)"

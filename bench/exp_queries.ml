@@ -119,7 +119,7 @@ let run () =
       (fun n ->
         let db = Pdb.complete_rst n in
         let p_lifted = Option.get (Lifted.probability q_safe db) in
-        let p_obdd, size = Prob.via_obdd q_safe db in
+        let p_obdd, size = Prob.via_obdd_exn q_safe db in
         [
           Table.fi n;
           Table.fi (List.length db.Pdb.facts);

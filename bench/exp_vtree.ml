@@ -30,7 +30,7 @@ let run () =
           | Some c -> Table.fi (sdd_size_on f (fst (Lemma1.vtree_of_circuit c)))
           | None -> "-"
         in
-        let _, searched = Vtree_search.best_known ~max_steps:25 f in
+        let _, searched = Vtree_search.best_known_exn ~max_steps:25 f in
         [
           name;
           Table.fi (List.length vars);

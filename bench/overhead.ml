@@ -1,18 +1,23 @@
-(* CI guard: disabled-mode observability overhead.
+(* CI guard: disabled-mode observability and budget-polling overhead.
 
    The PR-1 contract is that with the master switch off every global
    instrument is one load and branch, so a fully instrumented pipeline
-   pays < 2% over uninstrumented code.  This check re-derives the bound
-   from first principles on the current build:
+   pays < 2% over uninstrumented code.  The budget layer makes the same
+   promise: under [Budget.unlimited] every kernel checkpoint (the
+   [active] gate at the top of [Sdd.alloc]) is one load and branch.
+   This check re-derives the combined bound from first principles on the
+   current build:
 
      1. measure the per-call cost of a disabled [Obs.span], [Obs.incr],
-        [Obs.hist_record] and [Obs.event] by tight-loop timing (the span
-        measurement covers the GC-delta probes too: those only run in
-        enabled mode, so the disabled span is still one branch);
+        [Obs.hist_record], [Obs.event] and of an unlimited-budget poll
+        by tight-loop timing (the span measurement covers the GC-delta
+        probes too: those only run in enabled mode, so the disabled span
+        is still one branch);
      2. run a fixed compilation workload once with observability ON and
         count how many instrument calls it performs (span calls from the
         recorded tree, counter bumps from the counter values, histogram
-        samples from the recorded counts, events from the event log);
+        samples from the recorded counts, events from the event log,
+        budget gates from the [sdd.alloc] counter);
      3. time the same workload with observability OFF;
      4. fail (exit 1) if (calls x per-call cost) exceeds 2% of the
         disabled wall time.
@@ -27,10 +32,13 @@ let time f =
   f ();
   Unix.gettimeofday () -. t0
 
+(* Best of 3 to shed scheduling noise (also used for the workload). *)
+let time_min f = List.fold_left (fun acc _ -> Stdlib.min acc (time f)) infinity [ 1; 2; 3 ]
+
 let per_call_span () =
   let nothing () = ignore (Sys.opaque_identity 0) in
   let t =
-    time (fun () ->
+    time_min (fun () ->
         for _ = 1 to calib_iters do
           Obs.span "overhead.calib" nothing
         done)
@@ -39,7 +47,7 @@ let per_call_span () =
 
 let per_call_incr () =
   let t =
-    time (fun () ->
+    time_min (fun () ->
         for _ = 1 to calib_iters do
           Obs.incr "overhead.calib"
         done)
@@ -48,7 +56,7 @@ let per_call_incr () =
 
 let per_call_hist () =
   let t =
-    time (fun () ->
+    time_min (fun () ->
         for i = 1 to calib_iters do
           Obs.hist_record "overhead.calib" i
         done)
@@ -57,9 +65,23 @@ let per_call_hist () =
 
 let per_call_event () =
   let t =
-    time (fun () ->
+    time_min (fun () ->
         for _ = 1 to calib_iters do
           Obs.event "overhead.calib" []
+        done)
+  in
+  t /. float_of_int calib_iters
+
+(* The checkpoint [Sdd.alloc] runs per node: one [active] load and
+   branch when the manager carries [Budget.unlimited].  [Budget.poll] on
+   the unlimited budget is that same gate behind a call, so timing it is
+   a (slightly pessimistic) per-gate cost. *)
+let per_call_budget_gate () =
+  let b = Budget.unlimited in
+  let t =
+    time_min (fun () ->
+        for _ = 1 to calib_iters do
+          Budget.poll b
         done)
   in
   t /. float_of_int calib_iters
@@ -84,13 +106,13 @@ let workload () =
     [ 1; 2 ];
   let g = Boolfun.random ~seed:5 (vars 8) in
   ignore
-    (Sys.opaque_identity (Vtree_search.best_known ~max_steps:4 ~domains:1 g));
+    (Sys.opaque_identity (Vtree_search.best_known_exn ~max_steps:4 ~domains:1 g));
   (* Dynamic edits: exercises the tombstone counters, occupancy probes
      and trajectory events of the in-manager search. *)
   let h = Boolfun.random ~seed:7 (vars 8) in
   let m = Sdd.manager (Vtree.balanced (vars 8)) in
   let root = Compile.sdd_of_boolfun m h in
-  ignore (Sys.opaque_identity (Vtree_search.minimize_manager ~max_steps:2 m root))
+  ignore (Sys.opaque_identity (Vtree_search.minimize_manager_exn ~max_steps:2 m root))
 
 let rec sum_span_calls acc (t : Obs.span_tree) =
   List.fold_left sum_span_calls (acc + t.Obs.calls) t.Obs.children
@@ -114,32 +136,33 @@ let () =
       0 (Obs.histograms ())
   in
   let event_count = List.length (Obs.events ()) in
+  let budget_gates = Obs.counter_value "sdd.alloc" in
   Obs.reset ();
   (* 3: disabled wall time (best of 3 to shed scheduling noise) and
      per-call disabled instrument cost. *)
   Obs.set_enabled false;
-  let disabled_s =
-    List.fold_left
-      (fun acc _ -> Stdlib.min acc (time workload))
-      infinity [ 1; 2; 3 ]
-  in
+  let disabled_s = time_min workload in
   let span_cost = per_call_span () and incr_cost = per_call_incr () in
   let hist_cost = per_call_hist () and event_cost = per_call_event () in
+  let budget_cost = per_call_budget_gate () in
   let est_overhead_s =
     (float_of_int span_calls *. span_cost)
     +. (float_of_int counter_bumps *. incr_cost)
     +. (float_of_int hist_samples *. hist_cost)
     +. (float_of_int event_count *. event_cost)
+    +. (float_of_int budget_gates *. budget_cost)
   in
   let fraction = est_overhead_s /. disabled_s in
   Printf.printf "disabled span     : %.2f ns/call\n" (1e9 *. span_cost);
   Printf.printf "disabled incr     : %.2f ns/call\n" (1e9 *. incr_cost);
   Printf.printf "disabled hist     : %.2f ns/call\n" (1e9 *. hist_cost);
   Printf.printf "disabled event    : %.2f ns/call\n" (1e9 *. event_cost);
+  Printf.printf "budget gate       : %.2f ns/call\n" (1e9 *. budget_cost);
   Printf.printf "span calls        : %d\n" span_calls;
   Printf.printf "counter bumps     : %d (upper bound)\n" counter_bumps;
   Printf.printf "hist samples      : %d (upper bound)\n" hist_samples;
   Printf.printf "events            : %d\n" event_count;
+  Printf.printf "budget gates      : %d (sdd.alloc)\n" budget_gates;
   Printf.printf "workload disabled : %.1f ms\n" (1e3 *. disabled_s);
   Printf.printf "est. overhead     : %.3f ms (%.3f%% of workload, bound %.1f%%)\n"
     (1e3 *. est_overhead_s) (100. *. fraction) (100. *. bound);

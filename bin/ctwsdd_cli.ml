@@ -11,7 +11,13 @@
    statistics and histograms on stderr, keeping stdout pipeable),
    --trace FILE (ctwsdd-metrics/v2 JSON dump) and --trace-out FILE
    (Chrome trace_event file for Perfetto / chrome://tracing); see
-   EXPERIMENTS.md for the schema. *)
+   EXPERIMENTS.md for the schema.
+
+   The compiling subcommands (compile, cnf, query) accept --timeout SEC
+   and --max-nodes N.  Under a budget the engine is anytime: it degrades
+   through cheaper vtree strategies instead of running away, prints
+   whatever valid result it reached, and reports the trip through the
+   exit code — see [exit_code_docs] for the 3/4/5/6/7 contract. *)
 
 open Cmdliner
 
@@ -45,23 +51,35 @@ let vtree_of_choice choice circuit =
   | `Left -> Vtree.left_linear vars
   | `Lemma1 -> fst (Lemma1.vtree_of_circuit circuit)
 
-(* Pipeline strategies go through [Pipeline.compile]; the legacy vtree
-   kinds build the vtree directly and compile on it.  [--minimize] runs
-   the in-manager dynamic vtree search either way. *)
-let compile_with_choice choice ~minimize c =
-  if Circuit.variables c = [] then raise (Cli_usage "the circuit has no variables");
+(* Pipeline strategies go through [Ctwsdd.compile] (budget-governed,
+   with the degradation ladder); the legacy vtree kinds build the vtree
+   directly and compile on it under the same budget, with no ladder to
+   fall back on.  [--minimize] runs the in-manager dynamic vtree search
+   either way (anytime under a budget).  Returns the manager, the root
+   and the degradation flag. *)
+let compile_with_choice ~budget choice ~minimize c =
+  if Circuit.variables c = [] then
+    raise (Cli_usage "the circuit has no variables");
   match choice with
   | (`Right | `Balanced | `Treedec | `Search) as s ->
-    Pipeline.compile ~vtree_strategy:s ~minimize c
+    (match Ctwsdd.compile ~budget ~vtree_strategy:s ~minimize c with
+     | Error e -> Error e
+     | Ok r ->
+       Ok (r.Pipeline.manager, r.Pipeline.root, r.Pipeline.degraded))
   | (`Left | `Lemma1) as ch ->
+    Ctwsdd_error.guard @@ fun () ->
     let vt = vtree_of_choice ch c in
-    let m = Sdd.manager vt in
+    let m = Sdd.manager ~budget vt in
     let node = Obs.span "cli.compile" (fun () -> Sdd.compile_circuit m c) in
-    if minimize then begin
-      let node', _ = Vtree_search.minimize_manager m node in
-      (m, node')
-    end
-    else (m, node)
+    let node, degraded =
+      if minimize then begin
+        let a = Vtree_search.minimize_manager ~budget m node in
+        (a.Vtree_search.best, a.Vtree_search.degraded)
+      end
+      else (node, None)
+    in
+    Sdd.set_budget m Budget.unlimited;
+    (m, node, degraded)
 
 let circuit_file =
   Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE"
@@ -83,6 +101,57 @@ let minimize_flag =
                live manager).")
 
 (* ------------------------------------------------------------------ *)
+(* Budget plumbing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let timeout_arg =
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SEC"
+         ~doc:"Wall-clock budget in seconds.  On expiry the engine \
+               stops at the best result found so far (degrading the \
+               vtree strategy if needed) and exits with code 4.")
+
+let max_nodes_arg =
+  Arg.(value & opt (some int) None & info [ "max-nodes" ] ~docv:"N"
+         ~doc:"SDD live-node budget per manager.  On exhaustion the \
+               engine degrades or stops, exiting with code 5.")
+
+let budget_of timeout max_nodes =
+  match (timeout, max_nodes) with
+  | None, None -> Budget.unlimited
+  | _ -> Budget.create ?timeout ?max_nodes ()
+
+let report_degraded = function
+  | None -> 0
+  | Some r ->
+    let e = Ctwsdd_error.of_reason r in
+    Printf.eprintf "ctwsdd: budget exhausted (%s); degraded result above\n%!"
+      (Budget.reason_to_string r);
+    Ctwsdd_error.exit_code e
+
+let report_error e =
+  Printf.eprintf "ctwsdd: error: %s\n%!" (Ctwsdd_error.to_string e);
+  Ctwsdd_error.exit_code e
+
+(* The exit-code contract of the compiling subcommands, shown in --help.
+   0 is success; 124/125 stay Cmdliner's usage/internal errors. *)
+let exit_code_docs =
+  [
+    Cmd.Exit.info 3
+      ~doc:"on invalid input (unparseable circuit, query or database, \
+            malformed DIMACS, out-of-range parameters).";
+    Cmd.Exit.info 4
+      ~doc:"when the $(b,--timeout) budget expired.  Any result printed \
+            before exit is valid — it is the best the engine reached in \
+            time.";
+    Cmd.Exit.info 5
+      ~doc:"when the $(b,--max-nodes) budget was exhausted (same \
+            degraded-result contract as code 4).";
+    Cmd.Exit.info 6 ~doc:"when the memory watermark was exceeded.";
+    Cmd.Exit.info 7 ~doc:"when the run was cancelled.";
+  ]
+  @ Cmd.Exit.defaults
+
+(* ------------------------------------------------------------------ *)
 (* Observability plumbing                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -102,9 +171,12 @@ let trace_out_file =
                Chrome trace_event file to $(docv); open it in Perfetto \
                (ui.perfetto.dev) or chrome://tracing.  Implies collection.")
 
-(* Runs the body with observability enabled when requested, then exports.
-   Human summaries go to stderr so stdout stays pipeable; errors
-   terminate through Cmdliner (exit code 124) instead of an uncaught
+(* Runs the body (which returns the process exit code: 0, or a budget
+   code from the table above) with observability enabled when requested,
+   then exports.  Human summaries go to stderr so stdout stays pipeable.
+   Metrics and traces are written even on budget exits — a degraded
+   run's trace is exactly the one worth inspecting.  Errors terminate
+   through Cmdliner or the exit-code contract, never via an uncaught
    backtrace. *)
 let run_with_obs stats trace trace_out f =
   let collecting = stats || trace <> None || trace_out <> None in
@@ -113,8 +185,7 @@ let run_with_obs stats trace trace_out f =
     Obs.reset ();
     if trace_out <> None then Obs.set_tracing true
   end;
-  match
-    f ();
+  let export () =
     if stats then begin
       prerr_newline ();
       Obs.pp_summary Format.err_formatter ()
@@ -130,11 +201,21 @@ let run_with_obs stats trace trace_out f =
         Obs.set_tracing false;
         Printf.eprintf "trace   : wrote %s\n%!" path)
       trace_out
-  with
-  | () -> `Ok ()
+  in
+  match f () with
+  | code ->
+    export ();
+    `Ok code
   | exception Cli_usage msg -> `Error (true, msg)
-  | exception (Failure msg | Invalid_argument msg | Sys_error msg) ->
-    `Error (false, msg)
+  | exception Budget.Exhausted r ->
+    (* A raising path outside the result-typed API tripped the budget
+       (e.g. a legacy-vtree compile): no partial result to print. *)
+    export ();
+    `Ok (report_error (Ctwsdd_error.of_reason r))
+  | exception (Failure msg | Invalid_argument msg) ->
+    export ();
+    `Ok (report_error (Ctwsdd_error.Invalid_input msg))
+  | exception Sys_error msg -> `Error (false, msg)
 
 let print_manager_stats m =
   List.iter
@@ -149,34 +230,43 @@ let print_manager_stats m =
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run file inline vtree_choice minimize count validate stats trace
-      trace_out =
+  let run file inline vtree_choice minimize count validate timeout max_nodes
+      stats trace trace_out =
     run_with_obs stats trace trace_out @@ fun () ->
+    let budget = budget_of timeout max_nodes in
     let c = read_circuit file inline in
     Printf.printf "circuit : %d gates, %d variables\n" (Circuit.size c)
       (Circuit.num_vars c);
-    let m, node = compile_with_choice vtree_choice ~minimize c in
-    Printf.printf "vtree   : %s\n" (Vtree.to_string (Sdd.vtree m));
-    Printf.printf "SDD     : size %d, width %d, nodes %d\n" (Sdd.size m node)
-      (Sdd.width m node) (Sdd.node_count m node);
-    if count then
-      Printf.printf "models  : %s\n" (Bigint.to_string (Sdd.model_count m node));
-    if validate then begin
-      match Obs.span "cli.validate" (fun () -> Sdd.validate m node) with
-      | Ok () -> print_endline "validate: ok (canonical SDD conditions hold)"
-      | Error msg -> Printf.printf "validate: FAILED (%s)\n" msg
-    end;
-    let order = Circuit.variables c in
-    let bm = Bdd.manager order in
-    let bnode = Obs.span "cli.obdd" (fun () -> Bdd.compile_circuit bm c) in
-    Printf.printf "OBDD    : size %d, width %d (order: %s)\n" (Bdd.size bm bnode)
-      (Bdd.width bm bnode)
-      (String.concat "<" order);
-    if stats then begin
-      Printf.eprintf "manager : %d nodes allocated\n"
-        (Sdd.num_nodes_allocated m);
-      print_manager_stats m
-    end
+    match compile_with_choice ~budget vtree_choice ~minimize c with
+    | Error e -> report_error e
+    | Ok (m, node, degraded) ->
+      Printf.printf "vtree   : %s\n" (Vtree.to_string (Sdd.vtree m));
+      Printf.printf "SDD     : size %d, width %d, nodes %d\n" (Sdd.size m node)
+        (Sdd.width m node) (Sdd.node_count m node);
+      if count then
+        Printf.printf "models  : %s\n"
+          (Bigint.to_string (Sdd.model_count m node));
+      if validate then begin
+        match Obs.span "cli.validate" (fun () -> Sdd.validate m node) with
+        | Ok () -> print_endline "validate: ok (canonical SDD conditions hold)"
+        | Error msg -> Printf.printf "validate: FAILED (%s)\n" msg
+      end;
+      (* The OBDD comparison is unbudgeted — skip it on budgeted runs
+         (it could blow up past the limits the user just set). *)
+      if Budget.is_unlimited budget then begin
+        let order = Circuit.variables c in
+        let bm = Bdd.manager order in
+        let bnode = Obs.span "cli.obdd" (fun () -> Bdd.compile_circuit bm c) in
+        Printf.printf "OBDD    : size %d, width %d (order: %s)\n"
+          (Bdd.size bm bnode) (Bdd.width bm bnode)
+          (String.concat "<" order)
+      end;
+      if stats then begin
+        Printf.eprintf "manager : %d nodes allocated\n"
+          (Sdd.num_nodes_allocated m);
+        print_manager_stats m
+      end;
+      report_degraded degraded
   in
   let vtree_choice =
     Arg.(value & opt vtree_conv `Lemma1 & info [ "vtree" ] ~docv:"KIND"
@@ -193,10 +283,11 @@ let compile_cmd =
     Arg.(value & flag & info [ "validate" ] ~doc:"Check the SDD conditions.")
   in
   Cmd.v
-    (Cmd.info "compile" ~doc:"Compile a circuit to a canonical SDD and an OBDD")
+    (Cmd.info "compile" ~exits:exit_code_docs
+       ~doc:"Compile a circuit to a canonical SDD and an OBDD")
     Term.(ret (const run $ circuit_file $ circuit_inline $ vtree_choice
-               $ minimize_flag $ count $ validate $ stats_flag $ trace_file
-               $ trace_out_file))
+               $ minimize_flag $ count $ validate $ timeout_arg
+               $ max_nodes_arg $ stats_flag $ trace_file $ trace_out_file))
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
@@ -223,10 +314,11 @@ let treewidth_cmd =
       Printf.printf "Lemma 1 vtree: %s\n" (Vtree.to_string vt);
       Printf.printf "fw(F,T) = %d, fiw(F,T) = %d, sdw(F,T) = %d\n"
         (Factor_width.fw f vt) (Compile.fiw f vt) (Compile.sdw f vt)
-    end
+    end;
+    0
   in
   Cmd.v
-    (Cmd.info "treewidth"
+    (Cmd.info "treewidth" ~exits:exit_code_docs
        ~doc:"Treewidth, pathwidth and the paper's widths of a circuit")
     Term.(ret (const run $ circuit_file $ circuit_inline $ stats_flag
                $ trace_file $ trace_out_file))
@@ -263,8 +355,10 @@ let parse_db path =
   Pdb.make (List.rev !entries)
 
 let query_cmd =
-  let run query db_path brute stats trace trace_out =
+  let run query db_path brute minimize timeout max_nodes stats trace trace_out
+      =
     run_with_obs stats trace trace_out @@ fun () ->
+    let budget = budget_of timeout max_nodes in
     let q = Ucq.of_string query in
     let db =
       match db_path with
@@ -278,24 +372,40 @@ let query_cmd =
     Printf.printf "lineage: %d gates over %d tuple variables\n"
       (Circuit.size lineage)
       (List.length (Circuit.variables lineage));
-    let p_obdd, s_obdd = Obs.span "cli.prob_obdd" (fun () -> Prob.via_obdd q db) in
-    let p_sdd, s_sdd = Obs.span "cli.prob_sdd" (fun () -> Prob.via_sdd q db) in
-    Printf.printf "P = %s = %.6f\n" (Ratio.to_string p_obdd)
-      (Ratio.to_float p_obdd);
-    Printf.printf "  via OBDD: size %d\n" s_obdd;
-    Printf.printf "  via SDD : size %d%s\n" s_sdd
-      (if Ratio.equal p_obdd p_sdd then "" else "  (MISMATCH!)");
-    (match Obs.span "cli.prob_lifted" (fun () -> Lifted.probability q db) with
-     | Some p ->
-       Printf.printf "  lifted  : %s (safe plan, no compilation)%s\n"
-         (Ratio.to_string p)
-         (if Ratio.equal p p_obdd then "" else "  (MISMATCH!)")
-     | None -> ());
-    if brute then begin
-      let exact = Obs.span "cli.prob_brute" (fun () -> Prob.brute q db) in
-      Printf.printf "  brute   : %s%s\n" (Ratio.to_string exact)
-        (if Ratio.equal exact p_obdd then "" else "  (MISMATCH!)")
-    end
+    match
+      Obs.span "cli.prob_sdd" (fun () ->
+          Ctwsdd.prob ~budget ~minimize q db)
+    with
+    | Error e -> report_error e
+    | Ok a ->
+      Printf.printf "P = %s = %.6f\n"
+        (Ratio.to_string a.Prob.probability)
+        (Ratio.to_float a.Prob.probability);
+      Printf.printf "  via SDD : size %d\n" a.Prob.size;
+      (* The comparison evaluators are unbudgeted; run them only on
+         unbudgeted invocations. *)
+      if Budget.is_unlimited budget then begin
+        let p_obdd, s_obdd =
+          Obs.span "cli.prob_obdd" (fun () -> Prob.via_obdd_exn q db)
+        in
+        Printf.printf "  via OBDD: size %d%s\n" s_obdd
+          (if Ratio.equal p_obdd a.Prob.probability then ""
+           else "  (MISMATCH!)");
+        (match Obs.span "cli.prob_lifted" (fun () -> Lifted.probability q db)
+         with
+         | Some p ->
+           Printf.printf "  lifted  : %s (safe plan, no compilation)%s\n"
+             (Ratio.to_string p)
+             (if Ratio.equal p a.Prob.probability then "" else "  (MISMATCH!)")
+         | None -> ());
+        if brute then begin
+          let exact = Obs.span "cli.prob_brute" (fun () -> Prob.brute q db) in
+          Printf.printf "  brute   : %s%s\n" (Ratio.to_string exact)
+            (if Ratio.equal exact a.Prob.probability then ""
+             else "  (MISMATCH!)")
+        end
+      end;
+      report_degraded a.Prob.degraded
   in
   let query =
     Arg.(required & opt (some string) None & info [ "query"; "q" ] ~docv:"UCQ"
@@ -309,17 +419,19 @@ let query_cmd =
     Arg.(value & flag & info [ "brute" ] ~doc:"Also compute by brute force.")
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Probability of a UCQ over a probabilistic database")
-    Term.(ret (const run $ query $ db $ brute $ stats_flag $ trace_file
-               $ trace_out_file))
+    (Cmd.info "query" ~exits:exit_code_docs
+       ~doc:"Probability of a UCQ over a probabilistic database")
+    Term.(ret (const run $ query $ db $ brute $ minimize_flag $ timeout_arg
+               $ max_nodes_arg $ stats_flag $ trace_file $ trace_out_file))
 
 (* ------------------------------------------------------------------ *)
 (* cnf : DIMACS model counting                                         *)
 (* ------------------------------------------------------------------ *)
 
 let cnf_cmd =
-  let run path vtree_choice minimize stats trace trace_out =
+  let run path vtree_choice minimize timeout max_nodes stats trace trace_out =
     run_with_obs stats trace trace_out @@ fun () ->
+    let budget = budget_of timeout max_nodes in
     let d = Obs.span "cli.parse" (fun () -> Dimacs.parse_file path) in
     Printf.printf "cnf: %d variables, %d clauses (%d variables unused)\n"
       d.Dimacs.num_vars
@@ -331,19 +443,24 @@ let cnf_cmd =
       let value = Circuit.eval c Boolfun.Smap.empty in
       Printf.printf "models: %s\n"
         (Bigint.to_string
-           (if value then Bigint.pow2 d.Dimacs.num_vars else Bigint.zero))
+           (if value then Bigint.pow2 d.Dimacs.num_vars else Bigint.zero));
+      0
     end
     else begin
-      let m, node = compile_with_choice vtree_choice ~minimize c in
-      Printf.printf "SDD: size %d, width %d\n" (Sdd.size m node) (Sdd.width m node);
-      let count =
-        Obs.span "cli.model_count" @@ fun () ->
-        Bigint.mul
-          (Sdd.model_count m node)
-          (Bigint.pow2 (Dimacs.free_var_count d))
-      in
-      Printf.printf "models: %s\n" (Bigint.to_string count);
-      if stats then print_manager_stats m
+      match compile_with_choice ~budget vtree_choice ~minimize c with
+      | Error e -> report_error e
+      | Ok (m, node, degraded) ->
+        Printf.printf "SDD: size %d, width %d\n" (Sdd.size m node)
+          (Sdd.width m node);
+        let count =
+          Obs.span "cli.model_count" @@ fun () ->
+          Bigint.mul
+            (Sdd.model_count m node)
+            (Bigint.pow2 (Dimacs.free_var_count d))
+        in
+        Printf.printf "models: %s\n" (Bigint.to_string count);
+        if stats then print_manager_stats m;
+        report_degraded degraded
     end
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
@@ -353,9 +470,10 @@ let cnf_cmd =
                  $(b,treedec) or $(b,search).")
   in
   Cmd.v
-    (Cmd.info "cnf" ~doc:"Exact model counting for a DIMACS CNF file")
-    Term.(ret (const run $ path $ vtree_choice $ minimize_flag $ stats_flag
-               $ trace_file $ trace_out_file))
+    (Cmd.info "cnf" ~exits:exit_code_docs
+       ~doc:"Exact model counting for a DIMACS CNF file")
+    Term.(ret (const run $ path $ vtree_choice $ minimize_flag $ timeout_arg
+               $ max_nodes_arg $ stats_flag $ trace_file $ trace_out_file))
 
 (* ------------------------------------------------------------------ *)
 (* isa                                                                 *)
@@ -365,7 +483,9 @@ let isa_cmd =
   let run n explicit stats trace trace_out =
     run_with_obs stats trace trace_out @@ fun () ->
     (match Families.isa_params n with
-     | None -> failwith (Printf.sprintf "%d is not a valid ISA size (5, 18, 261, ...)" n)
+     | None ->
+       failwith
+         (Printf.sprintf "%d is not a valid ISA size (5, 18, 261, ...)" n)
      | Some (k, m) -> Printf.printf "ISA_%d: k = %d, m = %d\n" n k m);
     if n <= 18 then begin
       let mgr, node = Obs.span "cli.isa_compile" (fun () -> Isa.compile n) in
@@ -385,7 +505,8 @@ let isa_cmd =
     end
     else if explicit then
       Printf.printf "explicit construction bound: <= %d gates\n"
-        (Isa_explicit.paper_gate_bound n)
+        (Isa_explicit.paper_gate_bound n);
+    0
   in
   let n = Arg.(required & pos 0 (some int) None & info [] ~docv:"N") in
   let explicit =
@@ -393,13 +514,17 @@ let isa_cmd =
            ~doc:"Also build the explicit Appendix A construction.")
   in
   Cmd.v
-    (Cmd.info "isa" ~doc:"The indirect storage access function (Appendix A)")
+    (Cmd.info "isa" ~exits:exit_code_docs
+       ~doc:"The indirect storage access function (Appendix A)")
     Term.(ret (const run $ n $ explicit $ stats_flag $ trace_file
                $ trace_out_file))
 
 let () =
   let info =
-    Cmd.info "ctwsdd" ~version:"1.0.0"
+    Cmd.info "ctwsdd" ~version:"1.0.0" ~exits:exit_code_docs
       ~doc:"Circuit treewidth, sentential decision, and query compilation"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; treewidth_cmd; query_cmd; cnf_cmd; isa_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ compile_cmd; treewidth_cmd; query_cmd; cnf_cmd; isa_cmd ]))

@@ -1,0 +1,14 @@
+module Error = Ctwsdd_error
+module Budget = Budget
+
+let compile = Pipeline.compile
+let compile_exn = Pipeline.compile_exn
+let prob = Prob.via_sdd
+let prob_exn = Prob.via_sdd_exn
+
+let minimize ?budget ?max_steps ?domains f vt =
+  Error.guard @@ fun () ->
+  Vtree_search.minimize_sdd_size ?budget ?max_steps ?domains f vt
+
+let minimize_exn ?budget ?max_steps ?domains f vt =
+  Vtree_search.minimize_sdd_size_exn ?budget ?max_steps ?domains f vt

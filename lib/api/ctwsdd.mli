@@ -1,0 +1,93 @@
+(** The supported public surface of the library.
+
+    Everything here is result-typed and budget-aware: pass a
+    {!Budget.t} (wall-clock deadline, SDD node cap, heap watermark,
+    cancellation token) and the engine either finishes, degrades
+    gracefully (reported in the result), or returns a structured
+    {!Error.t} — it never runs away and never dies with a backtrace on
+    declared failure modes.
+
+    {[
+      let budget = Budget.create ~timeout:2.0 ~max_nodes:50_000 () in
+      match Ctwsdd.compile ~budget ~vtree_strategy:`Search ~minimize:true c with
+      | Ok { manager; root; degraded = None; _ } -> (* the full result *)
+      | Ok { manager; root; degraded = Some r; _ } ->
+        (* anytime: a valid SDD of [c], found within the budget *)
+      | Error e -> prerr_endline (Ctwsdd.Error.to_string e)
+    ]}
+
+    Lower-level modules ([Sdd], [Vtree], [Boolfun], ...) remain
+    available but their raising conventions are only normalized, not
+    wrapped. *)
+
+module Error = Ctwsdd_error
+(** Structured errors: [Timeout | Node_limit | Memory_limit | Cancelled
+    | Invalid_input of string], with {!Ctwsdd_error.exit_code} giving
+    the CLI contract (3/4/5/6/7). *)
+
+module Budget = Budget
+(** Re-export of the resource-governance layer ({!Budget.create},
+    {!Budget.cancel_now}, ...). *)
+
+val compile :
+  ?budget:Budget.t ->
+  ?vtree_strategy:Pipeline.vtree_strategy ->
+  ?minimize:bool ->
+  ?max_steps:int ->
+  ?domains:int ->
+  Circuit.t ->
+  (Pipeline.result, Error.t) result
+(** Compile a circuit to a canonical SDD — {!Pipeline.compile}: vtree
+    from the requested strategy, graceful degradation down the
+    [`Search → `Treedec → `Balanced → `Right] ladder on budget trips,
+    optional anytime in-manager minimization. *)
+
+val prob :
+  ?budget:Budget.t ->
+  ?vtree:Vtree.t ->
+  ?minimize:bool ->
+  Ucq.t ->
+  Pdb.t ->
+  (Prob.answer, Error.t) result
+(** Exact probability of a union of conjunctive queries over a
+    tuple-independent database, via the compiled lineage —
+    {!Prob.via_sdd}. *)
+
+val minimize :
+  ?budget:Budget.t ->
+  ?max_steps:int ->
+  ?domains:int ->
+  Boolfun.t ->
+  Vtree.t ->
+  (Vtree.t Vtree_search.anytime, Error.t) result
+(** Anytime hill-climb minimizing SDD size over local vtree moves,
+    starting from the given vtree — {!Vtree_search.minimize_sdd_size}. *)
+
+val compile_exn :
+  ?budget:Budget.t ->
+  ?vtree_strategy:Pipeline.vtree_strategy ->
+  ?minimize:bool ->
+  ?max_steps:int ->
+  ?domains:int ->
+  Circuit.t ->
+  Sdd.manager * Sdd.t
+(** Raising variant of {!compile} ({!Pipeline.compile_exn}). *)
+
+val prob_exn :
+  ?budget:Budget.t ->
+  ?vtree:Vtree.t ->
+  ?minimize:bool ->
+  Ucq.t ->
+  Pdb.t ->
+  Ratio.t * int
+(** Raising variant of {!prob} ({!Prob.via_sdd_exn}). *)
+
+val minimize_exn :
+  ?budget:Budget.t ->
+  ?max_steps:int ->
+  ?domains:int ->
+  Boolfun.t ->
+  Vtree.t ->
+  Vtree.t * int
+(** Raising variant of {!minimize}
+    ({!Vtree_search.minimize_sdd_size_exn}). *)

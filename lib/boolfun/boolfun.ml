@@ -19,11 +19,11 @@ let set_bit tbl i b =
   let byte' = if b then byte lor mask else byte land lnot mask in
   Bytes.set tbl (i lsr 3) (Char.chr byte')
 
-let check_num_vars n =
+let check_num_vars fn n =
   if n > max_table_vars then
     invalid_arg
-      (Printf.sprintf "Boolfun: %d variables exceed the truth-table limit (%d)"
-         n max_table_vars)
+      (Printf.sprintf "Boolfun.%s: %d variables exceed the truth-table limit (%d)"
+         fn n max_table_vars)
 
 let normalize_vars vars = Array.of_list (List.sort_uniq compare vars)
 
@@ -45,7 +45,7 @@ let make vars tbl =
 let const vars b =
   let vars = normalize_vars vars in
   let n = Array.length vars in
-  check_num_vars n;
+  check_num_vars "const" n;
   let tbl = Bytes.make (table_size n) (if b then '\xff' else '\x00') in
   make vars tbl
 
@@ -73,7 +73,7 @@ let assignment_of_index vars i =
 let of_fun vars f =
   let vars = normalize_vars vars in
   let n = Array.length vars in
-  check_num_vars n;
+  check_num_vars "of_fun" n;
   let tbl = Bytes.make (table_size n) '\x00' in
   for i = 0 to (1 lsl n) - 1 do
     if f (assignment_of_index vars i) then set_bit tbl i true
@@ -83,7 +83,7 @@ let of_fun vars f =
 let of_models vars ms =
   let vars = normalize_vars vars in
   let n = Array.length vars in
-  check_num_vars n;
+  check_num_vars "of_models" n;
   let tbl = Bytes.make (table_size n) '\x00' in
   List.iter (fun m -> set_bit tbl (index_of_assignment vars m) true) ms;
   make vars tbl
@@ -91,7 +91,7 @@ let of_models vars ms =
 let random ~seed vars =
   let vars = normalize_vars vars in
   let n = Array.length vars in
-  check_num_vars n;
+  check_num_vars "random" n;
   let st = Random.State.make [| seed; n; 104729 |] in
   let tbl = Bytes.init (table_size n) (fun _ -> Char.chr (Random.State.int st 256)) in
   make vars tbl
@@ -103,7 +103,7 @@ let eval_index f i = get_bit f.tbl i
 let of_fun_index vars f =
   let vars = normalize_vars vars in
   let n = Array.length vars in
-  check_num_vars n;
+  check_num_vars "of_fun_index" n;
   let tbl = Bytes.make (table_size n) '\x00' in
   for i = 0 to (1 lsl n) - 1 do
     if f i then set_bit tbl i true
@@ -115,7 +115,7 @@ let lift_to_array f vars' =
   if f.vars = vars' then f
   else begin
     let n' = Array.length vars' in
-    check_num_vars n';
+    check_num_vars "lift" n';
     (* bit j' of a new index corresponds to vars'.(j'); find for each old
        var its position in vars'. *)
     let old_pos =
@@ -390,7 +390,7 @@ let assignment_of_list l =
 let all_assignments vars =
   let vars = Array.of_list (List.sort_uniq compare vars) in
   let n = Array.length vars in
-  check_num_vars n;
+  check_num_vars "all_assignments" n;
   List.init (1 lsl n) (fun i -> assignment_of_index vars i)
 
 let pp ppf f =

@@ -331,9 +331,9 @@ let underlying_graph c =
     c.gates;
   g
 
-let treewidth_upper c =
+let treewidth_upper ?budget c =
   let g = underlying_graph c in
-  let w, order = Treewidth.upper_bound g in
+  let w, order = Treewidth.upper_bound ?budget g in
   let td =
     if order = [] then Treedec.trivial g
     else Treedec.refine_connected (Treedec.of_elimination_order g order)

@@ -97,7 +97,7 @@ val underlying_graph : t -> Ugraph.t
 (** The undirected graph underlying the DAG: one vertex per gate, one
     edge per wire. *)
 
-val treewidth_upper : t -> int * Treedec.t
+val treewidth_upper : ?budget:Budget.t -> t -> int * Treedec.t
 (** Heuristic treewidth upper bound of the underlying graph, with a
     witnessing (connected) tree decomposition of the gates. *)
 

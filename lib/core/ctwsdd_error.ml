@@ -1,0 +1,47 @@
+type t =
+  | Timeout
+  | Node_limit
+  | Memory_limit
+  | Cancelled
+  | Invalid_input of string
+
+let of_reason = function
+  | Budget.Timeout -> Timeout
+  | Budget.Node_limit -> Node_limit
+  | Budget.Memory_limit -> Memory_limit
+  | Budget.Cancelled -> Cancelled
+
+let reason = function
+  | Timeout -> Some Budget.Timeout
+  | Node_limit -> Some Budget.Node_limit
+  | Memory_limit -> Some Budget.Memory_limit
+  | Cancelled -> Some Budget.Cancelled
+  | Invalid_input _ -> None
+
+let to_string = function
+  | Timeout -> "timeout: wall-clock budget exhausted"
+  | Node_limit -> "node limit: SDD node budget exhausted"
+  | Memory_limit -> "memory limit: heap watermark exceeded"
+  | Cancelled -> "cancelled"
+  | Invalid_input msg -> "invalid input: " ^ msg
+
+let exit_code = function
+  | Invalid_input _ -> 3
+  | Timeout -> 4
+  | Node_limit -> 5
+  | Memory_limit -> 6
+  | Cancelled -> 7
+
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Budget.Exhausted r -> Error (of_reason r)
+  | exception Invalid_argument msg -> Error (Invalid_input msg)
+  | exception Failure msg -> Error (Invalid_input msg)
+
+let throw = function
+  | Timeout -> raise (Budget.Exhausted Budget.Timeout)
+  | Node_limit -> raise (Budget.Exhausted Budget.Node_limit)
+  | Memory_limit -> raise (Budget.Exhausted Budget.Memory_limit)
+  | Cancelled -> raise (Budget.Exhausted Budget.Cancelled)
+  | Invalid_input msg -> invalid_arg msg

@@ -1,0 +1,43 @@
+(** The single structured error type of the public API.
+
+    Every result-typed entry point ([Ctwsdd.compile], [Ctwsdd.prob],
+    [Ctwsdd.minimize] and the underlying [Pipeline] / [Prob] /
+    [Vtree_search] functions) reports failure as a value of this type:
+    budget trips map from {!Budget.reason}, and the scattered
+    [Invalid_argument] / [Failure] raises of the lower layers are folded
+    into {!Invalid_input} with their ["Module.fn: reason"] message. *)
+
+type t =
+  | Timeout
+  | Node_limit
+  | Memory_limit
+  | Cancelled
+  | Invalid_input of string
+      (** Malformed input (unparseable formula, empty variable list,
+          out-of-range vertex, ...).  The payload keeps the lower
+          layer's ["Module.fn: reason"] message. *)
+
+val of_reason : Budget.reason -> t
+
+val reason : t -> Budget.reason option
+(** [None] for {!Invalid_input}. *)
+
+val to_string : t -> string
+(** One line, suitable for [Printf.eprintf "ctwsdd: error: %s"]. *)
+
+val exit_code : t -> int
+(** The CLI exit-code contract, documented in [--help] and README:
+    {!Invalid_input} = 3, {!Timeout} = 4, {!Node_limit} = 5,
+    {!Memory_limit} = 6, {!Cancelled} = 7. *)
+
+val guard : (unit -> 'a) -> ('a, t) result
+(** Run a raising computation under the error contract:
+    [Budget.Exhausted] becomes the corresponding constructor,
+    [Invalid_argument] and [Failure] become {!Invalid_input}.  Any other
+    exception (including programmer-error assertions) propagates — the
+    contract only covers declared failure modes. *)
+
+val throw : t -> 'a
+(** The inverse of {!guard}: re-raise an error as the exception {!guard}
+    would have caught, so [result]-typed sub-steps can be composed
+    inside a guarded computation. *)

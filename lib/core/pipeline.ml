@@ -1,5 +1,19 @@
 type vtree_strategy = [ `Right | `Balanced | `Treedec | `Search ]
 
+let strategy_name = function
+  | `Right -> "right"
+  | `Balanced -> "balanced"
+  | `Treedec -> "treedec"
+  | `Search -> "search"
+
+type result = {
+  manager : Sdd.manager;
+  root : Sdd.t;
+  strategy : vtree_strategy;
+  degraded : Budget.reason option;
+  minimize_steps : int;
+}
+
 (* Map a tree decomposition of the Tseitin CNF's primal graph back to a
    decomposition of the circuit's gate graph.  Tseitin names the signal
    of gate [i] either "_g<i>" (internal and constant gates) or the input
@@ -11,7 +25,7 @@ type vtree_strategy = [ `Right | `Balanced | `Treedec | `Search ]
    supergraph — harmless.  If the mapping misses a gate (duplicate input
    gates of a hand-assembled circuit), validation fails and the caller
    falls back to the direct decomposition. *)
-let tseitin_decomposition c =
+let tseitin_decomposition ?budget c =
   let cnf = Tseitin.transform c in
   let g, names = Tseitin.primal_graph cnf in
   let gate_of_name = Hashtbl.create 64 in
@@ -21,7 +35,7 @@ let tseitin_decomposition c =
       | Circuit.Var x -> Hashtbl.replace gate_of_name x i
       | _ -> Hashtbl.replace gate_of_name (Printf.sprintf "_g%d" i) i)
     c.Circuit.gates;
-  let td = Treewidth.decomposition g in
+  let td = Treewidth.decomposition ?budget g in
   let map_bag bag =
     List.sort_uniq compare
       (List.filter_map (fun v -> Hashtbl.find_opt gate_of_name names.(v)) bag)
@@ -33,11 +47,11 @@ let tseitin_decomposition c =
   | Ok () -> Some td'
   | Error _ -> None
 
-let treedec_vtree c =
+let treedec_vtree ?budget c =
   Obs.span "pipeline.treedec_vtree" @@ fun () ->
-  let direct = snd (Circuit.treewidth_upper c) in
+  let direct = snd (Circuit.treewidth_upper ?budget c) in
   let td, source =
-    match tseitin_decomposition c with
+    match tseitin_decomposition ?budget c with
     | Some td' when Treedec.width td' < Treedec.width direct -> (td', "tseitin")
     | _ -> (direct, "direct")
   in
@@ -47,76 +61,157 @@ let treedec_vtree c =
   end;
   (Lemma1.vtree_of_decomposition c td, Treedec.width td)
 
-let compile_with_vtree vt c =
-  let m = Sdd.manager vt in
+let compile_with_vtree ?budget vt c =
+  let m = Sdd.manager ?budget vt in
   (m, Sdd.compile_circuit m c)
 
-let compile ?(vtree_strategy = `Treedec) ?(minimize = false) ?max_steps
-    ?domains c =
+(* One rung of the degradation ladder: compile [c] with the given
+   strategy under [budget], raising [Budget.Exhausted] on a trip. *)
+let compile_rung ~budget ?domains vars c = function
+  | `Right -> compile_with_vtree ~budget (Vtree.right_linear vars) c
+  | `Balanced -> compile_with_vtree ~budget (Vtree.balanced vars) c
+  | `Treedec -> compile_with_vtree ~budget (fst (treedec_vtree ~budget c)) c
+  | `Search ->
+    (* Compile the deterministic candidate set in parallel and keep the
+       smallest result; the tie-break (first minimum in candidate order)
+       makes the choice independent of [domains].  Each candidate gets
+       an equal share of the rung's node allowance — also independent of
+       [domains] — and candidates that trip are dropped individually;
+       the rung only fails when none survives.  Candidates construct
+       their own vtree inside the attempt (a trip during the treewidth
+       heuristics drops that candidate, not the rung), cheapest vtree
+       first so a near-expired deadline still yields a survivor when
+       the attempts run sequentially. *)
+    let vt_candidates =
+      [ (fun () -> Vtree.balanced vars);
+        (fun () -> Vtree.right_linear vars);
+        (fun () -> fst (treedec_vtree ~budget c)) ]
+    in
+    let per_candidate =
+      Budget.split_nodes budget (List.length vt_candidates)
+    in
+    let domains =
+      match domains with
+      | Some d -> d
+      | None -> Vtree_search.default_domains ()
+    in
+    let attempts =
+      Vtree_search.parallel_map ~domains
+        (fun mk_vt ->
+          match
+            let m = Sdd.manager ~budget:per_candidate (mk_vt ()) in
+            let n = Sdd.compile_circuit m c in
+            (m, n, Sdd.size m n)
+          with
+          | r -> Ok r
+          | exception Budget.Exhausted r -> Error r)
+        vt_candidates
+    in
+    let scored = List.filter_map Stdlib.Result.to_option attempts in
+    if !Obs.enabled_ref then
+      List.iteri
+        (fun i attempt ->
+          Obs.event "pipeline.search_candidate"
+            (("index", Obs.Json.Int i)
+            ::
+            (match attempt with
+             | Ok (m', _, s') ->
+               [
+                 ("size", Obs.Json.Int s');
+                 ( "fingerprint",
+                   Obs.Json.Int (Vtree.fingerprint (Sdd.vtree m')) );
+               ]
+             | Error r ->
+               [ ("tripped", Obs.Json.String (Budget.reason_to_string r)) ])))
+        attempts;
+    (match scored with
+     | [] ->
+       let first_reason =
+         List.find_map
+           (function Error r -> Some r | Ok _ -> None)
+           attempts
+       in
+       raise (Budget.Exhausted (Option.get first_reason))
+     | hd :: tl ->
+       let bm, bn, _ =
+         List.fold_left
+           (fun (bm, bn, bs) (m', n', s') ->
+             if s' < bs then (m', n', s') else (bm, bn, bs))
+           hd tl
+       in
+       (* The winner carries the split allowance; restore the rung's
+          full budget for whatever comes next (minimization). *)
+       Sdd.set_budget bm budget;
+       (bm, bn))
+
+let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
+    ?(minimize = false) ?max_steps ?domains c =
+  Ctwsdd_error.guard @@ fun () ->
   Obs.span "pipeline.compile" @@ fun () ->
   let vars = Circuit.variables c in
   if vars = [] then invalid_arg "Pipeline.compile: circuit has no variables";
+  Budget.check budget;
   if !Obs.enabled_ref then
     Obs.event "pipeline.compile"
       [
-        ( "strategy",
-          Obs.Json.String
-            (match vtree_strategy with
-             | `Right -> "right"
-             | `Balanced -> "balanced"
-             | `Treedec -> "treedec"
-             | `Search -> "search") );
+        ("strategy", Obs.Json.String (strategy_name vtree_strategy));
         ("minimize", Obs.Json.Bool minimize);
+        ("budgeted", Obs.Json.Bool (not (Budget.is_unlimited budget)));
         ("vars", Obs.Json.Int (List.length vars));
         ("gates", Obs.Json.Int (Circuit.size c));
       ];
-  let m, node =
+  (* Graceful degradation: when a rung trips its budget, fall through to
+     the cheaper strategies instead of dying — `Search → `Treedec →
+     `Balanced → `Right.  Only when the last rung also trips does the
+     trip escape (and become an [Error]).  A successful compile after a
+     step-down is reported with [degraded] set to the last trip. *)
+  let ladder =
     match vtree_strategy with
-    | `Right -> compile_with_vtree (Vtree.right_linear vars) c
-    | `Balanced -> compile_with_vtree (Vtree.balanced vars) c
-    | `Treedec -> compile_with_vtree (fst (treedec_vtree c)) c
-    | `Search ->
-      (* Compile the deterministic candidate set in parallel and keep
-         the smallest result; the tie-break (first minimum in candidate
-         order) makes the choice independent of [domains]. *)
-      let candidates =
-        [ fst (treedec_vtree c); Vtree.balanced vars; Vtree.right_linear vars ]
-      in
-      let domains =
-        match domains with
-        | Some d -> d
-        | None -> Vtree_search.default_domains ()
-      in
-      let scored =
-        Vtree_search.parallel_map ~domains
-          (fun vt ->
-            let m = Sdd.manager vt in
-            let n = Sdd.compile_circuit m c in
-            (m, n, Sdd.size m n))
-          candidates
-      in
-      let bm, bn, bs =
-        List.fold_left
-          (fun (bm, bn, bs) (m', n', s') ->
-            if s' < bs then (m', n', s') else (bm, bn, bs))
-          (List.hd scored) (List.tl scored)
-      in
-      if !Obs.enabled_ref then
-        List.iteri
-          (fun i (m', _, s') ->
-            Obs.event "pipeline.search_candidate"
-              [
-                ("index", Obs.Json.Int i);
-                ("size", Obs.Json.Int s');
-                ( "fingerprint",
-                  Obs.Json.Int (Vtree.fingerprint (Sdd.vtree m')) );
-                ("accepted", Obs.Json.Bool (s' = bs && m' == bm));
-              ])
-          scored;
-      (bm, bn)
+    | `Search -> [ `Search; `Treedec; `Balanced; `Right ]
+    | `Treedec -> [ `Treedec; `Balanced; `Right ]
+    | `Balanced -> [ `Balanced; `Right ]
+    | `Right -> [ `Right ]
   in
-  if minimize then begin
-    let node', _ = Vtree_search.minimize_manager ?max_steps m node in
-    (m, node')
-  end
-  else (m, node)
+  let rec descend last = function
+    | [] ->
+      (* Unreachable with [last = None]: the ladder is non-empty. *)
+      raise (Budget.Exhausted (Option.get last))
+    | rung :: rest ->
+      (match compile_rung ~budget ?domains vars c rung with
+       | m, n -> (m, n, rung, last)
+       | exception Budget.Exhausted r ->
+         if rest <> [] then begin
+           Obs.incr "pipeline.degrade";
+           if !Obs.enabled_ref then
+             Obs.event "pipeline.degrade"
+               [
+                 ("from", Obs.Json.String (strategy_name rung));
+                 ("to", Obs.Json.String (strategy_name (List.hd rest)));
+                 ("reason", Obs.Json.String (Budget.reason_to_string r));
+               ]
+         end;
+         descend (Some r) rest)
+  in
+  let m, node, strategy, ladder_trip = descend None ladder in
+  let root, minimize_steps, minimize_trip =
+    if minimize then begin
+      let a = Vtree_search.minimize_manager ~budget ?max_steps m node in
+      (a.Vtree_search.best, a.Vtree_search.steps, a.Vtree_search.degraded)
+    end
+    else (node, 0, None)
+  in
+  (* The budget governed this compilation; hand the manager back free of
+     it so follow-up queries (model counts, conditioning) don't trip on
+     an expired deadline.  Callers can reinstall one with
+     [Sdd.set_budget]. *)
+  Sdd.set_budget m Budget.unlimited;
+  let degraded =
+    match ladder_trip with Some _ -> ladder_trip | None -> minimize_trip
+  in
+  { manager = m; root; strategy; degraded; minimize_steps }
+
+let compile_exn ?budget ?vtree_strategy ?minimize ?max_steps ?domains c =
+  match compile ?budget ?vtree_strategy ?minimize ?max_steps ?domains c with
+  | Error e -> Ctwsdd_error.throw e
+  | Ok { degraded = Some r; _ } -> raise (Budget.Exhausted r)
+  | Ok r -> (r.manager, r.root)

@@ -6,7 +6,13 @@
     tree decomposition, bottom-up apply compilation, and in-manager
     dynamic vtree minimization.  This is the path the probabilistic-
     database evaluator and the CLI use for lineages beyond the
-    tabulation limit. *)
+    tabulation limit.
+
+    Compilation is governed by a {!Budget.t} and degrades gracefully:
+    when the requested strategy trips the budget the pipeline steps down
+    the ladder [`Search → `Treedec → `Balanced → `Right] and reports the
+    step-down in {!result.degraded} instead of failing, so a hard
+    instance under a budget still yields a valid (if larger) SDD. *)
 
 type vtree_strategy = [ `Right | `Balanced | `Treedec | `Search ]
 (** How the starting vtree is chosen:
@@ -17,9 +23,30 @@ type vtree_strategy = [ `Right | `Balanced | `Treedec | `Search ]
       decomposition of the circuit's gate graph (see {!treedec_vtree});
     - [`Search] — compile the [`Treedec], [`Balanced] and [`Right]
       candidates in parallel and keep the smallest SDD (deterministic:
-      first minimum in that order, independent of [domains]). *)
+      first minimum in that order, independent of [domains]).  Under a
+      node-capped budget each candidate receives an equal share of the
+      cap and tripped candidates are dropped individually. *)
 
-val tseitin_decomposition : Circuit.t -> Treedec.t option
+type result = {
+  manager : Sdd.manager;
+      (** Holds the compiled SDD.  Returned with an unlimited budget
+          installed — the compile's budget does not outlive the
+          compile; reinstall one with [Sdd.set_budget] if needed. *)
+  root : Sdd.t;  (** The canonical SDD of the circuit. *)
+  strategy : vtree_strategy;
+      (** The rung that actually produced the SDD — the requested
+          strategy, or a lower one after degradation. *)
+  degraded : Budget.reason option;
+      (** [None] for an unconstrained run.  [Some r] when the budget
+          tripped along the way (a ladder step-down, or a minimization
+          cut short) — the result is still a valid SDD of the input,
+          just not the one an unbounded run would pick. *)
+  minimize_steps : int;
+      (** Improving moves taken by the minimization pass (0 when
+          [minimize] was off). *)
+}
+
+val tseitin_decomposition : ?budget:Budget.t -> Circuit.t -> Treedec.t option
 (** Tree decomposition of the circuit's gate graph obtained indirectly:
     decompose the primal graph of the circuit's Tseitin CNF, then rename
     each CNF variable back to the gate it stands for.  The primal graph
@@ -29,25 +56,47 @@ val tseitin_decomposition : Circuit.t -> Treedec.t option
     if the renamed decomposition fails validation (possible for
     hand-assembled circuits with duplicate input gates). *)
 
-val treedec_vtree : Circuit.t -> Vtree.t * int
+val treedec_vtree : ?budget:Budget.t -> Circuit.t -> Vtree.t * int
 (** The Lemma 1 vtree of the circuit, from the narrower of the direct
     decomposition ({!Circuit.treewidth_upper}) and the Tseitin-route one
     ({!tseitin_decomposition}).  Also returns the width of the chosen
-    decomposition. *)
+    decomposition.  [budget] is polled during the underlying treewidth
+    heuristics — on fill-heavy gate graphs they dominate a budgeted
+    compile otherwise.
+    @raise Budget.Exhausted on a trip. *)
 
 val compile :
+  ?budget:Budget.t ->
+  ?vtree_strategy:vtree_strategy ->
+  ?minimize:bool ->
+  ?max_steps:int ->
+  ?domains:int ->
+  Circuit.t ->
+  (result, Ctwsdd_error.t) Stdlib.result
+(** [compile c] builds the canonical SDD of [c] in a fresh manager.
+    Defaults: [budget = Budget.unlimited], [vtree_strategy = `Treedec],
+    [minimize = false].  When [minimize] is set, the result is
+    post-processed with {!Vtree_search.minimize_manager} ([max_steps]
+    forwarded, default 50), mutating the returned manager's vtree in
+    place; under a budget the pass is anytime.  [domains] bounds the
+    parallelism of the [`Search] strategy (default
+    {!Vtree_search.default_domains}).
+
+    [Error (Invalid_input _)] on a constant circuit (no variables —
+    there is no vtree to build; callers should special-case constants);
+    [Error (Timeout | Node_limit | Memory_limit | Cancelled)] only when
+    even the last ladder rung tripped the budget.  A budget trip that a
+    step-down absorbed is reported as [Ok] with {!result.degraded}
+    set. *)
+
+val compile_exn :
+  ?budget:Budget.t ->
   ?vtree_strategy:vtree_strategy ->
   ?minimize:bool ->
   ?max_steps:int ->
   ?domains:int ->
   Circuit.t ->
   Sdd.manager * Sdd.t
-(** [compile c] builds the canonical SDD of [c] in a fresh manager.
-    Defaults: [vtree_strategy = `Treedec], [minimize = false].  When
-    [minimize] is set, the result is post-processed with
-    {!Vtree_search.minimize_manager} ([max_steps] forwarded, default
-    50), mutating the returned manager's vtree in place.  [domains]
-    bounds the parallelism of the [`Search] strategy (default
-    {!Vtree_search.default_domains}).
-    @raise Invalid_argument on a constant circuit (no variables — there
-    is no vtree to build; callers should special-case constants). *)
+(** {!compile} with the historical signature.
+    @raise Invalid_argument on a constant circuit.
+    @raise Budget.Exhausted on any budget trip, degraded or not. *)

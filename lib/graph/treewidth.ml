@@ -4,7 +4,7 @@ module ISet = Set.Make (Int)
 (* Greedy elimination orders                                           *)
 (* ------------------------------------------------------------------ *)
 
-let greedy_order score g =
+let greedy_order ?(budget = Budget.unlimited) score g =
   let n = Ugraph.num_vertices g in
   let adj = Array.init n (fun v -> ISet.of_list (Ugraph.neighbors g v)) in
   let alive = Array.make n true in
@@ -14,6 +14,10 @@ let greedy_order score g =
     let best = ref (-1) and best_score = ref max_int in
     for v = 0 to n - 1 do
       if alive.(v) then begin
+        (* On fill-heavy graphs a single score evaluation is O(deg²),
+           so the heuristic as a whole can dominate a budgeted compile;
+           poll per evaluation to keep vtree construction pollable. *)
+        if budget.Budget.active then Budget.poll budget;
         let s = score adj v in
         if s < !best_score then begin
           best := v;
@@ -41,9 +45,10 @@ let greedy_order score g =
   done;
   List.rev !order
 
-let min_degree_order g = greedy_order (fun adj v -> ISet.cardinal adj.(v)) g
+let min_degree_order ?budget g =
+  greedy_order ?budget (fun adj v -> ISet.cardinal adj.(v)) g
 
-let min_fill_order g =
+let min_fill_order ?budget g =
   let fill adj v =
     let nbrs = ISet.elements adj.(v) in
     let missing = ref 0 in
@@ -56,24 +61,24 @@ let min_fill_order g =
     pairs nbrs;
     !missing
   in
-  greedy_order fill g
+  greedy_order ?budget fill g
 
 let width_of_order g order =
   Treedec.width (Treedec.of_elimination_order g order)
 
-let upper_bound g =
+let upper_bound ?budget g =
   if Ugraph.num_vertices g = 0 then (-1, [])
   else begin
-    let candidates = [ min_fill_order g; min_degree_order g ] in
+    let candidates = [ min_fill_order ?budget g; min_degree_order ?budget g ] in
     let scored = List.map (fun o -> (width_of_order g o, o)) candidates in
     List.fold_left
       (fun (bw, bo) (w, o) -> if w < bw then (w, o) else (bw, bo))
       (List.hd scored) (List.tl scored)
   end
 
-let decomposition g =
+let decomposition ?budget g =
   Obs.span "treewidth.decomposition" @@ fun () ->
-  let _, order = upper_bound g in
+  let _, order = upper_bound ?budget g in
   if order = [] then Treedec.trivial g
   else Treedec.refine_connected (Treedec.of_elimination_order g order)
 
@@ -192,13 +197,11 @@ let lower_bound_mmd g =
 (* Branch and bound over elimination orders                            *)
 (* ------------------------------------------------------------------ *)
 
-exception Budget_exhausted
-
 let popcount x =
   let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
   go x 0
 
-let exact_bb ?(budget = 200_000) g =
+let exact_bb ?(node_budget = 200_000) ?(budget = Budget.unlimited) g =
   Obs.span "treewidth.exact_bb" @@ fun () ->
   let n = Ugraph.num_vertices g in
   if n = 0 then Some (-1)
@@ -244,7 +247,8 @@ let exact_bb ?(budget = 200_000) g =
     in
     let rec dfs alive adj width =
       incr nodes;
-      if !nodes > budget then raise Budget_exhausted;
+      if !nodes > node_budget then Budget.exhaust Budget.Node_limit;
+      if !nodes land 1023 = 0 then Budget.check budget;
       if width >= !best then ()
       else begin
         let count = popcount alive in
@@ -293,7 +297,7 @@ let exact_bb ?(budget = 200_000) g =
     let result =
       match dfs full initial_adj (Stdlib.max (lower_bound_mmd g) 0) with
       | () -> Some !best
-      | exception Budget_exhausted ->
+      | exception Budget.Exhausted _ ->
         Obs.incr "treewidth.bb.budget_exhausted";
         None
     in

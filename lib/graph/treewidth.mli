@@ -7,19 +7,24 @@
 
 (** {1 Elimination orders} *)
 
-val min_degree_order : Ugraph.t -> int list
-val min_fill_order : Ugraph.t -> int list
+val min_degree_order : ?budget:Budget.t -> Ugraph.t -> int list
+val min_fill_order : ?budget:Budget.t -> Ugraph.t -> int list
 
 val width_of_order : Ugraph.t -> int list -> int
 (** Width of the tree decomposition induced by the elimination order. *)
 
 (** {1 Upper bounds} *)
 
-val upper_bound : Ugraph.t -> int * int list
-(** Best width over the built-in heuristics, with a witnessing order. *)
+val upper_bound : ?budget:Budget.t -> Ugraph.t -> int * int list
+(** Best width over the built-in heuristics, with a witnessing order.
+    [budget] (default {!Budget.unlimited}) is polled once per candidate
+    score evaluation — on fill-heavy graphs the heuristics dominate a
+    budgeted compilation otherwise.
+    @raise Budget.Exhausted on a trip. *)
 
-val decomposition : Ugraph.t -> Treedec.t
-(** Heuristic tree decomposition (best-of heuristics). *)
+val decomposition : ?budget:Budget.t -> Ugraph.t -> Treedec.t
+(** Heuristic tree decomposition (best-of heuristics), polling [budget]
+    like {!upper_bound}. *)
 
 (** {1 Exact computation} *)
 
@@ -34,11 +39,13 @@ val exact_order : ?max_vertices:int -> Ugraph.t -> int * int list
 val exact_decomposition : ?max_vertices:int -> Ugraph.t -> Treedec.t
 (** Minimum-width tree decomposition. *)
 
-val exact_bb : ?budget:int -> Ugraph.t -> int option
+val exact_bb : ?node_budget:int -> ?budget:Budget.t -> Ugraph.t -> int option
 (** Branch-and-bound over elimination orders (with simplicial-vertex
     reduction and dominance memoization).  Exact when it answers within
-    the search budget (default 200000 nodes); [None] when the budget is
-    exhausted.  Graphs up to 62 vertices. *)
+    [node_budget] search nodes (default 200000); [None] when that budget
+    — or the optional global [budget], polled every 1024 nodes — is
+    exhausted.  Either trip is reported through the [budget.trip.*]
+    counters.  Graphs up to 62 vertices. *)
 
 (** {1 Lower bounds} *)
 

@@ -9,17 +9,18 @@ let create n =
 let num_vertices g = Array.length g.adj
 let num_edges g = g.nedges
 
-let check_vertex g v =
-  if v < 0 || v >= num_vertices g then invalid_arg "Ugraph: vertex out of range"
+let check_vertex fn g v =
+  if v < 0 || v >= num_vertices g then
+    invalid_arg ("Ugraph." ^ fn ^ ": vertex out of range")
 
 let has_edge g u v =
-  check_vertex g u;
-  check_vertex g v;
+  check_vertex "has_edge" g u;
+  check_vertex "has_edge" g v;
   ISet.mem v g.adj.(u)
 
 let add_edge g u v =
-  check_vertex g u;
-  check_vertex g v;
+  check_vertex "add_edge" g u;
+  check_vertex "add_edge" g v;
   if u <> v && not (ISet.mem v g.adj.(u)) then begin
     g.adj.(u) <- ISet.add v g.adj.(u);
     g.adj.(v) <- ISet.add u g.adj.(v);
@@ -27,11 +28,11 @@ let add_edge g u v =
   end
 
 let neighbors g v =
-  check_vertex g v;
+  check_vertex "neighbors" g v;
   ISet.elements g.adj.(v)
 
 let degree g v =
-  check_vertex g v;
+  check_vertex "degree" g v;
   ISet.cardinal g.adj.(v)
 
 let edges g =

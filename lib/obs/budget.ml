@@ -1,0 +1,104 @@
+(* Resource governance: deadline / node cap / heap watermark /
+   cancellation, polled cooperatively by the kernels.  See budget.mli
+   for the cost and determinism contract. *)
+
+type reason = Timeout | Node_limit | Memory_limit | Cancelled
+
+exception Exhausted of reason
+
+type t = {
+  deadline : float;
+  max_nodes : int;
+  max_memory_words : int;
+  cancel : bool Atomic.t;
+  active : bool;
+  interval : int;
+  mutable tick : int;
+}
+
+let unlimited =
+  {
+    deadline = infinity;
+    max_nodes = max_int;
+    max_memory_words = max_int;
+    cancel = Atomic.make false;
+    active = false;
+    interval = max_int;
+    tick = max_int;
+  }
+
+let create ?timeout ?max_nodes ?max_memory_words ?cancel
+    ?(poll_interval = 256) () =
+  if poll_interval < 1 then
+    invalid_arg "Budget.create: poll_interval must be positive";
+  (match timeout with
+  | Some s when s < 0. -> invalid_arg "Budget.create: negative timeout"
+  | _ -> ());
+  (match max_nodes with
+  | Some n when n < 0 -> invalid_arg "Budget.create: negative max_nodes"
+  | _ -> ());
+  (match max_memory_words with
+  | Some n when n < 0 -> invalid_arg "Budget.create: negative max_memory_words"
+  | _ -> ());
+  let deadline =
+    match timeout with
+    | None -> infinity
+    | Some s -> Unix.gettimeofday () +. s
+  in
+  {
+    deadline;
+    max_nodes = Option.value max_nodes ~default:max_int;
+    max_memory_words = Option.value max_memory_words ~default:max_int;
+    cancel = (match cancel with Some c -> c | None -> Atomic.make false);
+    active = true;
+    interval = poll_interval;
+    tick = poll_interval;
+  }
+
+let is_unlimited t = not t.active
+
+let with_max_nodes t max_nodes =
+  if not t.active then t else { t with max_nodes; tick = t.interval }
+
+let split_nodes t k =
+  if (not t.active) || t.max_nodes = max_int then t
+  else with_max_nodes t (max 1 (t.max_nodes / max 1 k))
+
+let cancel_now t = Atomic.set t.cancel true
+let cancelled t = Atomic.get t.cancel
+
+let reason_to_string = function
+  | Timeout -> "timeout"
+  | Node_limit -> "node_limit"
+  | Memory_limit -> "memory_limit"
+  | Cancelled -> "cancelled"
+
+let exhaust reason =
+  if !Obs.enabled_ref then begin
+    let r = reason_to_string reason in
+    Obs.incr ("budget.trip." ^ r);
+    Obs.event "budget.trip" [ ("reason", Obs.Json.String r) ]
+  end;
+  raise (Exhausted reason)
+
+let check t =
+  if t.active then begin
+    if Atomic.get t.cancel then exhaust Cancelled;
+    if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
+      exhaust Timeout;
+    if t.max_memory_words < max_int then begin
+      let stat = Gc.quick_stat () in
+      if stat.Gc.heap_words > t.max_memory_words then exhaust Memory_limit
+    end
+  end
+
+let check_nodes t n = if t.active && n > t.max_nodes then exhaust Node_limit
+
+let poll t =
+  if t.active then begin
+    t.tick <- t.tick - 1;
+    if t.tick <= 0 then begin
+      t.tick <- t.interval;
+      check t
+    end
+  end

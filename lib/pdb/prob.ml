@@ -1,3 +1,9 @@
+type answer = {
+  probability : Ratio.t;
+  size : int;
+  degraded : Budget.reason option;
+}
+
 let brute q db =
   List.fold_left
     (fun acc subset ->
@@ -16,10 +22,15 @@ let default_order q db =
   | _ -> Lineage.variables db
 
 let via_obdd ?order q db =
+  Ctwsdd_error.guard @@ fun () ->
   let order = match order with Some o -> o | None -> default_order q db in
   let m = Bdd.manager order in
   let node = Bdd.compile_circuit m (Lineage.circuit q db) in
-  (Bdd.probability_ratio m node (weight_fun db), Bdd.size m node)
+  {
+    probability = Bdd.probability_ratio m node (weight_fun db);
+    size = Bdd.size m node;
+    degraded = None;
+  }
 
 (* A lineage with no variables is a constant (empty database, or a query
    decided without touching any tuple); there is no vtree to build, so
@@ -29,7 +40,11 @@ let constant_lineage c =
     Some (if Circuit.eval c Boolfun.Smap.empty then Ratio.one else Ratio.zero)
   else None
 
-let compile_lineage ?vtree ?(minimize = false) q db =
+(* Either a constant probability or a compiled manager/root with the
+   budget-degradation flag.  Raises [Budget.Exhausted] (for the guard in
+   the callers) when even the degradation ladder could not finish. *)
+let compile_lineage ?(budget = Budget.unlimited) ?vtree ?(minimize = false) q
+    db =
   let c = Lineage.circuit q db in
   match constant_lineage c with
   | Some p -> Error p
@@ -37,12 +52,18 @@ let compile_lineage ?vtree ?(minimize = false) q db =
     Ok
       (match vtree with
        | Some vt ->
-         let m = Sdd.manager vt in
+         (* An explicit vtree pins the shape: no ladder to fall back on,
+            so a budget trip during the compile escapes to the caller. *)
+         let m = Sdd.manager ~budget vt in
          let node = Sdd.compile_circuit m c in
-         if minimize then
-           let node', _ = Vtree_search.minimize_manager m node in
-           (m, node')
-         else (m, node)
+         let node, degraded =
+           if minimize then
+             let a = Vtree_search.minimize_manager ~budget m node in
+             (a.Vtree_search.best, a.Vtree_search.degraded)
+           else (node, None)
+         in
+         Sdd.set_budget m Budget.unlimited;
+         (m, node, degraded)
        | None ->
          (* The treewidth-derived vtree is the paper's route for
             inversion-free queries (bounded-treewidth lineages,
@@ -53,17 +74,43 @@ let compile_lineage ?vtree ?(minimize = false) q db =
          let strategy =
            if Qsafety.inversion_free q then `Treedec else `Balanced
          in
-         Pipeline.compile ~vtree_strategy:strategy ~minimize c)
+         (match Pipeline.compile ~budget ~vtree_strategy:strategy ~minimize c with
+          | Error e -> Ctwsdd_error.throw e
+          | Ok r ->
+            (r.Pipeline.manager, r.Pipeline.root, r.Pipeline.degraded)))
 
-let via_sdd ?vtree ?minimize q db =
-  match compile_lineage ?vtree ?minimize q db with
-  | Error p -> (p, 0)
-  | Ok (m, node) ->
-    (Sdd.probability_ratio m node (weight_fun db), Sdd.size m node)
+let via_sdd ?budget ?vtree ?minimize q db =
+  Ctwsdd_error.guard @@ fun () ->
+  match compile_lineage ?budget ?vtree ?minimize q db with
+  | Error p -> { probability = p; size = 0; degraded = None }
+  | Ok (m, node, degraded) ->
+    {
+      probability = Sdd.probability_ratio m node (weight_fun db);
+      size = Sdd.size m node;
+      degraded;
+    }
 
-let via_dnnf ?minimize q db =
-  match compile_lineage ?minimize q db with
-  | Error p -> (p, 0)
-  | Ok (m, node) ->
+let via_dnnf ?budget ?minimize q db =
+  Ctwsdd_error.guard @@ fun () ->
+  match compile_lineage ?budget ?minimize q db with
+  | Error p -> { probability = p; size = 0; degraded = None }
+  | Ok (m, node, degraded) ->
     let c = Sdd.to_nnf_circuit m node in
-    (Snnf.probability_ratio c (weight_fun db), Circuit.size c)
+    {
+      probability = Snnf.probability_ratio c (weight_fun db);
+      size = Circuit.size c;
+      degraded;
+    }
+
+let unpack = function
+  | Error e -> Ctwsdd_error.throw e
+  | Ok { degraded = Some r; _ } -> raise (Budget.Exhausted r)
+  | Ok a -> (a.probability, a.size)
+
+let via_obdd_exn ?order q db = unpack (via_obdd ?order q db)
+
+let via_sdd_exn ?budget ?vtree ?minimize q db =
+  unpack (via_sdd ?budget ?vtree ?minimize q db)
+
+let via_dnnf_exn ?budget ?minimize q db =
+  unpack (via_dnnf ?budget ?minimize q db)

@@ -3,32 +3,78 @@
     The query-compilation pipeline of the paper's introduction: build the
     lineage circuit, compile it into a tractable form (OBDD or SDD), then
     read the probability off the compiled form in linear time.  A
-    brute-force evaluator over subdatabases serves as ground truth. *)
+    brute-force evaluator over subdatabases serves as ground truth.
+
+    The SDD-backed evaluators take a {!Budget.t} and degrade through
+    {!Pipeline.compile}'s ladder; results are reported through
+    {!answer}, failures through {!Ctwsdd_error.t}.  The [*_exn] variants
+    keep the historical raising tuple signatures. *)
+
+type answer = {
+  probability : Ratio.t;  (** Exact query probability. *)
+  size : int;
+      (** Size of the compiled representation (0 for a constant
+          lineage, which needs no manager). *)
+  degraded : Budget.reason option;
+      (** Set when a budget trip forced a strategy step-down or cut a
+          minimization short; the probability is still exact — only the
+          compiled form is larger than an unbounded run's. *)
+}
 
 val brute : Ucq.t -> Pdb.t -> Ratio.t
 (** Exact probability by enumerating subdatabases (2^|D|). *)
 
-val via_obdd : ?order:string list -> Ucq.t -> Pdb.t -> Ratio.t * int
+val via_obdd :
+  ?order:string list -> Ucq.t -> Pdb.t -> (answer, Ctwsdd_error.t) result
 (** Compile the lineage to an OBDD (hierarchical order when the query is
-    hierarchical and none is supplied, else sorted variables); returns
-    the exact probability and the OBDD size. *)
+    hierarchical and none is supplied, else sorted variables); the
+    answer carries the OBDD size.  The OBDD backend is not budgeted;
+    errors are limited to [Invalid_input]. *)
 
 val via_sdd :
-  ?vtree:Vtree.t -> ?minimize:bool -> Ucq.t -> Pdb.t -> Ratio.t * int
-(** Same through the canonical SDD; returns probability and SDD size.
+  ?budget:Budget.t ->
+  ?vtree:Vtree.t ->
+  ?minimize:bool ->
+  Ucq.t ->
+  Pdb.t ->
+  (answer, Ctwsdd_error.t) result
+(** Same through the canonical SDD; the answer carries the SDD size.
     By default inversion-free queries are compiled with
     {!Pipeline.compile} on a treewidth-derived vtree ([`Treedec]) — the
     paper's pipeline, exponentially better than the balanced vtree that
     used to be the default here on bounded-treewidth lineages; queries
     with inversions keep the balanced vtree (their lineage treewidth
     grows, and the Lemma 1 vtree degrades apply compilation there).
-    An explicit [vtree] bypasses the pipeline.  [minimize] runs the
-    in-manager dynamic vtree search after compilation.  Constant
-    lineages (no variables) return size 0 without building a
-    manager. *)
+    An explicit [vtree] bypasses the pipeline (and its degradation
+    ladder: a budget trip is then an [Error]).  [minimize] runs the
+    in-manager dynamic vtree search after compilation — anytime under a
+    budget.  Constant lineages (no variables) return size 0 without
+    building a manager. *)
 
-val via_dnnf : ?minimize:bool -> Ucq.t -> Pdb.t -> Ratio.t * int
+val via_dnnf :
+  ?budget:Budget.t ->
+  ?minimize:bool ->
+  Ucq.t ->
+  Pdb.t ->
+  (answer, Ctwsdd_error.t) result
 (** Same through a deterministic structured NNF circuit (the SDD exported
     as a d-SDNNF), counted by the linear-time d-DNNF algorithm of
-    [Snnf].  Compiles via the same pipeline as {!via_sdd}.  Returns
-    probability and circuit size. *)
+    [Snnf].  Compiles via the same pipeline as {!via_sdd}.  The answer
+    carries the NNF circuit size. *)
+
+val via_obdd_exn : ?order:string list -> Ucq.t -> Pdb.t -> Ratio.t * int
+(** {!via_obdd} with the historical signature. *)
+
+val via_sdd_exn :
+  ?budget:Budget.t ->
+  ?vtree:Vtree.t ->
+  ?minimize:bool ->
+  Ucq.t ->
+  Pdb.t ->
+  Ratio.t * int
+(** {!via_sdd} with the historical signature.
+    @raise Budget.Exhausted on any budget trip, degraded or not. *)
+
+val via_dnnf_exn :
+  ?budget:Budget.t -> ?minimize:bool -> Ucq.t -> Pdb.t -> Ratio.t * int
+(** {!via_dnnf} with the historical signature. *)

@@ -49,6 +49,7 @@ type manager = {
   mutable vt : Vtree.t;
   mutable data : node_data array;
   mutable count : int;
+  mutable budget : Budget.t;
   unique : int Dec_tbl.t;
   lit_tbl : int array;  (* 2 * vtree leaf + polarity -> node id, -1 free *)
   and_cache : int Int_tbl.t;
@@ -66,7 +67,7 @@ type manager = {
    2^31 in any workload that fits in memory. *)
 let[@inline] pair_key a b = (a lsl 31) lor b
 
-let manager vt =
+let manager ?(budget = Budget.unlimited) vt =
   let unique = Dec_tbl.create 1024 in
   let and_cache = Int_tbl.create 1024 in
   let or_cache = Int_tbl.create 1024 in
@@ -77,6 +78,7 @@ let manager vt =
       vt;
       data = Array.make 1024 (DConst false);
       count = 2;
+      budget;
       unique;
       lit_tbl = Array.make (2 * Vtree.num_nodes vt) (-1);
       and_cache;
@@ -105,6 +107,8 @@ let manager vt =
 
 let vtree m = m.vt
 let num_nodes_allocated m = m.count
+let budget m = m.budget
+let set_budget m b = m.budget <- b
 
 (* Direct field bumps: local enough for ocamlopt to inline, so the hot
    apply/negate paths pay two stores, not a cross-module call. *)
@@ -140,6 +144,15 @@ let false_ _ = 0
 let true_ _ = 1
 
 let alloc m d =
+  (* Budget checkpoint: every node allocation gates on [active] (one
+     load + branch when unlimited, see bench/overhead.ml).  The node cap
+     is exact — same allocation sequence, same trip point, whatever the
+     domain count — while clock/cancellation/heap ride the amortized
+     poll. *)
+  if m.budget.Budget.active then begin
+    Budget.check_nodes m.budget m.count;
+    Budget.poll m.budget
+  end;
   if m.count >= Array.length m.data then begin
     let data' = Array.make (2 * Array.length m.data) (DConst false) in
     Array.blit m.data 0 data' 0 m.count;
@@ -148,7 +161,10 @@ let alloc m d =
   let id = m.count in
   m.data.(id) <- d;
   m.count <- m.count + 1;
-  if !Obs.enabled_ref then Obs.gauge_max "sdd.nodes_allocated" m.count;
+  if !Obs.enabled_ref then begin
+    Obs.incr "sdd.alloc";
+    Obs.gauge_max "sdd.nodes_allocated" m.count
+  end;
   id
 
 let literal m v polarity =
@@ -422,6 +438,18 @@ let subtree_span vt u = (2 * Vtree.num_vars_below vt u) - 1
 
 let dynamic_edit m move root =
   Obs.span "sdd.edit" @@ fun () ->
+  (* The edit is transactional under a budget.  A rotation can rebuild
+     affected decisions through [disjoin]/[conjoin], and on adversarial
+     inputs (inversion lineage) that rebuild blows up — so it must stay
+     pollable, yet a trip mid-rebuild would leave the tables
+     half-migrated.  Resolution: snapshot the pre-edit state (node data
+     up to [count], lit_tbl, and the caches already saved below for
+     forwarding), run the rebuild with the budget live, and on
+     [Budget.Exhausted] roll the manager back to the snapshot before
+     re-raising.  Callers always observe either the completed edit or
+     the untouched pre-edit manager.  Unbudgeted edits skip the
+     snapshot entirely. *)
+  Budget.check m.budget;
   let old_vt = m.vt in
   (* Validates the move (raises Invalid_argument before any mutation). *)
   let new_vt = Vtree.apply_move old_vt move in
@@ -463,6 +491,50 @@ let dynamic_edit m move root =
   let saved_or = saved m.or_cache in
   let saved_neg = saved m.neg_cache in
   let saved_cond = saved m.cond_cache in
+  (* Rollback snapshot, taken only when the budget can trip: node data
+     (the rebuild rewrites literals and unaffected decisions in place)
+     and lit_tbl.  The caches are already saved above, and the unique
+     table is reconstructible from the restored data — tombstoning
+     keeps it in bijection with live decisions. *)
+  let snapshot =
+    if m.budget.Budget.active then
+      Some (Array.sub m.data 0 old_count, Array.copy m.lit_tbl)
+    else None
+  in
+  let rollback (snap_data, snap_lit) =
+    m.vt <- old_vt;
+    m.count <- old_count;
+    Array.blit snap_data 0 m.data 0 old_count;
+    Array.blit snap_lit 0 m.lit_tbl 0 (Array.length snap_lit);
+    Int_tbl.reset m.and_cache;
+    Int_tbl.reset m.or_cache;
+    Int_tbl.reset m.neg_cache;
+    Int_tbl.reset m.cond_cache;
+    List.iter (fun (k, r) -> Int_tbl.replace m.and_cache k r) saved_and;
+    List.iter (fun (k, r) -> Int_tbl.replace m.or_cache k r) saved_or;
+    List.iter (fun (k, r) -> Int_tbl.replace m.neg_cache k r) saved_neg;
+    List.iter (fun (k, r) -> Int_tbl.replace m.cond_cache k r) saved_cond;
+    Dec_tbl.reset m.unique;
+    for id = 2 to old_count - 1 do
+      match m.data.(id) with
+      | DDec (u, elems) ->
+        (* Stored element arrays are already prime-sorted. *)
+        let k = Array.length elems in
+        let key = Array.make (1 + (2 * k)) u in
+        Array.iteri
+          (fun i (p, s) ->
+            key.((2 * i) + 1) <- p;
+            key.((2 * i) + 2) <- s)
+          elems;
+        Dec_tbl.add m.unique key id
+      | DConst _ | DLit _ -> ()
+    done;
+    if !Obs.enabled_ref then Obs.incr "sdd.edit.rolled_back"
+  in
+  let on_trip handler f =
+    try f () with Budget.Exhausted _ as e -> handler (); raise e
+  in
+  on_trip (fun () -> Option.iter rollback snapshot) @@ fun () ->
   Int_tbl.reset m.and_cache;
   Int_tbl.reset m.or_cache;
   Int_tbl.reset m.neg_cache;
@@ -823,6 +895,9 @@ let any_model m a =
 
 let compile_circuit m c =
   Obs.span "sdd.compile_circuit" @@ fun () ->
+  (* Up-front check so a pre-cancelled or already-expired budget trips
+     deterministically even on circuits too small to hit a poll. *)
+  Budget.check m.budget;
   let n = Circuit.size c in
   let res = Array.make n 0 in
   for i = 0 to n - 1 do

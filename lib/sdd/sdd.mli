@@ -16,9 +16,24 @@ type t
 
 (** {1 Manager} *)
 
-val manager : Vtree.t -> manager
+val manager : ?budget:Budget.t -> Vtree.t -> manager
+(** [budget] (default {!Budget.unlimited}) is polled at every node
+    allocation: the live-node cap is checked exactly, the clock /
+    cancellation token / heap watermark at the budget's amortized
+    interval.  On a trip the kernel raises [Budget.Exhausted] at a
+    checkpoint where the manager is still consistent — in particular
+    {!apply_move} is transactional: it checks before mutating, polls
+    throughout the rebuild, and rolls the manager back to its pre-edit
+    state if the budget trips mid-edit, so a budgeted manager never
+    observes a half-applied edit. *)
+
 val vtree : manager -> Vtree.t
 val num_nodes_allocated : manager -> int
+
+val budget : manager -> Budget.t
+val set_budget : manager -> Budget.t -> unit
+(** Replace the manager's budget (e.g. release it after a successful
+    compile, or install one before a long minimization). *)
 
 val stats : manager -> Obs.Cache.snapshot list
 (** Hit/miss/size statistics of the manager's five hash tables, in the

@@ -76,13 +76,13 @@ let of_shape shape =
   let root = build 0 shape in
   { left; right; parent; depth; var; vars_below; lo; hi; root; leaf_of_var = leaf_tbl }
 
-let check_nonempty_unique vars =
-  if vars = [] then invalid_arg "Vtree: empty variable list";
+let check_nonempty_unique fn vars =
+  if vars = [] then invalid_arg ("Vtree." ^ fn ^ ": empty variable list");
   if List.length (List.sort_uniq compare vars) <> List.length vars then
-    invalid_arg "Vtree: duplicate variables"
+    invalid_arg ("Vtree." ^ fn ^ ": duplicate variables")
 
 let right_linear vars =
-  check_nonempty_unique vars;
+  check_nonempty_unique "right_linear" vars;
   let rec go = function
     | [] -> assert false
     | [ v ] -> L v
@@ -91,13 +91,13 @@ let right_linear vars =
   of_shape (go vars)
 
 let left_linear vars =
-  check_nonempty_unique vars;
+  check_nonempty_unique "left_linear" vars;
   match vars with
   | [] -> assert false
   | v :: rest -> of_shape (List.fold_left (fun acc w -> N (acc, L w)) (L v) rest)
 
 let balanced vars =
-  check_nonempty_unique vars;
+  check_nonempty_unique "balanced" vars;
   let rec go vars n =
     if n = 1 then (L (List.hd vars), List.tl vars)
     else begin
@@ -112,7 +112,7 @@ let balanced vars =
   of_shape s
 
 let random ~seed vars =
-  check_nonempty_unique vars;
+  check_nonempty_unique "random" vars;
   let st = Random.State.make [| seed; List.length vars; 2654435761 |] in
   let arr = Array.of_list vars in
   (* Fisher-Yates shuffle *)
@@ -133,7 +133,7 @@ let random ~seed vars =
   of_shape (shape 0 (Array.length arr - 1))
 
 let enumerate vars =
-  check_nonempty_unique vars;
+  check_nonempty_unique "enumerate" vars;
   (* All ways to build an ordered binary tree over a set of variables:
      recursively split the set into a nonempty left block and right block
      (all subsets), recurse.  Leaf order matters for vtrees only through

@@ -82,7 +82,7 @@ let boolfun_deep =
     case "max variable limit enforced" (fun () ->
         Alcotest.check_raises "raise"
           (Invalid_argument
-             "Boolfun: 27 variables exceed the truth-table limit (26)")
+             "Boolfun.const: 27 variables exceed the truth-table limit (26)")
           (fun () ->
             ignore (Boolfun.const (List.init 27 (fun i -> Printf.sprintf "v%02d" i)) true)));
     case "large-ish tabulation" (fun () ->
@@ -389,7 +389,7 @@ let pdb_deep =
     case "hierarchical order on union falls back gracefully" (fun () ->
         let db = Pdb.complete_rst 2 in
         let q = Ucq.of_string "R(x) | T(y)" in
-        let p, _ = Prob.via_obdd q db in
+        let p, _ = Prob.via_obdd_exn q db in
         check ratio "matches brute" (Prob.brute q db) p);
     qtest "lineage variable monotonicity: adding facts grows models"
       QCheck2.Gen.(int_range 1 2)
@@ -417,8 +417,8 @@ let pdb_deep =
         ||
         let db = Pdb.uniform (Ratio.of_ints 1 3) facts in
         let q = Ucq.of_string "R(x), S(x,y), T(y)" in
-        let a, _ = Prob.via_obdd q db in
-        let b, _ = Prob.via_sdd q db in
+        let a, _ = Prob.via_obdd_exn q db in
+        let b, _ = Prob.via_sdd_exn q db in
         Ratio.equal a b);
   ]
 
@@ -446,7 +446,7 @@ let bb_suite =
     case "bb exact on a ladder circuit graph" (fun () ->
         let c = Generators.ladder ~tracks:2 3 in
         let g = Circuit.underlying_graph c in
-        match Treewidth.exact_bb ~budget:2_000_000 g with
+        match Treewidth.exact_bb ~node_budget:2_000_000 g with
         | Some w ->
           let ub, _ = Treewidth.upper_bound g in
           checkb "le ub" true (w <= ub);
@@ -454,7 +454,7 @@ let bb_suite =
         | None -> () (* budget exhausted is acceptable *));
     case "budget exhaustion returns None" (fun () ->
         let g = Ugraph.random_gnp ~seed:3 30 0.4 in
-        Alcotest.(check (option int)) "none" None (Treewidth.exact_bb ~budget:50 g));
+        Alcotest.(check (option int)) "none" None (Treewidth.exact_bb ~node_budget:50 g));
     qtest "bb matches DP on random graphs" QCheck2.Gen.(int_range 0 40)
       (fun seed ->
         let g = Ugraph.random_gnp ~seed 11 0.35 in

@@ -174,7 +174,7 @@ let large_suite =
         let node = Sdd.compile_circuit m c in
         let count0 = Sdd.model_count m node in
         let size0 = Sdd.size m node in
-        let node', size' = Vtree_search.minimize_manager ~max_steps:3 m node in
+        let node', size' = Vtree_search.minimize_manager_exn ~max_steps:3 m node in
         checkb "size not worse" true (size' <= size0);
         checki "size reported correctly" size' (Sdd.size m node');
         check bigint "model count stable" count0 (Sdd.model_count m node');
@@ -199,13 +199,13 @@ let parity_suite =
           (fun f ->
             let vt0 = Vtree.right_linear (Boolfun.variables f) in
             let vt_re, s_re =
-              Vtree_search.minimize ~max_steps:25 ~domains:1
+              Vtree_search.minimize_exn ~max_steps:25 ~domains:1
                 ~score:(Vtree_search.sdd_size_score f) vt0
             in
             let m = Sdd.manager vt0 in
             let node = Compile.sdd_of_boolfun m f in
             let node', s_mgr =
-              Vtree_search.minimize_manager ~max_steps:25 m node
+              Vtree_search.minimize_manager_exn ~max_steps:25 m node
             in
             checki "same final size" s_re s_mgr;
             checkb "same final vtree" true (Vtree.equal vt_re (Sdd.vtree m));

@@ -44,7 +44,7 @@ let lifted_suite =
         let db = Pdb.complete_rst 6 in
         let q = Ucq.of_string "R(x), S(x,y)" in
         let lifted = Option.get (Lifted.probability q db) in
-        let via_obdd, _ = Prob.via_obdd q db in
+        let via_obdd, _ = Prob.via_obdd_exn q db in
         check ratio "agree" via_obdd lifted);
     qtest "lifted agrees with obdd route on random hierarchical dbs"
       QCheck2.Gen.(int_range 0 20)
@@ -66,7 +66,7 @@ let lifted_suite =
         let q = Ucq.of_string "R(x), S(x,y)" in
         match Lifted.probability q db with
         | None -> false
-        | Some p -> Ratio.equal p (fst (Prob.via_obdd q db)));
+        | Some p -> Ratio.equal p (fst (Prob.via_obdd_exn q db)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -107,12 +107,12 @@ let vtree_search_suite =
         let vars = Boolfun.variables f in
         let start = Vtree.right_linear vars in
         let from = Vtree_search.sdd_size_score f start in
-        let _, best = Vtree_search.minimize_sdd_size f start in
+        let _, best = Vtree_search.minimize_sdd_size_exn f start in
         checkb "no worse" true (best <= from));
     qtest "search result is a local minimum score" QCheck2.Gen.(int_range 0 10)
       (fun seed ->
         let f = Boolfun.random ~seed (small_vars 4) in
-        let vt, s = Vtree_search.minimize_sdd_size f (Vtree.balanced (small_vars 4)) in
+        let vt, s = Vtree_search.minimize_sdd_size_exn f (Vtree.balanced (small_vars 4)) in
         List.for_all
           (fun t' -> Vtree_search.sdd_size_score f t' >= s)
           (Vtree.local_moves vt));

@@ -174,9 +174,9 @@ let prob_suite =
         List.iter
           (fun q ->
             let expected = Prob.brute q tiny_db in
-            let via_o, _ = Prob.via_obdd q tiny_db in
-            let via_s, _ = Prob.via_sdd q tiny_db in
-            let via_d, _ = Prob.via_dnnf q tiny_db in
+            let via_o, _ = Prob.via_obdd_exn q tiny_db in
+            let via_s, _ = Prob.via_sdd_exn q tiny_db in
+            let via_d, _ = Prob.via_dnnf_exn q tiny_db in
             check ratio "obdd" expected via_o;
             check ratio "sdd" expected via_s;
             check ratio "dnnf" expected via_d)
@@ -185,8 +185,8 @@ let prob_suite =
         let db = Pdb.complete_rst 2 in
         let q = q_rst in
         let expected = Prob.brute q db in
-        let via_o, _ = Prob.via_obdd q db in
-        let via_s, _ = Prob.via_sdd q db in
+        let via_o, _ = Prob.via_obdd_exn q db in
+        let via_s, _ = Prob.via_sdd_exn q db in
         Ratio.equal expected via_o && Ratio.equal expected via_s)
       ~count:1;
   ]

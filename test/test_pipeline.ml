@@ -31,7 +31,7 @@ let pipeline_suite =
                 List.iter
                   (fun minimize ->
                     let m, node =
-                      Pipeline.compile ~vtree_strategy:s ~minimize c
+                      Pipeline.compile_exn ~vtree_strategy:s ~minimize c
                     in
                     checkb
                       (Printf.sprintf "%s minimize:%b" name minimize)
@@ -62,7 +62,7 @@ let pipeline_suite =
         let c = Circuit.of_string "(and true false)" in
         Alcotest.check_raises "no variables"
           (Invalid_argument "Pipeline.compile: circuit has no variables")
-          (fun () -> ignore (Pipeline.compile c)));
+          (fun () -> ignore (Pipeline.compile_exn c)));
   ]
 
 (* P(∃x∃y R(x) ∧ S(x,y)) on complete_rst n with all probabilities 1/2:
@@ -85,12 +85,12 @@ let query_suite =
         checki "beyond tabulation limit" 42
           (List.length (Circuit.variables c));
         let expected = closed_form_rs 6 in
-        let p, size = Prob.via_sdd q_rs db in
+        let p, size = Prob.via_sdd_exn q_rs db in
         check ratio "via_sdd" expected p;
         checkb "nontrivial SDD" true (size > 0);
-        let p_min, _ = Prob.via_sdd ~minimize:true q_rs db in
+        let p_min, _ = Prob.via_sdd_exn ~minimize:true q_rs db in
         check ratio "via_sdd minimized" expected p_min;
-        let p_dnnf, _ = Prob.via_dnnf q_rs db in
+        let p_dnnf, _ = Prob.via_dnnf_exn q_rs db in
         check ratio "via_dnnf" expected p_dnnf);
     case "pipeline default agrees with brute force on shrinks" (fun () ->
         List.iter
@@ -99,7 +99,7 @@ let query_suite =
             List.iter
               (fun q ->
                 let expected = Prob.brute q db in
-                let p, _ = Prob.via_sdd q db in
+                let p, _ = Prob.via_sdd_exn q db in
                 check ratio
                   (Printf.sprintf "n=%d" n)
                   expected p)
@@ -111,12 +111,12 @@ let query_suite =
         let c = Lineage.circuit q_rst db in
         checki "beyond tabulation limit" 35
           (List.length (Circuit.variables c));
-        let p_obdd, _ = Prob.via_obdd q_rst db in
-        let p_sdd, _ = Prob.via_sdd q_rst db in
+        let p_obdd, _ = Prob.via_obdd_exn q_rst db in
+        let p_sdd, _ = Prob.via_sdd_exn q_rst db in
         check ratio "independent compilers agree" p_obdd p_sdd);
     case "constant lineage short-circuits" (fun () ->
         let empty = Pdb.make [] in
-        let p, size = Prob.via_sdd q_rs empty in
+        let p, size = Prob.via_sdd_exn q_rs empty in
         check ratio "false lineage" Ratio.zero p;
         checki "no manager built" 0 size);
   ]

@@ -83,8 +83,8 @@ let refine_matches_structured () =
 let parallel_best_known_matches () =
   List.iteri
     (fun i f ->
-      let vt1, s1 = Vtree_search.best_known ~max_steps:5 ~domains:1 f in
-      let vt3, s3 = Vtree_search.best_known ~max_steps:5 ~domains:3 f in
+      let vt1, s1 = Vtree_search.best_known_exn ~max_steps:5 ~domains:1 f in
+      let vt3, s3 = Vtree_search.best_known_exn ~max_steps:5 ~domains:3 f in
       checki (Printf.sprintf "f%d size" i) s1 s3;
       checkb (Printf.sprintf "f%d vtree" i) true (Vtree.equal vt1 vt3);
       (* Same vtree and same function: width agrees too. *)
@@ -100,8 +100,8 @@ let parallel_minimize_matches () =
     (fun i f ->
       let vt0 = Vtree.right_linear (Boolfun.variables f) in
       let score = Vtree_search.sdd_size_score f in
-      let vt1, s1 = Vtree_search.minimize ~max_steps:8 ~domains:1 ~score vt0 in
-      let vt4, s4 = Vtree_search.minimize ~max_steps:8 ~domains:4 ~score vt0 in
+      let vt1, s1 = Vtree_search.minimize_exn ~max_steps:8 ~domains:1 ~score vt0 in
+      let vt4, s4 = Vtree_search.minimize_exn ~max_steps:8 ~domains:4 ~score vt0 in
       checki (Printf.sprintf "f%d score" i) s1 s4;
       checkb (Printf.sprintf "f%d vtree" i) true (Vtree.equal vt1 vt4))
     (random_functions ~vars:5 ~count:3)

@@ -44,7 +44,7 @@ let vtree_suite =
         Alcotest.(check (option int)) "parent of leaf" (Some r)
           (Vtree.parent t (Vtree.leaf_of_var t "x")));
     case "duplicate variables rejected" (fun () ->
-        Alcotest.check_raises "raise" (Invalid_argument "Vtree: duplicate variables")
+        Alcotest.check_raises "raise" (Invalid_argument "Vtree.right_linear: duplicate variables")
           (fun () -> ignore (Vtree.right_linear [ "a"; "a" ])));
     case "shape roundtrip" (fun () ->
         let t = Vtree.balanced vars4 in
