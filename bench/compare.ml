@@ -1,7 +1,8 @@
-(* Diff two ctwsdd-metrics files (v1 or v2) and print a per-span speedup
-   table:
+(* Diff two ctwsdd-metrics files (v1, v2 or v3) and print a per-span
+   speedup table:
 
-     dune exec bench/compare.exe -- [--gate PCT] OLD.json NEW.json
+     dune exec bench/compare.exe -- \
+       [--gate PCT] [--noise-floor MS] OLD.json NEW.json
 
    Spans are aggregated by name across the whole tree (the same span can
    appear under several parents), so the table reads as "total time spent
@@ -11,14 +12,16 @@
 
    With --gate PCT the exit code becomes a CI regression gate: exit 1 if
    any span present in both files — or the wall clock — slowed down by
-   more than PCT percent, where the old total is above a small noise
-   floor (spans in the sub-5ms range flap with scheduler noise).  See
-   EXPERIMENTS.md, "Performance methodology". *)
+   more than PCT percent, where the old total is above the noise floor
+   (spans in the sub-floor range flap with scheduler noise; 5ms by
+   default, tune with --noise-floor MS per runner).  See EXPERIMENTS.md,
+   "Performance methodology". *)
 
 let die fmt = Printf.ksprintf (fun s -> prerr_endline s; exit 2) fmt
 
-(* Spans faster than this in the baseline are exempt from gating. *)
-let gate_floor_s = 0.005
+(* Spans faster than this in the baseline are exempt from gating;
+   overridden by --noise-floor (milliseconds). *)
+let default_gate_floor_s = 0.005
 
 let read_file path =
   match open_in_bin path with
@@ -76,20 +79,28 @@ let fmt_speedup old_t new_t =
   else Printf.sprintf "%.2fx" (old_t /. new_t)
 
 let usage () =
-  prerr_endline "usage: compare [--gate PCT] OLD.json NEW.json";
+  prerr_endline
+    "usage: compare [--gate PCT] [--noise-floor MS] OLD.json NEW.json";
   exit 2
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
-  let rec parse gate = function
+  let rec parse gate floor = function
     | "--gate" :: pct :: rest ->
       (match float_of_string_opt pct with
-       | Some p when p > 0.0 -> parse (Some p) rest
+       | Some p when p > 0.0 -> parse (Some p) floor rest
        | _ -> die "compare: --gate expects a positive percentage, got %s" pct)
-    | [ old_path; new_path ] -> (gate, old_path, new_path)
+    | "--noise-floor" :: ms :: rest ->
+      (match float_of_string_opt ms with
+       | Some f when f >= 0.0 -> parse gate (f /. 1000.0) rest
+       | _ ->
+         die "compare: --noise-floor expects milliseconds >= 0, got %s" ms)
+    | [ old_path; new_path ] -> (gate, floor, old_path, new_path)
     | _ -> usage ()
   in
-  let gate, old_path, new_path = parse None args in
+  let gate, gate_floor_s, old_path, new_path =
+    parse None default_gate_floor_s args
+  in
   let old_j = load old_path and new_j = load new_path in
   let old_spans = flatten_spans old_j and new_spans = flatten_spans new_j in
   let names =
@@ -160,16 +171,16 @@ let () =
     in
     if regressions = [] then
       Printf.printf "GATE OK: no timing regressed beyond +%.0f%% (%d checked, \
-                     floor %.0fms)\n"
+                     floor %.1fms)\n"
         pct (List.length timings) (1000.0 *. gate_floor_s)
     else begin
       List.iter
         (fun (what, ot, nt) ->
           Printf.printf "GATE FAIL: %s regressed %.1f%% (%s ms -> %s ms, \
-                         threshold +%.0f%%)\n"
+                         threshold +%.0f%%, floor %.1fms)\n"
             what
             (100.0 *. ((nt /. ot) -. 1.0))
-            (fmt_ms ot) (fmt_ms nt) pct)
+            (fmt_ms ot) (fmt_ms nt) pct (1000.0 *. gate_floor_s))
         regressions;
       exit 1
     end

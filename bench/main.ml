@@ -10,7 +10,7 @@
 
    Each experiment additionally writes its metrics (span timings, cache
    statistics, counters, histograms, GC deltas, trajectory events) to
-   BENCH_<ids>.json in the working directory, in the ctwsdd-metrics/v2
+   BENCH_<ids>.json in the working directory, in the ctwsdd-metrics/v3
    schema documented in EXPERIMENTS.md, so the performance trajectory
    across commits is machine-readable.  With --trace, every span call is
    also recorded individually and dumped as a Chrome trace_event file

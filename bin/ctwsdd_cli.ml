@@ -9,9 +9,15 @@
 
    Every subcommand accepts --stats (human-readable span timings, cache
    statistics and histograms on stderr, keeping stdout pipeable),
-   --trace FILE (ctwsdd-metrics/v2 JSON dump) and --trace-out FILE
-   (Chrome trace_event file for Perfetto / chrome://tracing); see
-   EXPERIMENTS.md for the schema.
+   --trace FILE (ctwsdd-metrics/v3 JSON dump), --trace-out FILE (Chrome
+   trace_event file for Perfetto / chrome://tracing), --telemetry-out
+   FILE [--telemetry-interval SEC] (OpenMetrics text snapshots, written
+   atomically and periodically for live scraping) and --postmortem FILE
+   (where failure dumps land); see EXPERIMENTS.md for the schemas.
+
+   A postmortem dump (ctwsdd-postmortem/v1 JSON: flight-recorder tail,
+   metrics snapshot, GC stats, manager census, budget state) is written
+   on every budget trip, on uncaught exceptions, and on SIGUSR1.
 
    The compiling subcommands (compile, cnf, query) accept --timeout SEC
    and --max-nodes N.  Under a budget the engine is anytime: it degrades
@@ -120,16 +126,25 @@ let budget_of timeout max_nodes =
   | None, None -> Budget.unlimited
   | _ -> Budget.create ?timeout ?max_nodes ()
 
+(* Budget trips always leave a postmortem behind (flight-recorder tail,
+   metrics, GC, manager census) — that dump, not the terse stderr line,
+   is what a long-lived run gets debugged from. *)
+let trip_postmortem ?detail r =
+  let path = Postmortem.write ?detail ~reason:(Budget.reason_to_string r) () in
+  Printf.eprintf "ctwsdd: postmortem: wrote %s\n%!" path
+
 let report_degraded = function
   | None -> 0
   | Some r ->
     let e = Ctwsdd_error.of_reason r in
     Printf.eprintf "ctwsdd: budget exhausted (%s); degraded result above\n%!"
       (Budget.reason_to_string r);
+    trip_postmortem ~detail:"degraded result printed" r;
     Ctwsdd_error.exit_code e
 
 let report_error e =
   Printf.eprintf "ctwsdd: error: %s\n%!" (Ctwsdd_error.to_string e);
+  Option.iter trip_postmortem (Ctwsdd_error.reason e);
   Ctwsdd_error.exit_code e
 
 (* The exit-code contract of the compiling subcommands, shown in --help.
@@ -155,6 +170,15 @@ let exit_code_docs =
 (* Observability plumbing                                              *)
 (* ------------------------------------------------------------------ *)
 
+type obs_opts = {
+  stats : bool;
+  trace : string option;
+  trace_out : string option;
+  telemetry_out : string option;
+  telemetry_interval : float;
+  postmortem : string;
+}
+
 let stats_flag =
   Arg.(value & flag & info [ "stats" ]
          ~doc:"After the run, print per-stage span timings and the SDD \
@@ -162,7 +186,7 @@ let stats_flag =
 
 let trace_file =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Write all recorded metrics to $(docv) as ctwsdd-metrics/v2 \
+         ~doc:"Write all recorded metrics to $(docv) as ctwsdd-metrics/v3 \
                JSON (implies collection, like $(b,--stats)).")
 
 let trace_out_file =
@@ -171,22 +195,85 @@ let trace_out_file =
                Chrome trace_event file to $(docv); open it in Perfetto \
                (ui.perfetto.dev) or chrome://tracing.  Implies collection.")
 
+let telemetry_out_file =
+  Arg.(value & opt (some string) None & info [ "telemetry-out" ] ~docv:"FILE"
+         ~doc:"Write OpenMetrics / Prometheus text snapshots of the live \
+               counters, gauges, histograms, caches and GC state to \
+               $(docv) (atomic replace, so `watch cat` or a textfile \
+               collector never sees a torn file).  Implies collection. \
+               One snapshot is written at startup and one at exit; add \
+               $(b,--telemetry-interval) for periodic refresh.")
+
+let telemetry_interval_arg =
+  Arg.(value & opt float 0. & info [ "telemetry-interval" ] ~docv:"SEC"
+         ~doc:"Refresh $(b,--telemetry-out) every $(docv) seconds while \
+               the run is in flight (0, the default, means only at \
+               startup and exit).")
+
+let postmortem_file =
+  Arg.(value & opt string "ctwsdd-postmortem.json" & info [ "postmortem" ]
+         ~docv:"FILE"
+         ~doc:"Where postmortem dumps are written (on budget trips, \
+               uncaught exceptions and SIGUSR1).")
+
+let obs_term =
+  let mk stats trace trace_out telemetry_out telemetry_interval postmortem =
+    { stats; trace; trace_out; telemetry_out; telemetry_interval; postmortem }
+  in
+  Term.(const mk $ stats_flag $ trace_file $ trace_out_file
+        $ telemetry_out_file $ telemetry_interval_arg $ postmortem_file)
+
 (* Runs the body (which returns the process exit code: 0, or a budget
    code from the table above) with observability enabled when requested,
    then exports.  Human summaries go to stderr so stdout stays pipeable.
-   Metrics and traces are written even on budget exits — a degraded
-   run's trace is exactly the one worth inspecting.  Errors terminate
-   through Cmdliner or the exit-code contract, never via an uncaught
-   backtrace. *)
-let run_with_obs stats trace trace_out f =
-  let collecting = stats || trace <> None || trace_out <> None in
+   Metrics, traces and telemetry are written even on budget exits — a
+   degraded run's trace is exactly the one worth inspecting.  Errors
+   terminate through Cmdliner or the exit-code contract, never via an
+   uncaught backtrace; any exception outside that contract still leaves
+   a postmortem behind before propagating. *)
+let run_with_obs o f =
+  (* Fresh run: clear the flight recorder and every per-domain metric
+     table left over from earlier library use in this process, and mint
+     a new run ID for attribution. *)
+  Obs.hard_reset ();
+  Postmortem.set_default_path o.postmortem;
+  Postmortem.install_sigusr1 ();
+  let collecting =
+    o.stats || o.trace <> None || o.trace_out <> None
+    || o.telemetry_out <> None
+  in
   if collecting then begin
     Obs.set_enabled true;
     Obs.reset ();
-    if trace_out <> None then Obs.set_tracing true
+    if o.trace_out <> None then Obs.set_tracing true
   end;
+  (* Periodic telemetry rides SIGALRM: handlers run at safe points on
+     the main domain, which owns the domain-local metric state the
+     exporter reads (a background domain would see empty tables). *)
+  let stop_timer = ref (fun () -> ()) in
+  Option.iter
+    (fun path ->
+      Openmetrics.write path;
+      if o.telemetry_interval > 0. then begin
+        Sys.set_signal Sys.sigalrm
+          (Sys.Signal_handle
+             (fun _ -> try Openmetrics.write path with Sys_error _ -> ()));
+        let it =
+          { Unix.it_interval = o.telemetry_interval;
+            it_value = o.telemetry_interval }
+        in
+        ignore (Unix.setitimer Unix.ITIMER_REAL it);
+        stop_timer :=
+          fun () ->
+            ignore
+              (Unix.setitimer Unix.ITIMER_REAL
+                 { Unix.it_interval = 0.; it_value = 0. });
+            Sys.set_signal Sys.sigalrm Sys.Signal_default
+      end)
+    o.telemetry_out;
   let export () =
-    if stats then begin
+    !stop_timer ();
+    if o.stats then begin
       prerr_newline ();
       Obs.pp_summary Format.err_formatter ()
     end;
@@ -194,13 +281,18 @@ let run_with_obs stats trace trace_out f =
       (fun path ->
         Obs.write_json path;
         Printf.eprintf "metrics : wrote %s\n%!" path)
-      trace;
+      o.trace;
     Option.iter
       (fun path ->
         Obs.write_trace path;
         Obs.set_tracing false;
         Printf.eprintf "trace   : wrote %s\n%!" path)
-      trace_out
+      o.trace_out;
+    Option.iter
+      (fun path ->
+        Openmetrics.write path;
+        Printf.eprintf "telemetry: wrote %s\n%!" path)
+      o.telemetry_out
   in
   match f () with
   | code ->
@@ -216,6 +308,16 @@ let run_with_obs stats trace trace_out f =
     export ();
     `Ok (report_error (Ctwsdd_error.Invalid_input msg))
   | exception Sys_error msg -> `Error (false, msg)
+  | exception e ->
+    (* Outside the declared failure modes: leave a postmortem, then let
+       the exception surface normally. *)
+    let path =
+      Postmortem.write ~reason:"uncaught_exception"
+        ~detail:(Printexc.to_string e) ()
+    in
+    Printf.eprintf "ctwsdd: postmortem: wrote %s\n%!" path;
+    export ();
+    raise e
 
 let print_manager_stats m =
   List.iter
@@ -231,8 +333,8 @@ let print_manager_stats m =
 
 let compile_cmd =
   let run file inline vtree_choice minimize count validate timeout max_nodes
-      stats trace trace_out =
-    run_with_obs stats trace trace_out @@ fun () ->
+      o =
+    run_with_obs o @@ fun () ->
     let budget = budget_of timeout max_nodes in
     let c = read_circuit file inline in
     Printf.printf "circuit : %d gates, %d variables\n" (Circuit.size c)
@@ -261,7 +363,7 @@ let compile_cmd =
           (Bdd.size bm bnode) (Bdd.width bm bnode)
           (String.concat "<" order)
       end;
-      if stats then begin
+      if o.stats then begin
         Printf.eprintf "manager : %d nodes allocated\n"
           (Sdd.num_nodes_allocated m);
         print_manager_stats m
@@ -287,15 +389,15 @@ let compile_cmd =
        ~doc:"Compile a circuit to a canonical SDD and an OBDD")
     Term.(ret (const run $ circuit_file $ circuit_inline $ vtree_choice
                $ minimize_flag $ count $ validate $ timeout_arg
-               $ max_nodes_arg $ stats_flag $ trace_file $ trace_out_file))
+               $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
 (* ------------------------------------------------------------------ *)
 
 let treewidth_cmd =
-  let run file inline stats trace trace_out =
-    run_with_obs stats trace trace_out @@ fun () ->
+  let run file inline o =
+    run_with_obs o @@ fun () ->
     let c = read_circuit file inline in
     let g = Circuit.underlying_graph c in
     Printf.printf "gates: %d, wires: %d\n" (Ugraph.num_vertices g)
@@ -320,8 +422,7 @@ let treewidth_cmd =
   Cmd.v
     (Cmd.info "treewidth" ~exits:exit_code_docs
        ~doc:"Treewidth, pathwidth and the paper's widths of a circuit")
-    Term.(ret (const run $ circuit_file $ circuit_inline $ stats_flag
-               $ trace_file $ trace_out_file))
+    Term.(ret (const run $ circuit_file $ circuit_inline $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* query                                                               *)
@@ -355,9 +456,8 @@ let parse_db path =
   Pdb.make (List.rev !entries)
 
 let query_cmd =
-  let run query db_path brute minimize timeout max_nodes stats trace trace_out
-      =
-    run_with_obs stats trace trace_out @@ fun () ->
+  let run query db_path brute minimize timeout max_nodes o =
+    run_with_obs o @@ fun () ->
     let budget = budget_of timeout max_nodes in
     let q = Ucq.of_string query in
     let db =
@@ -422,15 +522,15 @@ let query_cmd =
     (Cmd.info "query" ~exits:exit_code_docs
        ~doc:"Probability of a UCQ over a probabilistic database")
     Term.(ret (const run $ query $ db $ brute $ minimize_flag $ timeout_arg
-               $ max_nodes_arg $ stats_flag $ trace_file $ trace_out_file))
+               $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* cnf : DIMACS model counting                                         *)
 (* ------------------------------------------------------------------ *)
 
 let cnf_cmd =
-  let run path vtree_choice minimize timeout max_nodes stats trace trace_out =
-    run_with_obs stats trace trace_out @@ fun () ->
+  let run path vtree_choice minimize timeout max_nodes o =
+    run_with_obs o @@ fun () ->
     let budget = budget_of timeout max_nodes in
     let d = Obs.span "cli.parse" (fun () -> Dimacs.parse_file path) in
     Printf.printf "cnf: %d variables, %d clauses (%d variables unused)\n"
@@ -459,7 +559,7 @@ let cnf_cmd =
             (Bigint.pow2 (Dimacs.free_var_count d))
         in
         Printf.printf "models: %s\n" (Bigint.to_string count);
-        if stats then print_manager_stats m;
+        if o.stats then print_manager_stats m;
         report_degraded degraded
     end
   in
@@ -473,15 +573,15 @@ let cnf_cmd =
     (Cmd.info "cnf" ~exits:exit_code_docs
        ~doc:"Exact model counting for a DIMACS CNF file")
     Term.(ret (const run $ path $ vtree_choice $ minimize_flag $ timeout_arg
-               $ max_nodes_arg $ stats_flag $ trace_file $ trace_out_file))
+               $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* isa                                                                 *)
 (* ------------------------------------------------------------------ *)
 
 let isa_cmd =
-  let run n explicit stats trace trace_out =
-    run_with_obs stats trace trace_out @@ fun () ->
+  let run n explicit o =
+    run_with_obs o @@ fun () ->
     (match Families.isa_params n with
      | None ->
        failwith
@@ -491,7 +591,7 @@ let isa_cmd =
       let mgr, node = Obs.span "cli.isa_compile" (fun () -> Isa.compile n) in
       Printf.printf "canonical SDD on the Figure 4 vtree: size %d, width %d\n"
         (Sdd.size mgr node) (Sdd.width mgr node);
-      if stats then print_manager_stats mgr
+      if o.stats then print_manager_stats mgr
     end;
     if explicit && n <= 18 then begin
       let t = Obs.span "cli.isa_explicit" (fun () -> Isa_explicit.build n) in
@@ -516,8 +616,7 @@ let isa_cmd =
   Cmd.v
     (Cmd.info "isa" ~exits:exit_code_docs
        ~doc:"The indirect storage access function (Appendix A)")
-    Term.(ret (const run $ n $ explicit $ stats_flag $ trace_file
-               $ trace_out_file))
+    Term.(ret (const run $ n $ explicit $ obs_term))
 
 let () =
   let info =

@@ -144,9 +144,20 @@ let compile_rung ~budget ?domains vars c = function
        Sdd.set_budget bm budget;
        (bm, bn))
 
+(* Per-request sub-IDs: each compile runs as "<run>/c<seq>", so events
+   and flight-recorder entries from concurrent or repeated compiles in
+   one process remain distinguishable while keeping the process run ID
+   as prefix. *)
+let compile_seq = Atomic.make 0
+
 let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
     ?(minimize = false) ?max_steps ?domains c =
   Ctwsdd_error.guard @@ fun () ->
+  let rid =
+    Printf.sprintf "%s/c%d" (Obs.run_id ())
+      (Atomic.fetch_and_add compile_seq 1)
+  in
+  Obs.with_run_id rid @@ fun () ->
   Obs.span "pipeline.compile" @@ fun () ->
   let vars = Circuit.variables c in
   if vars = [] then invalid_arg "Pipeline.compile: circuit has no variables";

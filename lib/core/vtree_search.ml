@@ -27,9 +27,14 @@ let parallel_map ~domains f items =
         work ()
       end
     in
+    (* Capture the parent's run ID before spawning: a fresh domain
+       starts with the process-global ID, so flight-recorder entries
+       from workers would otherwise lose per-request attribution. *)
+    let rid = Obs.run_id () in
     let spawned =
       List.init (d - 1) (fun _ ->
-          Domain.spawn (fun () -> Obs.Worker.capture work))
+          Domain.spawn (fun () ->
+              Obs.with_run_id rid (fun () -> Obs.Worker.capture work)))
     in
     let main_exn = match work () with () -> None | exception e -> Some e in
     let joined =

@@ -27,6 +27,12 @@ let unlimited =
     tick = max_int;
   }
 
+(* The most recently created active budget, for postmortems: when a
+   process dies with no budget in hand (uncaught exception, SIGUSR1),
+   the dump can still report the limits the run was operating under. *)
+let current_ref : t option Atomic.t = Atomic.make None
+let current () = Atomic.get current_ref
+
 let create ?timeout ?max_nodes ?max_memory_words ?cancel
     ?(poll_interval = 256) () =
   if poll_interval < 1 then
@@ -45,15 +51,19 @@ let create ?timeout ?max_nodes ?max_memory_words ?cancel
     | None -> infinity
     | Some s -> Unix.gettimeofday () +. s
   in
-  {
-    deadline;
-    max_nodes = Option.value max_nodes ~default:max_int;
-    max_memory_words = Option.value max_memory_words ~default:max_int;
-    cancel = (match cancel with Some c -> c | None -> Atomic.make false);
-    active = true;
-    interval = poll_interval;
-    tick = poll_interval;
-  }
+  let t =
+    {
+      deadline;
+      max_nodes = Option.value max_nodes ~default:max_int;
+      max_memory_words = Option.value max_memory_words ~default:max_int;
+      cancel = (match cancel with Some c -> c | None -> Atomic.make false);
+      active = true;
+      interval = poll_interval;
+      tick = poll_interval;
+    }
+  in
+  Atomic.set current_ref (Some t);
+  t
 
 let is_unlimited t = not t.active
 
@@ -74,8 +84,15 @@ let reason_to_string = function
   | Cancelled -> "cancelled"
 
 let exhaust reason =
+  let r = reason_to_string reason in
+  (* The trip always lands in the flight recorder — postmortems must
+     show it even on uninstrumented runs.  With aggregation enabled the
+     [Obs.event] below records the ring entry itself, so only record
+     directly when it will not. *)
+  if !Flight_recorder.enabled_ref && not !Obs.enabled_ref then
+    Flight_recorder.record Flight_recorder.Budget_trip "budget.trip"
+      ~args:[ ("reason", r) ];
   if !Obs.enabled_ref then begin
-    let r = reason_to_string reason in
     Obs.incr ("budget.trip." ^ r);
     Obs.event "budget.trip" [ ("reason", Obs.Json.String r) ]
   end;
@@ -83,6 +100,11 @@ let exhaust reason =
 
 let check t =
   if t.active then begin
+    (* One ring entry per full (unamortized) check: cheap at the
+       amortized interval, and the recorder tail then shows how recently
+       the budget was consulted before a trip. *)
+    if !Flight_recorder.enabled_ref then
+      Flight_recorder.record Flight_recorder.Budget_poll "budget.poll";
     if Atomic.get t.cancel then exhaust Cancelled;
     if t.deadline < infinity && Unix.gettimeofday () > t.deadline then
       exhaust Timeout;

@@ -31,7 +31,8 @@
 
     Every trip increments the [budget.trip.<reason>] counter and emits a
     [budget.trip] {!Obs.event}, so traces show why a compilation
-    degraded. *)
+    degraded; the trip also always lands in the {!Flight_recorder} ring
+    (even with observability disabled), so postmortem dumps retain it. *)
 
 type reason =
   | Timeout  (** The wall-clock deadline passed. *)
@@ -90,6 +91,12 @@ val split_nodes : t -> int -> t
 (** [split_nodes t k] is [with_max_nodes t (max_nodes / k)] (at least
     1); the identity on an unlimited or uncapped budget. *)
 
+val current : unit -> t option
+(** The most recently {!create}d (active) budget, if any.  Postmortem
+    dumps fall back to it when no budget is passed explicitly, so a
+    crash report can state the limits the run was operating under even
+    from contexts that never saw the budget value. *)
+
 val cancel_now : t -> unit
 (** Set the cancellation token.  Safe from any domain; every computation
     polling a budget that shares the token stops at its next
@@ -106,7 +113,10 @@ val exhaust : reason -> 'a
 val check : t -> unit
 (** Full, unamortized check of the token, the deadline and the heap
     watermark (not the node cap — that is per-manager, see
-    {!check_nodes}).  O(1); call at phase boundaries. *)
+    {!check_nodes}).  O(1); call at phase boundaries.  Each full check
+    on an active budget also drops a [budget.poll] entry in the
+    {!Flight_recorder} ring, so postmortems show how recently the
+    budget was consulted. *)
 
 val check_nodes : t -> int -> unit
 (** [check_nodes t n] trips with {!Node_limit} when [n > max_nodes].

@@ -1,0 +1,126 @@
+(* Always-on flight recorder: fixed-size lock-free ring of recent
+   events / span completions / budget polls, plus run-ID attribution.
+   See the interface for the cost and concurrency contract. *)
+
+type kind = Event | Span | Budget_poll | Budget_trip | Note
+
+let kind_to_string = function
+  | Event -> "event"
+  | Span -> "span"
+  | Budget_poll -> "budget_poll"
+  | Budget_trip -> "budget_trip"
+  | Note -> "note"
+
+type entry = {
+  kind : kind;
+  name : string;
+  ts : float;
+  tid : int;
+  run : string;
+  dur_s : float;
+  args : (string * string) list;
+}
+
+let enabled_ref = ref true
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+
+(* ------------------------------------------------------------------ *)
+(* Domain track ids                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Every domain gets a stable track id: 0 for the main domain, fresh ids
+   for spawned workers.  Owned here (rather than in Obs) so entries can
+   be stamped without a circular dependency; Obs reuses it for the
+   Chrome-trace tracks. *)
+let next_tid = Atomic.make 1
+
+let tid_key : int Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      if Domain.is_main_domain () then 0 else Atomic.fetch_and_add next_tid 1)
+
+let current_tid () = Domain.DLS.get tid_key
+
+(* ------------------------------------------------------------------ *)
+(* Run and request IDs                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let run_seq = Atomic.make 0
+
+let fresh_run_id () =
+  let us = int_of_float (Unix.gettimeofday () *. 1e6) in
+  Printf.sprintf "r-%010x-%04x-%02x"
+    (us land 0xff_ffff_ffff)
+    (Unix.getpid () land 0xffff)
+    (Atomic.fetch_and_add run_seq 1 land 0xff)
+
+(* The process-wide ID, replaced by [set_run_id]; per-domain overrides
+   stack on top through DLS so [with_run_id] needs no synchronization. *)
+let global_run : string Atomic.t = Atomic.make (fresh_run_id ())
+
+let run_override_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let run_id () =
+  match !(Domain.DLS.get run_override_key) with
+  | Some r -> r
+  | None -> Atomic.get global_run
+
+let set_run_id r = Atomic.set global_run r
+
+let with_run_id r f =
+  let slot = Domain.DLS.get run_override_key in
+  let saved = !slot in
+  slot := Some r;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+(* ------------------------------------------------------------------ *)
+(* The ring                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sentinel =
+  { kind = Note; name = ""; ts = 0.0; tid = 0; run = ""; dur_s = 0.0; args = [] }
+
+type ring = { slots : entry array; cursor : int Atomic.t }
+
+let mk_ring cap = { slots = Array.make cap sentinel; cursor = Atomic.make 0 }
+
+let default_capacity = 4096
+
+(* Replaced wholesale by [set_capacity]; writers racing a resize land in
+   whichever ring they loaded, which is fine for a crash recorder. *)
+let ring = ref (mk_ring default_capacity)
+
+let capacity () = Array.length !ring.slots
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let set_capacity n = ring := mk_ring (pow2_at_least (max 16 n) 16)
+let clear () = ring := mk_ring (capacity ())
+let recorded () = Atomic.get !ring.cursor
+let overwritten () = max 0 (recorded () - capacity ())
+
+let record ?(dur_s = 0.0) ?(args = []) kind name =
+  if !enabled_ref then begin
+    let e =
+      {
+        kind;
+        name;
+        ts = Unix.gettimeofday ();
+        tid = current_tid ();
+        run = run_id ();
+        dur_s;
+        args;
+      }
+    in
+    let r = !ring in
+    let i = Atomic.fetch_and_add r.cursor 1 in
+    r.slots.(i land (Array.length r.slots - 1)) <- e
+  end
+
+let tail ?max:(limit = max_int) () =
+  let r = !ring in
+  let cap = Array.length r.slots in
+  let c = Atomic.get r.cursor in
+  let n = min (min c cap) limit in
+  List.init n (fun j -> r.slots.((c - n + j) land (cap - 1)))

@@ -272,19 +272,18 @@ module Json = struct
 end
 
 (* ------------------------------------------------------------------ *)
-(* Track ids and the trace epoch                                       *)
+(* Track ids, run IDs and the trace epoch                              *)
 (* ------------------------------------------------------------------ *)
 
-(* Every domain gets a stable track id: 0 for the main domain, fresh
-   ids for spawned workers.  Events carry their tid, so absorbing a
-   worker's capture keeps its work on a separate Chrome-trace track. *)
-let next_tid = Atomic.make 1
-
-let tid_key : int Domain.DLS.key =
-  Domain.DLS.new_key (fun () ->
-      if Domain.is_main_domain () then 0 else Atomic.fetch_and_add next_tid 1)
-
-let current_tid () = Domain.DLS.get tid_key
+(* Track ids (0 = main domain, fresh ids for spawned workers) and the
+   run/request-ID machinery live in {!Flight_recorder}, which needs them
+   to stamp ring entries; re-exported here so instrumented code keeps a
+   single entry point. *)
+let current_tid = Flight_recorder.current_tid
+let run_id = Flight_recorder.run_id
+let set_run_id = Flight_recorder.set_run_id
+let fresh_run_id = Flight_recorder.fresh_run_id
+let with_run_id = Flight_recorder.with_run_id
 
 (* Timestamps are recorded absolute and rebased to the epoch of the last
    [reset] on export, so worker events (captured against their own
@@ -606,6 +605,7 @@ type event = {
   event : string;
   ts : float;
   tid : int;
+  run : string;
   args : (string * Json.t) list;
 }
 
@@ -630,11 +630,22 @@ let push_event e =
   end
   else b.udropped <- b.udropped + 1
 
+(* Flight-recorder payloads are pre-stringified: the ring must not hold
+   onto structured values, and postmortem rendering should not need the
+   recording domain alive. *)
+let flight_args args =
+  List.map
+    (fun (k, v) ->
+      (k, match v with Json.String s -> s | v -> Json.to_string v))
+    args
+
 let event name args =
+  if !Flight_recorder.enabled_ref then
+    Flight_recorder.record Flight_recorder.Event name ~args:(flight_args args);
   if !enabled_flag then begin
     let t = now () in
     let tid = current_tid () in
-    push_event { event = name; ts = t; tid; args };
+    push_event { event = name; ts = t; tid; run = run_id (); args };
     if !tracing_ref then
       push_trace
         { ev_name = name; ev_ph = 'i'; ev_ts = t; ev_dur = 0.0; ev_tid = tid;
@@ -678,7 +689,19 @@ let span_state () = Domain.DLS.get span_key
 let span_depth () = List.length (span_state ()).sstack
 
 let span name f =
-  if not !enabled_flag then f ()
+  if not !enabled_flag then
+    if not !Flight_recorder.enabled_ref then f ()
+    else begin
+      (* Aggregation off, flight recorder on: no span tree, no GC
+         probes — just time the call and drop one completion entry in
+         the ring so a postmortem shows the recent phases. *)
+      let t0 = now () in
+      Fun.protect
+        ~finally:(fun () ->
+          Flight_recorder.record Flight_recorder.Span name
+            ~dur_s:(now () -. t0))
+        f
+    end
   else begin
     let st = span_state () in
     let parent = match st.sstack with top :: _ -> top | [] -> st.sroot in
@@ -707,6 +730,8 @@ let span name f =
           node.gminor_c + (g1.Gc.minor_collections - g0.Gc.minor_collections);
         node.gmajor_c <-
           node.gmajor_c + (g1.Gc.major_collections - g0.Gc.major_collections);
+        if !Flight_recorder.enabled_ref then
+          Flight_recorder.record Flight_recorder.Span name ~dur_s:(t1 -. t0);
         if !tracing_ref then
           push_trace
             { ev_name = name; ev_ph = 'X'; ev_ts = t0; ev_dur = t1 -. t0;
@@ -888,11 +913,23 @@ module Worker = struct
     List.iter (merge_tree parent) cap.wspans
 end
 
+(* Cross-invocation hygiene: [reset] empties the tables in place, but a
+   long-lived process reusing the library back to back also wants the
+   calling domain's DLS slots replaced wholesale (so nothing — not even
+   the table identities a stale [Cache.t] might still reference — leaks
+   between runs), the flight-recorder ring emptied, and a fresh run ID
+   minted.  The enabled/tracing switches are left alone. *)
+let hard_reset () =
+  Worker.fresh_state ();
+  Domain.DLS.set epoch_key (ref (now ()));
+  Flight_recorder.clear ();
+  Flight_recorder.set_run_id (Flight_recorder.fresh_run_id ())
+
 (* ------------------------------------------------------------------ *)
 (* Export                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = "ctwsdd-metrics/v2"
+let schema_version = "ctwsdd-metrics/v3"
 
 let rec span_to_json t =
   Json.Obj
@@ -937,6 +974,7 @@ let event_to_json e =
       ("name", Json.String e.event);
       ("ts_s", Json.Float e.ts);
       ("tid", Json.Int e.tid);
+      ("run", Json.String e.run);
       ("args", Json.Obj e.args);
     ]
 
@@ -973,12 +1011,22 @@ let trace_section () =
       ("dropped", Json.Int (tb.tdropped + eb.udropped));
     ]
 
+let flight_section () =
+  Json.Obj
+    [
+      ("enabled", Json.Bool (Flight_recorder.enabled ()));
+      ("capacity", Json.Int (Flight_recorder.capacity ()));
+      ("recorded", Json.Int (Flight_recorder.recorded ()));
+      ("overwritten", Json.Int (Flight_recorder.overwritten ()));
+    ]
+
 let snapshot ?(extra = []) () =
   (* Peak-heap gauge: refreshed at every export so the watermark is
      visible among the ordinary gauges too. *)
   gauge_max "gc.top_heap_words" (Gc.quick_stat ()).Gc.top_heap_words;
   Json.Obj
     (("schema", Json.String schema_version)
+     :: ("run_id", Json.String (run_id ()))
      :: extra
     @ [
         ( "counters",
@@ -1002,6 +1050,7 @@ let snapshot ?(extra = []) () =
         ("gc", gc_to_json ());
         ("events", Json.List (List.map event_to_json (events ())));
         ("trace", trace_section ());
+        ("flight_recorder", flight_section ());
         ("spans", Json.List (List.map span_to_json (span_roots ())));
       ])
 

@@ -11,14 +11,19 @@
     a couple of stores next to a hash-table probe that dwarfs them.
 
     Metrics are exported either as a human-readable summary table
-    ({!pp_summary}) or as JSON under the stable [ctwsdd-metrics/v2]
-    schema ({!snapshot}, {!write_json}) — a strict superset of v1 adding
-    [histograms], [gc], [events] and [trace] sections and per-span GC
-    deltas.  With {!set_tracing} on, every span call and event is also
-    recorded individually and exported as a Chrome [trace_event] file
-    ({!write_trace}) that loads in Perfetto / chrome://tracing, with one
-    track per OCaml domain.  See EXPERIMENTS.md for the schema
-    reference. *)
+    ({!pp_summary}) or as JSON under the stable [ctwsdd-metrics/v3]
+    schema ({!snapshot}, {!write_json}) — a strict superset of v2 (which
+    added [histograms], [gc], [events], [trace] and per-span GC deltas
+    over v1) adding a top-level [run_id], a [run] field on events and a
+    [flight_recorder] section.  With {!set_tracing} on, every span call
+    and event is also recorded individually and exported as a Chrome
+    [trace_event] file ({!write_trace}) that loads in Perfetto /
+    chrome://tracing, with one track per OCaml domain.  Independently of
+    both switches, the always-on {!Flight_recorder} ring retains the
+    most recent span completions, events and budget activity for
+    postmortems ({!Postmortem}), and {!Openmetrics} renders the current
+    state in OpenMetrics/Prometheus text format for scraping.  See
+    EXPERIMENTS.md for the schema reference. *)
 
 (** {1 Enabling} *)
 
@@ -43,6 +48,29 @@ val reset : unit -> unit
     trace epoch.  Does not change the enabled or tracing flags.  Open
     spans are kept on the stack (their enclosing [span] calls still pop
     correctly) but their timings are discarded with the old tree. *)
+
+val hard_reset : unit -> unit
+(** Everything {!reset} does, plus: the calling domain's DLS metric
+    state is replaced wholesale (histograms, the event log and its
+    dropped counter, the trace buffer, the cache registry — so not even
+    table identities leak between back-to-back library uses), the
+    {!Flight_recorder} ring is emptied and a fresh run ID is minted.
+    Call at the top of each independent run (the CLI does, per
+    subcommand).  Leaves the enabled/tracing flags alone. *)
+
+(** {1 Run and request attribution}
+
+    Re-exports of {!Flight_recorder}'s run-ID surface: a process-wide
+    generated run ID, overridable per request with {!with_run_id}.
+    Events (and flight-recorder entries) are stamped with the ID current
+    on their recording domain; the parallel search layers forward the
+    spawning domain's ID into their workers, so one request's activity
+    carries one ID across domains. *)
+
+val run_id : unit -> string
+val set_run_id : string -> unit
+val fresh_run_id : unit -> string
+val with_run_id : string -> (unit -> 'a) -> 'a
 
 (** {1 Counters and gauges} *)
 
@@ -227,6 +255,7 @@ type event = {
   event : string;  (** Event name, e.g. ["vtree_search.move"]. *)
   ts : float;  (** Seconds since the last {!reset}. *)
   tid : int;  (** Track id of the recording domain (0 = main). *)
+  run : string;  (** Run ID current on the recording domain. *)
   args : (string * Json.t) list;
 }
 
@@ -284,14 +313,16 @@ end
 (** {1 Export} *)
 
 val schema_version : string
-(** ["ctwsdd-metrics/v2"]. *)
+(** ["ctwsdd-metrics/v3"]. *)
 
 val snapshot : ?extra:(string * Json.t) list -> unit -> Json.t
-(** The full metrics state as a [ctwsdd-metrics/v2] object: [schema],
-    [counters], [gauges], [caches], [histograms], [gc] (deltas since
-    {!reset} plus current/top heap words), [events], [trace] (track ids
-    and buffer statistics) and [spans] (with per-span [gc] sub-objects).
-    [extra] fields are prepended after the [schema] field. *)
+(** The full metrics state as a [ctwsdd-metrics/v3] object: [schema],
+    [run_id], [counters], [gauges], [caches], [histograms], [gc] (deltas
+    since {!reset} plus current/top heap words), [events] (each with its
+    [run] attribution), [trace] (track ids and buffer statistics),
+    [flight_recorder] (switch, capacity, recorded/overwritten counts)
+    and [spans] (with per-span [gc] sub-objects).  [extra] fields are
+    prepended after the [schema] field. *)
 
 val write_json : ?extra:(string * Json.t) list -> string -> unit
 (** [write_json path] writes [snapshot ()] to [path]. *)

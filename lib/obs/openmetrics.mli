@@ -1,0 +1,32 @@
+(** OpenMetrics / Prometheus text exporter for the [Obs] state.
+
+    {!render} serializes the calling domain's current counters, gauges,
+    caches, histograms, GC statistics and flight-recorder counters as
+    OpenMetrics text (a strict superset of the Prometheus exposition
+    format: `# TYPE` metadata, escaped label values, a final `# EOF`).
+    Metric names are fixed families ([ctwsdd_counter_total],
+    [ctwsdd_gauge], [ctwsdd_cache_*], [ctwsdd_histogram_*],
+    [ctwsdd_gc], ...) with the dynamic instrument name carried in a
+    [name]/[cache]/[stat] label, so a scrape config needs no
+    per-instrument rules; the run ID rides on [ctwsdd_run_info].
+
+    {!write} is atomic (write to a sibling temporary file, then
+    [Sys.rename]), so a reader tailing the file — `watch cat
+    telemetry.prom`, a node_exporter textfile collector, a sidecar
+    scraper — never observes a torn snapshot.  The CLI's
+    [--telemetry-out FILE --telemetry-interval SEC] re-renders on a
+    periodic timer; long-lived runs can thus be watched mid-flight
+    without waiting for the exit dump. *)
+
+val render : unit -> string
+(** The current metrics state as an OpenMetrics text document,
+    terminated by `# EOF`. *)
+
+val write : string -> unit
+(** [write path] renders and atomically replaces [path] (temporary file
+    + rename in [path]'s directory).
+    @raise Sys_error on I/O failure. *)
+
+val escape_label : string -> string
+(** OpenMetrics label-value escaping ([\\] → [\\\\], ["] → [\\"],
+    newline → [\\n]); exposed for tests. *)

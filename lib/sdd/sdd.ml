@@ -63,6 +63,37 @@ type manager = {
   cs_cond : Obs.Cache.t;
 }
 
+(* Weak registry of live managers, so process-level consumers (the
+   postmortem census provider at the bottom of this file) can enumerate
+   them without keeping them alive.  Registration is once per manager;
+   the mutex also covers multi-domain creation. *)
+let registry_mu = Mutex.create ()
+let registry : manager Weak.t ref = ref (Weak.create 8)
+
+let register_manager m =
+  Mutex.lock registry_mu;
+  let w = !registry in
+  let n = Weak.length w in
+  let rec free i = if i >= n then None else if Weak.check w i then free (i + 1) else Some i in
+  (match free 0 with
+  | Some i -> Weak.set w i (Some m)
+  | None ->
+    let w' = Weak.create (2 * n) in
+    Weak.blit w 0 w' 0 n;
+    Weak.set w' n (Some m);
+    registry := w');
+  Mutex.unlock registry_mu
+
+let live_managers () =
+  Mutex.lock registry_mu;
+  let w = !registry in
+  let out = ref [] in
+  for i = Weak.length w - 1 downto 0 do
+    match Weak.get w i with Some m -> out := m :: !out | None -> ()
+  done;
+  Mutex.unlock registry_mu;
+  !out
+
 (* Apply keys pack the commuted operand pair; node ids stay far below
    2^31 in any workload that fits in memory. *)
 let[@inline] pair_key a b = (a lsl 31) lor b
@@ -103,6 +134,7 @@ let manager ?(budget = Budget.unlimited) vt =
   m.data.(1) <- DConst true;
   Int_tbl.add m.neg_cache 0 1;
   Int_tbl.add m.neg_cache 1 0;
+  register_manager m;
   m
 
 let vtree m = m.vt
@@ -140,6 +172,117 @@ let probe_occupancy m =
   Obs.gauge_max "sdd.apply_cache.entries_peak"
     (Int_tbl.length m.and_cache + Int_tbl.length m.or_cache)
 
+(* ------------------------------------------------------------------ *)
+(* Manager census (postmortem and telemetry surface)                   *)
+(* ------------------------------------------------------------------ *)
+
+type census = {
+  allocated : int;
+  decisions : int;
+  literals : int;
+  tombstones : int;
+  elements : int;
+  unique_entries : int;
+  unique_buckets : int;
+  unique_max_bucket : int;
+  apply_entries : int;
+  neg_entries : int;
+  cond_entries : int;
+  data_capacity : int;
+  approx_heap_words : int;
+  bytes_per_node : int;
+}
+
+(* Exact walk over the node store; O(allocated), called at dump/export
+   time only, never on a hot path.  The byte estimate counts the node
+   record, its element array and tuples, the unique-table key and an
+   amortized bucket cell — the dominant per-node storage. *)
+let census m =
+  let data = m.data in
+  let count = Stdlib.min m.count (Array.length data) in
+  let decisions = ref 0
+  and literals = ref 0
+  and tombstones = ref 0
+  and elements = ref 0
+  and words = ref (Array.length data) in
+  for id = 2 to count - 1 do
+    match data.(id) with
+    | DConst _ ->
+      (* Constants live only at ids 0 and 1; a constant at a higher id
+         is a slot tombstoned by a dynamic edit. *)
+      Stdlib.incr tombstones
+    | DLit _ ->
+      Stdlib.incr literals;
+      words := !words + 5
+    | DDec (_, elems) ->
+      let k = Array.length elems in
+      Stdlib.incr decisions;
+      elements := !elements + k;
+      words := !words + (6 * k) + 10
+  done;
+  let st = Dec_tbl.stats m.unique in
+  {
+    allocated = count;
+    decisions = !decisions;
+    literals = !literals;
+    tombstones = !tombstones;
+    elements = !elements;
+    unique_entries = st.Hashtbl.num_bindings;
+    unique_buckets = st.Hashtbl.num_buckets;
+    unique_max_bucket = st.Hashtbl.max_bucket_length;
+    apply_entries = Int_tbl.length m.and_cache + Int_tbl.length m.or_cache;
+    neg_entries = Int_tbl.length m.neg_cache;
+    cond_entries = Int_tbl.length m.cond_cache;
+    data_capacity = Array.length data;
+    approx_heap_words = !words;
+    bytes_per_node = 8 * !words / Stdlib.max 1 count;
+  }
+
+let census_to_json c =
+  Obs.Json.Obj
+    [
+      ("allocated", Obs.Json.Int c.allocated);
+      ("decisions", Obs.Json.Int c.decisions);
+      ("literals", Obs.Json.Int c.literals);
+      ("tombstones", Obs.Json.Int c.tombstones);
+      ("elements", Obs.Json.Int c.elements);
+      ("unique_entries", Obs.Json.Int c.unique_entries);
+      ("unique_buckets", Obs.Json.Int c.unique_buckets);
+      ("unique_max_bucket", Obs.Json.Int c.unique_max_bucket);
+      ("apply_entries", Obs.Json.Int c.apply_entries);
+      ("neg_entries", Obs.Json.Int c.neg_entries);
+      ("cond_entries", Obs.Json.Int c.cond_entries);
+      ("data_capacity", Obs.Json.Int c.data_capacity);
+      ("approx_heap_words", Obs.Json.Int c.approx_heap_words);
+      ("bytes_per_node", Obs.Json.Int c.bytes_per_node);
+    ]
+
+let census_all () = List.map census (live_managers ())
+
+(* Every postmortem dump carries a census of each live manager. *)
+let () =
+  Postmortem.add_census_provider (fun () ->
+      List.mapi
+        (fun i c -> (Printf.sprintf "sdd_manager_%d" i, census_to_json c))
+        (census_all ()))
+
+(* Occupancy gauges for the periodic telemetry exporter: cheap summary
+   numbers (no node walk) refreshed whenever occupancy is probed. *)
+let occupancy_gauges m =
+  if !Obs.enabled_ref then begin
+    Obs.gauge_set "sdd.nodes_allocated" m.count;
+    Obs.gauge_set "sdd.unique.entries" (Dec_tbl.length m.unique);
+    Obs.gauge_set "sdd.apply_cache.entries"
+      (Int_tbl.length m.and_cache + Int_tbl.length m.or_cache)
+  end;
+  if !Flight_recorder.enabled_ref then
+    Flight_recorder.record Flight_recorder.Note "sdd.occupancy"
+      ~args:
+        [
+          ("allocated", string_of_int m.count);
+          ("unique_entries", string_of_int (Dec_tbl.length m.unique));
+        ]
+
 let false_ _ = 0
 let true_ _ = 1
 
@@ -165,6 +308,10 @@ let alloc m d =
     Obs.incr "sdd.alloc";
     Obs.gauge_max "sdd.nodes_allocated" m.count
   end;
+  (* Occupancy pulse: one flight-recorder note (and gauge refresh) every
+     4096 allocations, so a postmortem tail shows growth history without
+     taxing the per-alloc path beyond a mask-and-branch. *)
+  if m.count land 4095 = 0 then occupancy_gauges m;
   id
 
 let literal m v polarity =

@@ -42,6 +42,40 @@ val stats : manager -> Obs.Cache.snapshot list
     [Obs.set_enabled]); when observability is enabled at manager-creation
     time the same caches also appear in [Obs.caches ()]. *)
 
+(** {1 Census} *)
+
+type census = {
+  allocated : int;  (** Node-store slots handed out (including consts). *)
+  decisions : int;
+  literals : int;
+  tombstones : int;  (** Slots killed by dynamic edits, awaiting reuse. *)
+  elements : int;  (** Total prime/sub pairs across decisions. *)
+  unique_entries : int;
+  unique_buckets : int;
+  unique_max_bucket : int;
+  apply_entries : int;  (** AND + OR cache entries. *)
+  neg_entries : int;
+  cond_entries : int;
+  data_capacity : int;  (** Node-store array length. *)
+  approx_heap_words : int;
+      (** Estimated words held by nodes, element arrays, unique-table
+          keys and bucket cells. *)
+  bytes_per_node : int;  (** [8 * approx_heap_words / allocated]. *)
+}
+
+val census : manager -> census
+(** Exact walk over the node store — O(allocated), intended for
+    postmortem dumps and telemetry snapshots, not hot paths. *)
+
+val census_all : unit -> census list
+(** Censuses of every manager still alive in the process (tracked
+    through a weak registry, so the census never extends a manager's
+    lifetime).  A {!Postmortem} census provider exposing these as
+    [sdd_manager_<i>] objects is registered at module-initialization
+    time. *)
+
+val census_to_json : census -> Obs.Json.t
+
 (** {1 Constants, literals, connectives} *)
 
 val true_ : manager -> t

@@ -117,7 +117,7 @@ let json_suite =
             | Ok _ -> Alcotest.failf "accepted %S" s
             | Error _ -> ())
           [ "{"; "[1,]"; "\"open"; "tru"; "{\"a\":1,}"; "1 2"; "" ]);
-    case "snapshot follows the ctwsdd-metrics/v2 schema" (fun () ->
+    case "snapshot follows the ctwsdd-metrics/v3 schema" (fun () ->
         with_obs (fun () ->
             Obs.incr ~by:3 "work.items";
             Obs.gauge_max "work.peak" 9;
@@ -132,9 +132,20 @@ let json_suite =
             checkb "schema field" true
               (Obs.Json.member "schema" j
               = Some (Obs.Json.String Obs.schema_version));
-            checks "schema is v2" "ctwsdd-metrics/v2" Obs.schema_version;
+            checks "schema is v3" "ctwsdd-metrics/v3" Obs.schema_version;
             checkb "extra field" true
               (Obs.Json.member "run" j = Some (Obs.Json.Int 1));
+            (* v3 additions: run attribution and the flight recorder. *)
+            checkb "run_id field" true
+              (Obs.Json.member "run_id" j
+              = Some (Obs.Json.String (Obs.run_id ())));
+            (match Obs.Json.member "flight_recorder" j with
+             | Some fr ->
+               checkb "flight capacity" true
+                 (match Obs.Json.member "capacity" fr with
+                  | Some (Obs.Json.Int c) -> c > 0
+                  | _ -> false)
+             | None -> Alcotest.fail "flight_recorder missing");
             (match Obs.Json.member "counters" j with
              | Some (Obs.Json.Obj fields) ->
                checkb "counter exported" true
@@ -164,7 +175,10 @@ let json_suite =
                  (Obs.Json.member "name" e
                  = Some (Obs.Json.String "work.step"));
                checkb "event tid" true
-                 (Obs.Json.member "tid" e = Some (Obs.Json.Int 0))
+                 (Obs.Json.member "tid" e = Some (Obs.Json.Int 0));
+               checkb "event run" true
+                 (Obs.Json.member "run" e
+                 = Some (Obs.Json.String (Obs.run_id ())))
              | _ -> Alcotest.fail "events missing");
             (match Obs.Json.member "trace" j with
              | Some tr ->
