@@ -27,6 +27,7 @@ let experiments =
     ([ "E14" ], "Tseitin route vs direct compilation", Exp_routes.run);
     ([ "E17" ], "fixed perf-tracking workload", Exp_perf.run);
     ([ "E18" ], "pipeline compilation and dynamic minimization", Exp_pipeline.run);
+    ([ "E19" ], "SAT-scale CNF compilation", Exp_cnf.run);
   ]
 
 let metrics_file ids = "BENCH_" ^ String.concat "_" ids ^ ".json"

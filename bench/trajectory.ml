@@ -84,14 +84,67 @@ let () =
         | _ -> None)
       events
   in
-  if rows = [] then
+  (* CNF pipeline events: one row per preprocessing summary, component
+     compile (with its <run>/c<seq>/k<i> sub-attribution) and ladder
+     step-down, in timestamp order — the per-component view of a
+     `ctwsdd cnf --trace` run or of bench E19. *)
+  let cnf_rows =
+    List.filter_map
+      (fun e ->
+        match Obs.Json.member "name" e with
+        | Some (Obs.Json.String name)
+          when String.length name >= 9 && String.sub name 0 9 = "pipeline." ->
+          let ts =
+            match Obs.Json.member "ts_s" e with
+            | Some (Obs.Json.Float f) -> Printf.sprintf "%.3f" (1000.0 *. f)
+            | Some (Obs.Json.Int i) ->
+              Printf.sprintf "%.3f" (1000.0 *. float_of_int i)
+            | _ -> "-"
+          in
+          let run =
+            match Obs.Json.member "run" e with
+            | Some (Obs.Json.String r) -> r
+            | _ -> "-"
+          in
+          let args =
+            Option.value ~default:(Obs.Json.Obj []) (Obs.Json.member "args" e)
+          in
+          let phase = String.sub name 9 (String.length name - 9) in
+          let degraded =
+            match str_arg args "tripped" with
+            | "-" -> str_arg args "degraded"
+            | t -> "tripped:" ^ t
+          in
+          Some
+            [
+              ts; run; phase;
+              str_arg args "component";
+              str_arg args "vars";
+              str_arg args "clauses";
+              str_arg args "size";
+              str_arg args "schedule";
+              degraded;
+            ]
+        | _ -> None)
+      events
+  in
+  if rows = [] && cnf_rows = [] then
     Printf.printf
-      "no vtree_search events in %s (run the search with observability on)\n"
+      "no vtree_search or pipeline events in %s (run with observability on)\n"
       path
-  else
-    Table.print
-      ~title:(Printf.sprintf "vtree search trajectory: %s" path)
-      ~header:
-        [ "ms"; "backend"; "event"; "step"; "kind"; "node"; "score"; "delta";
-          "accepted"; "fingerprint" ]
-      rows
+  else begin
+    if rows <> [] then
+      Table.print
+        ~title:(Printf.sprintf "vtree search trajectory: %s" path)
+        ~header:
+          [ "ms"; "backend"; "event"; "step"; "kind"; "node"; "score"; "delta";
+            "accepted"; "fingerprint" ]
+        rows;
+    if cnf_rows <> [] then
+      Table.print
+        ~title:(Printf.sprintf "cnf pipeline trajectory: %s" path)
+        ~header:
+          [ "ms"; "run"; "event"; "component"; "vars"; "clauses"; "size";
+            "schedule"; "degraded" ]
+        cnf_rows
+  end

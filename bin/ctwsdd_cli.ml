@@ -528,8 +528,69 @@ let query_cmd =
 (* cnf : DIMACS model counting                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* The historical monolithic path: one circuit, one vtree, one manager.
+   Selected by an explicit --vtree KIND (or --minimize, which operates
+   on a single manager); the scaling pipeline below is the default. *)
+let cnf_monolithic ~budget ~minimize vtree_choice (d : Dimacs.t) o =
+  let c = Dimacs.to_circuit d in
+  if Circuit.variables c = [] then begin
+    (* no clause mentions a variable: the CNF is a constant *)
+    let value = Circuit.eval c Boolfun.Smap.empty in
+    Printf.printf "models: %s\n"
+      (Bigint.to_string
+         (if value then Bigint.pow2 d.Dimacs.num_vars else Bigint.zero));
+    0
+  end
+  else begin
+    match compile_with_choice ~budget vtree_choice ~minimize c with
+    | Error e -> report_error e
+    | Ok (m, node, degraded) ->
+      Printf.printf "SDD: size %d, width %d\n" (Sdd.size m node)
+        (Sdd.width m node);
+      let count =
+        Obs.span "cli.model_count" @@ fun () ->
+        Bigint.mul
+          (Sdd.model_count m node)
+          (Bigint.pow2 (Dimacs.free_var_count d))
+      in
+      Printf.printf "models: %s\n" (Bigint.to_string count);
+      if o.stats then print_manager_stats m;
+      report_degraded degraded
+  end
+
+(* The scaling path (the default): preprocessing, connected components
+   compiled in parallel, treewidth-driven clause scheduling. *)
+let cnf_scaling ~budget ~preprocess ~schedule ~domains (d : Dimacs.t) o =
+  match Ctwsdd.compile_cnf ~budget ~preprocess ~schedule ?domains d with
+  | Error e -> report_error e
+  | Ok r ->
+    if preprocess then
+      Printf.printf "preprocess: %d forced, %d free variables\n"
+        r.Pipeline.forced_vars r.Pipeline.free_vars;
+    let comps = r.Pipeline.components in
+    Printf.printf "components: %d\n" (List.length comps);
+    List.iteri
+      (fun i (c : Pipeline.cnf_component) ->
+        Printf.printf "  component %d: %d vars, %d clauses, SDD size %d%s\n" i
+          c.Pipeline.k_vars c.Pipeline.k_clauses c.Pipeline.k_size
+          (match c.Pipeline.k_degraded with
+           | None -> ""
+           | Some reason ->
+             Printf.sprintf " (degraded: %s)" (Budget.reason_to_string reason)))
+      comps;
+    let total_size =
+      List.fold_left (fun acc c -> acc + c.Pipeline.k_size) 0 comps
+    in
+    Printf.printf "SDD: size %d (%d components)\n" total_size
+      (List.length comps);
+    Printf.printf "models: %s\n" (Bigint.to_string r.Pipeline.count);
+    if o.stats then
+      List.iter (fun c -> print_manager_stats c.Pipeline.k_manager) comps;
+    report_degraded r.Pipeline.cnf_degraded
+
 let cnf_cmd =
-  let run path vtree_choice minimize timeout max_nodes o =
+  let run path vtree_choice minimize no_preprocess schedule domains timeout
+      max_nodes o =
     run_with_obs o @@ fun () ->
     let budget = budget_of timeout max_nodes in
     let d = Obs.span "cli.parse" (fun () -> Dimacs.parse_file path) in
@@ -537,43 +598,52 @@ let cnf_cmd =
       d.Dimacs.num_vars
       (List.length d.Dimacs.clauses)
       (Dimacs.free_var_count d);
-    let c = Dimacs.to_circuit d in
-    if Circuit.variables c = [] then begin
-      (* no clause mentions a variable: the CNF is a constant *)
-      let value = Circuit.eval c Boolfun.Smap.empty in
-      Printf.printf "models: %s\n"
-        (Bigint.to_string
-           (if value then Bigint.pow2 d.Dimacs.num_vars else Bigint.zero));
-      0
-    end
-    else begin
-      match compile_with_choice ~budget vtree_choice ~minimize c with
-      | Error e -> report_error e
-      | Ok (m, node, degraded) ->
-        Printf.printf "SDD: size %d, width %d\n" (Sdd.size m node)
-          (Sdd.width m node);
-        let count =
-          Obs.span "cli.model_count" @@ fun () ->
-          Bigint.mul
-            (Sdd.model_count m node)
-            (Bigint.pow2 (Dimacs.free_var_count d))
-        in
-        Printf.printf "models: %s\n" (Bigint.to_string count);
-        if o.stats then print_manager_stats m;
-        report_degraded degraded
-    end
+    match vtree_choice with
+    | Some choice -> cnf_monolithic ~budget ~minimize choice d o
+    | None when minimize ->
+      (* --minimize operates on a single manager: use the historical
+         default vtree. *)
+      cnf_monolithic ~budget ~minimize `Lemma1 d o
+    | None ->
+      cnf_scaling ~budget ~preprocess:(not no_preprocess) ~schedule ~domains d
+        o
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let vtree_choice =
-    Arg.(value & opt vtree_conv `Lemma1 & info [ "vtree" ] ~docv:"KIND"
-           ~doc:"Vtree: $(b,balanced), $(b,right), $(b,left), $(b,lemma1), \
-                 $(b,treedec) or $(b,search).")
+    Arg.(value & opt (some vtree_conv) None & info [ "vtree" ] ~docv:"KIND"
+           ~doc:"Compile the whole CNF monolithically on one vtree: \
+                 $(b,balanced), $(b,right), $(b,left), $(b,lemma1), \
+                 $(b,treedec) or $(b,search).  Without this option the \
+                 scaling pipeline is used: preprocessing, connected \
+                 components compiled in parallel, treewidth-driven \
+                 clause scheduling.")
+  in
+  let no_preprocess =
+    Arg.(value & flag & info [ "no-preprocess" ]
+           ~doc:"Skip CNF preprocessing (unit propagation, tautology and \
+                 duplicate-clause removal).  Preprocessing is \
+                 count-preserving, so this only affects performance.")
+  in
+  let schedule =
+    Arg.(value
+         & opt (enum [ ("bags", `Bags); ("clauses", `Clauses) ]) `Bags
+         & info [ "schedule" ] ~docv:"ORDER"
+             ~doc:"Clause conjunction order within a component: $(b,bags) \
+                   (bag-by-bag bottom-up along the tree decomposition, \
+                   the default) or $(b,clauses) (input order).")
+  in
+  let domains =
+    Arg.(value & opt (some int) None & info [ "components" ] ~docv:"N"
+           ~doc:"Compile up to $(docv) connected components in parallel \
+                 (OCaml domains).  Defaults to the machine's recommended \
+                 domain count, capped at the number of components; \
+                 CTWSDD_DOMAINS overrides the recommendation.")
   in
   Cmd.v
     (Cmd.info "cnf" ~exits:exit_code_docs
        ~doc:"Exact model counting for a DIMACS CNF file")
-    Term.(ret (const run $ path $ vtree_choice $ minimize_flag $ timeout_arg
-               $ max_nodes_arg $ obs_term))
+    Term.(ret (const run $ path $ vtree_choice $ minimize_flag $ no_preprocess
+               $ schedule $ domains $ timeout_arg $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* isa                                                                 *)

@@ -3,6 +3,8 @@ module Budget = Budget
 
 let compile = Pipeline.compile
 let compile_exn = Pipeline.compile_exn
+let compile_cnf = Pipeline.compile_cnf
+let conjoin_components = Pipeline.conjoin_components
 let prob = Prob.via_sdd
 let prob_exn = Prob.via_sdd_exn
 

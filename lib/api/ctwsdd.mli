@@ -42,6 +42,25 @@ val compile :
     [`Search → `Treedec → `Balanced → `Right] ladder on budget trips,
     optional anytime in-manager minimization. *)
 
+val compile_cnf :
+  ?budget:Budget.t ->
+  ?preprocess:bool ->
+  ?schedule:Pipeline.cnf_schedule ->
+  ?domains:int ->
+  Dimacs.t ->
+  (Pipeline.cnf_result, Error.t) result
+(** SAT-scale DIMACS compilation — {!Pipeline.compile_cnf}:
+    count-preserving preprocessing, connected components of the primal
+    graph compiled in parallel (each under a split budget share), and
+    treewidth-driven clause scheduling within each component.  The
+    result carries the exact model count over the original variables
+    and the per-component SDDs ({!Pipeline.conjoin_components} combines
+    them into one manager when a single SDD is needed). *)
+
+val conjoin_components :
+  Pipeline.cnf_result -> (Sdd.manager * Sdd.t) option
+(** See {!Pipeline.conjoin_components}. *)
+
 val prob :
   ?budget:Budget.t ->
   ?vtree:Vtree.t ->

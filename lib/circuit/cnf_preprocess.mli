@@ -1,0 +1,90 @@
+(** CNF preprocessing for SAT-scale compilation.
+
+    Monolithic clause-order compilation tops out around sixty variables;
+    the scaling pipeline first {e simplifies} (unit propagation,
+    tautology and duplicate-clause removal, optional pure-literal
+    elimination) and then {e decomposes} the CNF into the connected
+    components of its primal graph, which compile independently.  Every
+    step keeps a trace, so exact model counts over the {e original}
+    variable set are recoverable: forced literals contribute a fixed
+    assignment (weight 1 each), variables that end up in no clause
+    contribute a factor of 2 each, and pure-literal elimination — which
+    preserves satisfiability but {e not} model counts — is off by
+    default and tracked separately with two-sided count bounds when
+    enabled.
+
+    All functions are pure: the input {!Dimacs.t} is never mutated. *)
+
+type simplified = {
+  cnf : Dimacs.t;
+      (** The residual CNF, renumbered to the compact variable range
+          [1 .. cnf.num_vars]; every variable occurs in some clause. *)
+  var_of_new : int array;
+      (** [var_of_new.(i - 1)] is the original DIMACS variable behind
+          new variable [i]. *)
+  forced : (int * bool) list;
+      (** Original variables fixed by unit propagation, with their
+          forced values; sorted by variable. *)
+  free_vars : int;
+      (** Original variables that are neither forced nor mentioned by
+          any residual clause: each contributes a factor of 2 to the
+          model count. *)
+  pure_eliminated : (int * bool) list;
+      (** Pure literals assumed true by [`Sat]-level simplification
+          (empty at the default [`Count] level).  Each elimination
+          preserves satisfiability but can lose models — see
+          {!count_bounds}. *)
+  removed_tautologies : int;
+  removed_duplicates : int;  (** Duplicate clauses dropped. *)
+}
+
+type outcome =
+  | Unsat  (** An empty clause was present or produced by propagation. *)
+  | Simplified of simplified
+
+val run : ?level:[ `Count | `Sat ] -> Dimacs.t -> outcome
+(** Simplify to a fixpoint.  Both levels remove tautological and
+    duplicate clauses (and duplicate literals within a clause) and
+    propagate unit clauses.  [`Count] (the default) applies only these
+    count-preserving steps, so
+
+    {[ models(input) = models(cnf) * 2^free_vars ]}
+
+    [`Sat] additionally eliminates pure literals (iterated with unit
+    propagation to a joint fixpoint), which preserves satisfiability
+    only; use {!count_bounds} to bracket the original count.
+    @raise Invalid_argument on out-of-range literals. *)
+
+val count_exact : simplified -> bool
+(** Whether [models(cnf) * 2^free_vars] is the exact original count —
+    true iff no pure literal was eliminated. *)
+
+val original_count : simplified -> Bigint.t -> Bigint.t
+(** [original_count s core] scales a model count [core] of [s.cnf] back
+    to the original variable set ([core * 2^free_vars]).
+    @raise Invalid_argument when {!count_exact} is false. *)
+
+val count_bounds : simplified -> Bigint.t -> Bigint.t * Bigint.t
+(** [count_bounds s core] is [(lo, hi)] with
+    [lo <= models(input) <= hi]: each eliminated pure literal keeps at
+    least the models of its satisfied branch and at most doubles them.
+    Coincides with [original_count] on both sides when {!count_exact}
+    holds. *)
+
+type component = {
+  comp_cnf : Dimacs.t;  (** Renumbered to [1 .. comp_cnf.num_vars]. *)
+  comp_var_of_new : int array;
+      (** Maps the component's variables back to the numbering of the
+          CNF it was split from (original or simplified, depending on
+          what was passed to {!split}). *)
+}
+
+val split : Dimacs.t -> component list
+(** Connected components of the CNF's primal graph (variables adjacent
+    when they share a clause), computed with {!Ugraph.Union_find} by
+    uniting each clause's variables — the graph is never materialized.
+    Clauses land in the component of their variables; empty clauses (if
+    any) are attached to the first component, or form a single
+    variable-free component when there is nothing else.  Variables that
+    occur in no clause belong to no component (account for them with
+    [2^free]).  Components are ordered by their smallest variable. *)

@@ -2,19 +2,43 @@ type t = { num_vars : int; clauses : int list list }
 
 let var_name i = Printf.sprintf "v%04d" i
 
+(* Real DIMACS files separate tokens with any mix of spaces and tabs,
+   and Windows-edited ones carry '\r' before the newline, so tokenize on
+   the full whitespace class rather than just ' '. *)
+let tokens line =
+  let is_ws c = c = ' ' || c = '\t' || c = '\r' in
+  let n = String.length line in
+  let out = ref [] in
+  let start = ref (-1) in
+  for i = 0 to n - 1 do
+    if is_ws line.[i] then begin
+      if !start >= 0 then out := String.sub line !start (i - !start) :: !out;
+      start := -1
+    end
+    else if !start < 0 then start := i
+  done;
+  if !start >= 0 then out := String.sub line !start (n - !start) :: !out;
+  List.rev !out
+
 let parse text =
   let lines = String.split_on_char '\n' text in
   let num_vars = ref (-1) in
   let num_clauses = ref (-1) in
   let clauses = ref [] in
   let current = ref [] in
+  let stop = ref false in
   let malformed msg = invalid_arg ("Dimacs.parse: " ^ msg) in
   List.iter
     (fun line ->
       let line = String.trim line in
-      if line = "" || line.[0] = 'c' || line.[0] = '%' then ()
+      if !stop || line = "" || line.[0] = 'c' then ()
+      else if line.[0] = '%' then
+        (* SATLIB convention: a lone '%' ends the clause section; the
+           trailing "0" line (and anything else) after it is a footer,
+           not an empty clause. *)
+        stop := true
       else if line.[0] = 'p' then begin
-        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        match tokens line with
         | [ "p"; "cnf"; v; c ] ->
           (try
              num_vars := int_of_string v;
@@ -34,7 +58,7 @@ let parse text =
             | Some l ->
               if abs l > !num_vars then malformed "literal out of range";
               current := l :: !current)
-          (String.split_on_char ' ' line |> List.filter (fun s -> s <> ""))
+          (tokens line)
       end)
     lines;
   if !current <> [] then clauses := List.rev !current :: !clauses;

@@ -10,6 +10,11 @@ type t = { num_vars : int; clauses : int list list }
 
 val parse : string -> t
 (** Parses DIMACS CNF text ([c] comments, [p cnf V C] header).
+    Literals may be separated by any mix of spaces and tabs; [\r] line
+    endings are accepted, as are trailing comment lines without a final
+    newline and the SATLIB footer (a lone [%] line ends the clause
+    section — the conventional ["%\n0"] trailer is not an empty
+    clause).
     @raise Invalid_argument on malformed input. *)
 
 val parse_file : string -> t

@@ -221,6 +221,420 @@ let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
   in
   { manager = m; root; strategy; degraded; minimize_steps }
 
+(* ------------------------------------------------------------------ *)
+(* SAT-scale CNF compilation: preprocessing, component decomposition,  *)
+(* treewidth-driven clause scheduling                                  *)
+(* ------------------------------------------------------------------ *)
+
+type cnf_schedule = [ `Bags | `Clauses ]
+
+let schedule_name = function `Bags -> "bags" | `Clauses -> "clauses"
+
+type cnf_component = {
+  k_manager : Sdd.manager;
+  k_root : Sdd.t;
+  k_vars : int;
+  k_clauses : int;
+  k_count : Bigint.t;
+  k_size : int;
+  k_degraded : Budget.reason option;
+}
+
+type cnf_result = {
+  count : Bigint.t;
+  components : cnf_component list;
+  free_vars : int;
+  forced_vars : int;
+  preprocessed : bool;
+  cnf_schedule : cnf_schedule;
+  cnf_degraded : Budget.reason option;
+}
+
+(* Primal graph of a CNF over 0-based variables: variables adjacent when
+   they share a clause. *)
+let cnf_primal_graph (d : Dimacs.t) =
+  let g = Ugraph.create d.Dimacs.num_vars in
+  List.iter
+    (fun clause ->
+      let vars =
+        List.sort_uniq compare (List.map (fun l -> abs l - 1) clause)
+      in
+      let rec clique = function
+        | [] -> ()
+        | v :: rest ->
+          List.iter (fun w -> Ugraph.add_edge g v w) rest;
+          clique rest
+      in
+      clique vars)
+    d.Dimacs.clauses;
+  g
+
+(* Heuristic tree decomposition sized to the component: the min-fill
+   pass inside [Treewidth.decomposition] is cubic-ish and dominates at
+   SAT scale, so large components fall back to min-degree alone. *)
+let var_treedec ?budget g =
+  if Ugraph.num_vertices g <= 300 then Treewidth.decomposition ?budget g
+  else
+    Treedec.refine_connected
+      (Treedec.of_elimination_order g (Treewidth.min_degree_order ?budget g))
+
+(* Rooted view of a tree decomposition (rooted at bag 0): children
+   lists, a post-order over bags, the bag ids containing each variable,
+   and the set of variables introduced (topmost occurrence) per bag. *)
+type rooted_treedec = {
+  td : Treedec.t;
+  children : int list array;
+  post_index : int array;  (** [post_index.(b)]: position of bag [b]. *)
+  bags_of_var : int list array;  (** ascending bag ids per 0-based var. *)
+  intro : int list array;  (** 0-based vars introduced at each bag. *)
+}
+
+let root_treedec n_vars (td : Treedec.t) =
+  let nb = Treedec.num_bags td in
+  let adj = Array.make nb [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    td.Treedec.tree;
+  let parent = Array.make nb (-1) in
+  let children = Array.make nb [] in
+  let order = Array.make nb 0 in
+  let visited = Array.make nb false in
+  (* Iterative DFS from bag 0; [order] records pre-order, post-order is
+     derived by a second pass over the explicit stack discipline. *)
+  let post = Array.make nb 0 in
+  let post_n = ref 0 in
+  let stack = ref [ (0, false) ] in
+  visited.(0) <- true;
+  let pre_n = ref 0 in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | (b, processed) :: rest ->
+      stack := rest;
+      if processed then begin
+        post.(b) <- !post_n;
+        incr post_n
+      end
+      else begin
+        order.(!pre_n) <- b;
+        incr pre_n;
+        stack := (b, true) :: !stack;
+        List.iter
+          (fun c ->
+            if not visited.(c) then begin
+              visited.(c) <- true;
+              parent.(c) <- b;
+              children.(b) <- c :: children.(b);
+              stack := (c, false) :: !stack
+            end)
+          adj.(b)
+      end
+  done;
+  let bags_of_var = Array.make n_vars [] in
+  Array.iteri
+    (fun b bag -> List.iter (fun v -> bags_of_var.(v) <- b :: bags_of_var.(v)) bag)
+    td.Treedec.bags;
+  Array.iteri (fun v bs -> bags_of_var.(v) <- List.sort compare bs) bags_of_var;
+  let intro = Array.make nb [] in
+  Array.iteri
+    (fun b bag ->
+      let pbag = if parent.(b) < 0 then [] else td.Treedec.bags.(parent.(b)) in
+      List.iter
+        (fun v -> if not (List.mem v pbag) then intro.(b) <- v :: intro.(b))
+        bag)
+    td.Treedec.bags;
+  { td; children; post_index = post; bags_of_var; intro }
+
+(* Lemma-1-style vtree straight from a variable-level decomposition:
+   attach each variable's leaf at the bag introducing it (its topmost
+   bag — unique by the connectedness property) and combine bottom-up,
+   so variables sharing a bag subtree end up under one vtree subtree. *)
+let vtree_of_rooted rt (names : string array) =
+  let rec combine = function
+    | [] -> None
+    | [ s ] -> Some s
+    | shapes ->
+      let n = List.length shapes in
+      let rec take k = function
+        | xs when k = 0 -> ([], xs)
+        | x :: xs ->
+          let a, b = take (k - 1) xs in
+          (x :: a, b)
+        | [] -> ([], [])
+      in
+      let a, b = take (n / 2) shapes in
+      (match (combine a, combine b) with
+       | Some sa, Some sb -> Some (Vtree.N (sa, sb))
+       | Some s, None | None, Some s -> Some s
+       | None, None -> None)
+  in
+  let rec shape b =
+    let leaves = List.map (fun v -> Vtree.L names.(v)) rt.intro.(b) in
+    let subs = List.filter_map shape rt.children.(b) in
+    combine (leaves @ subs)
+  in
+  match shape 0 with
+  | Some s -> Vtree.of_shape s
+  | None -> invalid_arg "Pipeline.vtree_of_rooted: decomposition has no variables"
+
+(* Treewidth-driven clause schedule: every clause is a clique of the
+   primal graph, hence contained in some bag; ordering clauses by the
+   post-order position of a hosting bag conjoins bag-by-bag bottom-up,
+   keeping intermediate SDDs local to vtree subtrees. *)
+let bag_schedule rt clauses =
+  let host clause =
+    match clause with
+    | [] -> max_int
+    | l :: _ ->
+      let vars = List.sort_uniq compare (List.map (fun l -> abs l - 1) clause) in
+      let subset bag = List.for_all (fun v -> List.mem v bag) vars in
+      let candidates = rt.bags_of_var.(abs l - 1) in
+      List.fold_left
+        (fun best b ->
+          if rt.post_index.(b) < best && subset rt.td.Treedec.bags.(b) then
+            rt.post_index.(b)
+          else best)
+        max_int candidates
+  in
+  List.stable_sort compare (List.map (fun c -> (host c, c)) clauses)
+  |> List.map snd
+
+(* One rung of the per-component ladder: build the vtree, conjoin the
+   clauses in the scheduled order.  Raises [Budget.Exhausted] on a trip
+   (the manager is dropped whole, so a mid-component trip never leaks a
+   half-built state). *)
+let compile_component_rung ~budget (names : string array) (d : Dimacs.t) rung =
+  let vt, clauses =
+    match rung with
+    | `Bags ->
+      let g = cnf_primal_graph d in
+      let rt = root_treedec d.Dimacs.num_vars (var_treedec ~budget g) in
+      (vtree_of_rooted rt names, bag_schedule rt d.Dimacs.clauses)
+    | `Clauses ->
+      let g = cnf_primal_graph d in
+      let rt = root_treedec d.Dimacs.num_vars (var_treedec ~budget g) in
+      (vtree_of_rooted rt names, d.Dimacs.clauses)
+    | `Balanced -> (Vtree.balanced (Array.to_list names), d.Dimacs.clauses)
+    | `Right -> (Vtree.right_linear (Array.to_list names), d.Dimacs.clauses)
+  in
+  let m = Sdd.manager ~budget vt in
+  let root =
+    List.fold_left
+      (fun acc clause ->
+        Budget.poll budget;
+        let cl =
+          Sdd.disjoin_list m
+            (List.map (fun l -> Sdd.literal m names.(abs l - 1) (l > 0)) clause)
+        in
+        Sdd.conjoin m acc cl)
+      (Sdd.true_ m) clauses
+  in
+  (m, root)
+
+let cnf_rung_name = function
+  | `Bags -> "bags"
+  | `Clauses -> "clauses"
+  | `Balanced -> "balanced"
+  | `Right -> "right"
+
+(* Compile one component under its budget share, degrading through
+   cheaper vtrees/schedules on budget trips (mirror of the circuit
+   ladder): treedec+schedule → balanced → right-linear. *)
+let compile_component ~budget ~schedule (names : string array) (d : Dimacs.t) =
+  let ladder =
+    match schedule with
+    | `Bags -> [ `Bags; `Balanced; `Right ]
+    | `Clauses -> [ `Clauses; `Balanced; `Right ]
+  in
+  let rec descend last = function
+    | [] -> raise (Budget.Exhausted (Option.get last))
+    | rung :: rest ->
+      (match compile_component_rung ~budget names d rung with
+       | m, root -> (m, root, last)
+       | exception Budget.Exhausted r ->
+         if rest = [] then raise (Budget.Exhausted r)
+         else begin
+           Obs.incr "pipeline.degrade";
+           if !Obs.enabled_ref then
+             Obs.event "pipeline.component_degrade"
+               [
+                 ("from", Obs.Json.String (cnf_rung_name rung));
+                 ("to", Obs.Json.String (cnf_rung_name (List.hd rest)));
+                 ("reason", Obs.Json.String (Budget.reason_to_string r));
+               ];
+           descend (Some r) rest
+         end)
+  in
+  descend None ladder
+
+let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
+    ?(schedule = `Bags) ?domains (d : Dimacs.t) =
+  Ctwsdd_error.guard @@ fun () ->
+  let rid =
+    Printf.sprintf "%s/c%d" (Obs.run_id ())
+      (Atomic.fetch_and_add compile_seq 1)
+  in
+  Obs.with_run_id rid @@ fun () ->
+  Obs.span "pipeline.compile_cnf" @@ fun () ->
+  Budget.check budget;
+  if !Obs.enabled_ref then
+    Obs.event "pipeline.compile_cnf"
+      [
+        ("vars", Obs.Json.Int d.Dimacs.num_vars);
+        ("clauses", Obs.Json.Int (List.length d.Dimacs.clauses));
+        ("preprocess", Obs.Json.Bool preprocess);
+        ("schedule", Obs.Json.String (schedule_name schedule));
+      ];
+  let unsat =
+    {
+      count = Bigint.zero;
+      components = [];
+      free_vars = 0;
+      forced_vars = 0;
+      preprocessed = preprocess;
+      cnf_schedule = schedule;
+      cnf_degraded = None;
+    }
+  in
+  let proceed base to_original free forced_vars =
+    let comps = Obs.span "pipeline.cnf_split" (fun () -> Cnf_preprocess.split base) in
+    (* A variable-free component can only be a bundle of empty clauses —
+       unsatisfiable (non-empty empty-clause lists only reach here with
+       preprocessing off). *)
+    if List.exists (fun c -> c.Cnf_preprocess.comp_cnf.Dimacs.num_vars = 0) comps
+    then unsat
+    else begin
+      let k = List.length comps in
+      Obs.incr ~by:k "cnf.components";
+      let per_budget = Budget.split_nodes budget k in
+      let domains =
+        match domains with
+        | Some d -> max 1 (min d k)
+        | None -> min (Vtree_search.default_domains ()) (max 1 k)
+      in
+      let jobs = List.mapi (fun i c -> (i, c)) comps in
+      let attempts =
+        Vtree_search.parallel_map ~domains
+          (fun (i, comp) ->
+            (* Sub-attribute every span/event of this component to
+               <run>/k<i>, so Perfetto traces show which component each
+               domain was busy with. *)
+            Obs.with_run_id (Printf.sprintf "%s/k%d" rid i) @@ fun () ->
+            Obs.span "pipeline.component" @@ fun () ->
+            let cnf = comp.Cnf_preprocess.comp_cnf in
+            let names =
+              Array.map
+                (fun v -> Dimacs.var_name (to_original v))
+                comp.Cnf_preprocess.comp_var_of_new
+            in
+            if !Obs.enabled_ref then
+              Obs.hist_record "cnf.component_size" cnf.Dimacs.num_vars;
+            match compile_component ~budget:per_budget ~schedule names cnf with
+            | m, root, degraded ->
+              let size = Sdd.size m root in
+              let count = Sdd.model_count m root in
+              Sdd.set_budget m Budget.unlimited;
+              if !Obs.enabled_ref then
+                Obs.event "pipeline.component"
+                  [
+                    ("component", Obs.Json.Int i);
+                    ("vars", Obs.Json.Int cnf.Dimacs.num_vars);
+                    ("clauses", Obs.Json.Int (List.length cnf.Dimacs.clauses));
+                    ("size", Obs.Json.Int size);
+                    ( "degraded",
+                      match degraded with
+                      | None -> Obs.Json.Bool false
+                      | Some r -> Obs.Json.String (Budget.reason_to_string r) );
+                  ];
+              Ok
+                {
+                  k_manager = m;
+                  k_root = root;
+                  k_vars = cnf.Dimacs.num_vars;
+                  k_clauses = List.length cnf.Dimacs.clauses;
+                  k_count = count;
+                  k_size = size;
+                  k_degraded = degraded;
+                }
+            | exception Budget.Exhausted r ->
+              if !Obs.enabled_ref then
+                Obs.event "pipeline.component"
+                  [
+                    ("component", Obs.Json.Int i);
+                    ("vars", Obs.Json.Int cnf.Dimacs.num_vars);
+                    ("tripped", Obs.Json.String (Budget.reason_to_string r));
+                  ];
+              Error r)
+          jobs
+      in
+      (match
+         List.find_map (function Error r -> Some r | Ok _ -> None) attempts
+       with
+       | Some r -> raise (Budget.Exhausted r)
+       | None -> ());
+      let components =
+        List.map (function Ok c -> c | Error _ -> assert false) attempts
+      in
+      let count =
+        List.fold_left
+          (fun acc c -> Bigint.mul acc c.k_count)
+          (Bigint.pow2 free) components
+      in
+      {
+        count;
+        components;
+        free_vars = free;
+        forced_vars;
+        preprocessed = preprocess;
+        cnf_schedule = schedule;
+        cnf_degraded =
+          List.find_map (fun c -> c.k_degraded) components;
+      }
+    end
+  in
+  if preprocess then begin
+    match Obs.span "pipeline.cnf_preprocess" (fun () -> Cnf_preprocess.run d) with
+    | Cnf_preprocess.Unsat -> unsat
+    | Cnf_preprocess.Simplified s ->
+      if !Obs.enabled_ref then
+        Obs.event "pipeline.cnf_preprocess"
+          [
+            ("vars", Obs.Json.Int s.Cnf_preprocess.cnf.Dimacs.num_vars);
+            ( "clauses",
+              Obs.Json.Int (List.length s.Cnf_preprocess.cnf.Dimacs.clauses) );
+            ("forced", Obs.Json.Int (List.length s.Cnf_preprocess.forced));
+            ("free", Obs.Json.Int s.Cnf_preprocess.free_vars);
+            ("tautologies", Obs.Json.Int s.Cnf_preprocess.removed_tautologies);
+            ("duplicates", Obs.Json.Int s.Cnf_preprocess.removed_duplicates);
+          ];
+      proceed s.Cnf_preprocess.cnf
+        (fun v -> s.Cnf_preprocess.var_of_new.(v - 1))
+        s.Cnf_preprocess.free_vars
+        (List.length s.Cnf_preprocess.forced)
+  end
+  else if List.exists (fun c -> c = []) d.Dimacs.clauses then unsat
+  else proceed d (fun v -> v) (Dimacs.free_var_count d) 0
+
+let conjoin_components r =
+  match r.components with
+  | [] -> None
+  | comps ->
+    let vt, offsets =
+      Vtree.of_forest (List.map (fun c -> Sdd.vtree c.k_manager) comps)
+    in
+    let m = Sdd.manager vt in
+    let roots =
+      List.mapi
+        (fun i c ->
+          Sdd.import ~dst:m
+            ~map:(fun v -> v + offsets.(i))
+            c.k_manager c.k_root)
+        comps
+    in
+    Some (m, Sdd.conjoin_list m roots)
+
 let compile_exn ?budget ?vtree_strategy ?minimize ?max_steps ?domains c =
   match compile ?budget ?vtree_strategy ?minimize ?max_steps ?domains c with
   | Error e -> Ctwsdd_error.throw e

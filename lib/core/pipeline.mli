@@ -89,6 +89,83 @@ val compile :
     step-down absorbed is reported as [Ok] with {!result.degraded}
     set. *)
 
+(** {1 SAT-scale CNF compilation}
+
+    DIMACS inputs go through a dedicated path that scales past the
+    circuit pipeline: count-preserving preprocessing
+    ({!Cnf_preprocess.run}), connected-component decomposition of the
+    primal graph ({!Cnf_preprocess.split}) with components compiled {e in
+    parallel} on OCaml domains — each under an equal share of the node
+    budget — and, within a component, treewidth-driven clause
+    scheduling: clauses are conjoined bag-by-bag bottom-up along a tree
+    decomposition of the component's primal graph, under the Lemma 1
+    vtree of that decomposition, so intermediate SDDs stay local to
+    vtree subtrees. *)
+
+type cnf_schedule =
+  [ `Bags  (** Conjoin clauses by post-order of a hosting bag. *)
+  | `Clauses  (** Conjoin clauses in input order. *) ]
+
+type cnf_component = {
+  k_manager : Sdd.manager;  (** Unlimited budget installed on return. *)
+  k_root : Sdd.t;
+  k_vars : int;
+  k_clauses : int;
+  k_count : Bigint.t;  (** Model count over the component's variables. *)
+  k_size : int;
+  k_degraded : Budget.reason option;
+      (** Set when this component stepped down its ladder
+          (treedec+schedule → balanced → right-linear). *)
+}
+
+type cnf_result = {
+  count : Bigint.t;
+      (** Exact model count over the {e original} variable set:
+          product of component counts × 2^free (free and forced
+          variables from preprocessing are folded in). *)
+  components : cnf_component list;
+      (** Ordered by smallest original variable; empty iff the CNF is
+          unsatisfiable or has no clauses left after preprocessing. *)
+  free_vars : int;
+  forced_vars : int;  (** Variables fixed by unit propagation. *)
+  preprocessed : bool;
+  cnf_schedule : cnf_schedule;
+  cnf_degraded : Budget.reason option;  (** First degraded component. *)
+}
+
+val compile_cnf :
+  ?budget:Budget.t ->
+  ?preprocess:bool ->
+  ?schedule:cnf_schedule ->
+  ?domains:int ->
+  Dimacs.t ->
+  (cnf_result, Ctwsdd_error.t) Stdlib.result
+(** [compile_cnf d] compiles each connected component of [d] to a
+    canonical SDD and multiplies the exact model counts.  Defaults:
+    [budget = Budget.unlimited], [preprocess = true] (count-preserving
+    level — pure-literal elimination is {e not} applied),
+    [schedule = `Bags], [domains = min components
+    (Vtree_search.default_domains ())].  The budget's node allowance is
+    split equally across components ({!Budget.split_nodes}); shared
+    resources (clock, cancellation, memory) are polled by all.
+
+    Per-component observability: spans and events carry the run id
+    [<run>/c<seq>/k<i>], the [cnf.components] counter and
+    [cnf.component_size] histogram are recorded, and each component
+    emits a [pipeline.component] event.
+
+    [Error _] only when some component tripped the budget even on its
+    last ladder rung; absorbed trips are reported via
+    {!cnf_result.cnf_degraded}. *)
+
+val conjoin_components : cnf_result -> (Sdd.manager * Sdd.t) option
+(** One manager holding the conjunction of all component SDDs, built by
+    composing the component vtrees ({!Vtree.of_forest}) and importing
+    each root ({!Sdd.import}) — the SDD of the whole CNF over the
+    non-free variables.  [None] when there are no components (for an
+    unsatisfiable input the caller can use [Sdd.false_] in any manager;
+    for a clause-free input, [Sdd.true_]). *)
+
 val compile_exn :
   ?budget:Budget.t ->
   ?vtree_strategy:vtree_strategy ->

@@ -1,5 +1,53 @@
 module ISet = Set.Make (Int)
 
+module Union_find = struct
+  type uf = { parent : int array; rank : int array; mutable classes : int }
+
+  let create n =
+    if n < 0 then invalid_arg "Ugraph.Union_find.create: negative size";
+    { parent = Array.init n (fun i -> i); rank = Array.make n 0; classes = n }
+
+  let find uf x =
+    if x < 0 || x >= Array.length uf.parent then
+      invalid_arg "Ugraph.Union_find.find: out of range";
+    (* Path halving: every probe shortcuts one grandparent link, so
+       amortized cost matches the classic path-compressed version
+       without recursion. *)
+    let x = ref x in
+    while uf.parent.(!x) <> !x do
+      let p = uf.parent.(!x) in
+      uf.parent.(!x) <- uf.parent.(p);
+      x := uf.parent.(!x)
+    done;
+    !x
+
+  let union uf a b =
+    let ra = find uf a and rb = find uf b in
+    if ra <> rb then begin
+      uf.classes <- uf.classes - 1;
+      if uf.rank.(ra) < uf.rank.(rb) then uf.parent.(ra) <- rb
+      else if uf.rank.(rb) < uf.rank.(ra) then uf.parent.(rb) <- ra
+      else begin
+        uf.parent.(rb) <- ra;
+        uf.rank.(ra) <- uf.rank.(ra) + 1
+      end
+    end
+
+  let count uf = uf.classes
+
+  let groups uf =
+    let n = Array.length uf.parent in
+    let tbl = Hashtbl.create 16 in
+    for v = n - 1 downto 0 do
+      let r = find uf v in
+      Hashtbl.replace tbl r (v :: Option.value ~default:[] (Hashtbl.find_opt tbl r))
+    done;
+    (* One group per class, each sorted ascending, ordered by minimum
+       element — the same presentation as [components]. *)
+    Hashtbl.fold (fun _ vs acc -> vs :: acc) tbl []
+    |> List.sort (fun a b -> compare (List.hd a) (List.hd b))
+end
+
 type t = { mutable nedges : int; adj : ISet.t array }
 
 let create n =

@@ -7,6 +7,30 @@
 
 type t
 
+(** Disjoint-set forest over [0 .. n-1] (union by rank, path halving).
+    This is the substrate for connected-component decomposition where
+    materializing the graph would be wasteful — e.g. splitting a CNF
+    into independent sub-problems by uniting the variables of each
+    clause without ever building the primal graph. *)
+module Union_find : sig
+  type uf
+
+  val create : int -> uf
+  (** @raise Invalid_argument if [n < 0]. *)
+
+  val find : uf -> int -> int
+  (** Canonical representative of the element's class.
+      @raise Invalid_argument on an out-of-range element. *)
+
+  val union : uf -> int -> int -> unit
+  val count : uf -> int
+  (** Number of classes. *)
+
+  val groups : uf -> int list list
+  (** The classes, each sorted ascending, ordered by minimum element
+      (the presentation of {!components}). *)
+end
+
 val create : int -> t
 (** [create n] is the edgeless graph on [n] vertices.
     @raise Invalid_argument if [n < 0]. *)

@@ -822,6 +822,38 @@ let decision m v elems =
   if Vtree.is_leaf m.vt v then invalid_arg "Sdd.decision: leaf vtree node";
   mk_decision m v elems
 
+(* Cross-manager transfer: rebuild [root]'s function inside [dst],
+   mapping vtree nodes through [map].  As long as the mapped fragment of
+   [dst]'s vtree has the same shape and variables as [src]'s (the
+   contract [Vtree.of_forest] offsets satisfy), every source decision is
+   a valid partition at the mapped node, so the rebuild goes through
+   [mk_decision] — re-canonicalized in [dst]'s unique table — in one
+   memoized O(size) pass.  This is how per-component SDDs compiled in
+   independent managers are conjoined under a composed vtree. *)
+let import ~dst ~map src root =
+  let memo = Int_tbl.create 256 in
+  let rec go a =
+    match Int_tbl.find_opt memo a with
+    | Some b -> b
+    | None ->
+      let b =
+        match src.data.(a) with
+        | DConst b -> if b then 1 else 0
+        | DLit (v, polarity, _) -> literal dst v polarity
+        | DDec (v, elems) ->
+          let elems' =
+            Array.to_list elems
+            |> List.map (fun (p, s) ->
+                   let p' = go p in
+                   (p', go s))
+          in
+          mk_decision dst (map v) elems'
+      in
+      Int_tbl.add memo a b;
+      b
+  in
+  go root
+
 type view =
   | False
   | True

@@ -139,6 +139,15 @@ val decision : manager -> Vtree.node -> (t * t) list -> t
     partitions directly (e.g. the factorized sentential decisions of the
     paper), avoiding quadratic apply costs. *)
 
+val import : dst:manager -> map:(Vtree.node -> Vtree.node) -> manager -> t -> t
+(** [import ~dst ~map src root] rebuilds [root]'s function inside [dst],
+    translating every vtree node of [src] through [map].  Requires the
+    mapped fragment of [dst]'s vtree to have the same shape and
+    variables as [src]'s vtree ({e unchecked}) — exactly what the
+    offsets of {!Vtree.of_forest} provide — so independently compiled
+    SDDs can be conjoined under one composed manager.  Memoized,
+    O(size of [root]); the result is canonical in [dst]. *)
+
 val equal : t -> t -> bool
 (** Function equality, constant time (canonicity). *)
 

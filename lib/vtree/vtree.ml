@@ -237,6 +237,40 @@ let to_shape t = shape_of t t.root
 
 let equal a b = to_shape a = to_shape b
 
+let of_forest parts =
+  match parts with
+  | [] -> invalid_arg "Vtree.of_forest: empty forest"
+  | [ t ] -> (t, [| 0 |])
+  | first :: rest ->
+    (* Right-nested composition N(t1, N(t2, ... N(t_{k-1}, t_k))).  Ids
+       are assigned in pre-order, so each part keeps its internal shape
+       at a fixed id offset: part i sits after i join nodes and all
+       earlier parts' nodes — except the last, which is the right child
+       of the innermost join and saves one join node. *)
+    let shape =
+      List.fold_right
+        (fun t acc ->
+          match acc with
+          | None -> Some (to_shape t)
+          | Some s -> Some (N (to_shape t, s)))
+        (first :: rest) None
+      |> Option.get
+    in
+    let k = 1 + List.length rest in
+    let offsets = Array.make k 0 in
+    let pos = ref 0 in
+    List.iteri
+      (fun i t ->
+        if i < k - 1 then begin
+          (* the join node introducing this part *)
+          incr pos;
+          offsets.(i) <- !pos;
+          pos := !pos + num_nodes t
+        end
+        else offsets.(i) <- !pos)
+      (first :: rest);
+    (of_shape shape, offsets)
+
 (* ------------------------------------------------------------------ *)
 (* Local moves                                                         *)
 (* ------------------------------------------------------------------ *)

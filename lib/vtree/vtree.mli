@@ -32,6 +32,17 @@ val enumerate : string list -> t list
 (** All vtrees over the variable set ((2l-3)!! · shapes with ordered
     children); feasible only for very small [l] (≤ 6 or so). *)
 
+val of_forest : t list -> t * int array
+(** [of_forest [t1; ...; tk]] is the right-nested composition
+    [N(t1, N(t2, ... N(t_{k-1}, tk)))] over the disjoint union of the
+    parts' variables, together with the id offset of each part: node
+    [v] of part [i] appears in the composition as node
+    [offsets.(i) + v] with the same shape and variables (ids are
+    pre-order, so each part occupies a contiguous id range).  This is
+    how independently compiled SDD components are conjoined under one
+    manager ({!Sdd.import}).
+    @raise Invalid_argument on an empty list or duplicate variables. *)
+
 (** {1 Structure} *)
 
 val root : t -> node
