@@ -28,6 +28,7 @@ let experiments =
     ([ "E17" ], "fixed perf-tracking workload", Exp_perf.run);
     ([ "E18" ], "pipeline compilation and dynamic minimization", Exp_pipeline.run);
     ([ "E19" ], "SAT-scale CNF compilation", Exp_cnf.run);
+    ([ "E20" ], "arena store: scale, compaction, parallel apply", Exp_arena.run);
   ]
 
 let metrics_file ids = "BENCH_" ^ String.concat "_" ids ^ ".json"

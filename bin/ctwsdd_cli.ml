@@ -63,19 +63,20 @@ let vtree_of_choice choice circuit =
    fall back on.  [--minimize] runs the in-manager dynamic vtree search
    either way (anytime under a budget).  Returns the manager, the root
    and the degradation flag. *)
-let compile_with_choice ~budget choice ~minimize c =
+let compile_with_choice ~budget ?compact_every choice ~minimize c =
   if Circuit.variables c = [] then
     raise (Cli_usage "the circuit has no variables");
   match choice with
   | (`Right | `Balanced | `Treedec | `Search) as s ->
-    (match Ctwsdd.compile ~budget ~vtree_strategy:s ~minimize c with
+    (match Ctwsdd.compile ~budget ~vtree_strategy:s ~minimize ?compact_every c
+     with
      | Error e -> Error e
      | Ok r ->
        Ok (r.Pipeline.manager, r.Pipeline.root, r.Pipeline.degraded))
   | (`Left | `Lemma1) as ch ->
     Ctwsdd_error.guard @@ fun () ->
     let vt = vtree_of_choice ch c in
-    let m = Sdd.manager ~budget vt in
+    let m = Sdd.manager ~budget ?compact_every vt in
     let node = Obs.span "cli.compile" (fun () -> Sdd.compile_circuit m c) in
     let node, degraded =
       if minimize then begin
@@ -105,6 +106,29 @@ let minimize_flag =
          ~doc:"After compilation, shrink the SDD by in-manager dynamic \
                vtree search (greedy rotations and swaps applied to the \
                live manager).")
+
+(* A strictly positive integer option (--components, --parallel-apply,
+   --compact-every): non-positive and unparseable values become a clean
+   Cmdliner usage error instead of an Invalid_argument from deep inside
+   the library. *)
+let pos_int =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some n ->
+      Error (`Msg (Printf.sprintf "expected a positive integer, got %d" n))
+    | None ->
+      Error (`Msg (Printf.sprintf "expected a positive integer, got %s" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let compact_every_arg =
+  Arg.(value & opt (some pos_int) None & info [ "compact-every" ] ~docv:"N"
+         ~doc:"Arm generational arena compaction: once $(docv) nodes have \
+               been allocated (or tombstoned) since the last collection, \
+               relocate the live SDD into a fresh arena and reclaim the \
+               dead apply intermediates.  Off by default — allocation is \
+               append-only and peak heap grows with total allocations.")
 
 (* ------------------------------------------------------------------ *)
 (* Budget plumbing                                                     *)
@@ -294,6 +318,14 @@ let run_with_obs o f =
         Printf.eprintf "telemetry: wrote %s\n%!" path)
       o.telemetry_out
   in
+  (* Validate the environment inside the guarded region so a bad
+     CTWSDD_DOMAINS surfaces as a usage error, not a crash mid-run. *)
+  let f () =
+    (match Obs.Worker.domains_env () with
+     | Error msg -> raise (Cli_usage msg)
+     | Ok _ -> ());
+    f ()
+  in
   match f () with
   | code ->
     export ();
@@ -332,14 +364,15 @@ let print_manager_stats m =
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run file inline vtree_choice minimize count validate timeout max_nodes
-      o =
+  let run file inline vtree_choice minimize count validate compact_every
+      timeout max_nodes o =
     run_with_obs o @@ fun () ->
     let budget = budget_of timeout max_nodes in
     let c = read_circuit file inline in
     Printf.printf "circuit : %d gates, %d variables\n" (Circuit.size c)
       (Circuit.num_vars c);
-    match compile_with_choice ~budget vtree_choice ~minimize c with
+    match compile_with_choice ~budget ?compact_every vtree_choice ~minimize c
+    with
     | Error e -> report_error e
     | Ok (m, node, degraded) ->
       Printf.printf "vtree   : %s\n" (Vtree.to_string (Sdd.vtree m));
@@ -364,8 +397,8 @@ let compile_cmd =
           (String.concat "<" order)
       end;
       if o.stats then begin
-        Printf.eprintf "manager : %d nodes allocated\n"
-          (Sdd.num_nodes_allocated m);
+        Printf.eprintf "manager : %d nodes allocated, %d compactions\n"
+          (Sdd.num_nodes_allocated m) (Sdd.compactions m);
         print_manager_stats m
       end;
       report_degraded degraded
@@ -388,8 +421,8 @@ let compile_cmd =
     (Cmd.info "compile" ~exits:exit_code_docs
        ~doc:"Compile a circuit to a canonical SDD and an OBDD")
     Term.(ret (const run $ circuit_file $ circuit_inline $ vtree_choice
-               $ minimize_flag $ count $ validate $ timeout_arg
-               $ max_nodes_arg $ obs_term))
+               $ minimize_flag $ count $ validate $ compact_every_arg
+               $ timeout_arg $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
@@ -531,7 +564,8 @@ let query_cmd =
 (* The historical monolithic path: one circuit, one vtree, one manager.
    Selected by an explicit --vtree KIND (or --minimize, which operates
    on a single manager); the scaling pipeline below is the default. *)
-let cnf_monolithic ~budget ~minimize vtree_choice (d : Dimacs.t) o =
+let cnf_monolithic ~budget ~minimize ?compact_every vtree_choice (d : Dimacs.t)
+    o =
   let c = Dimacs.to_circuit d in
   if Circuit.variables c = [] then begin
     (* no clause mentions a variable: the CNF is a constant *)
@@ -542,7 +576,8 @@ let cnf_monolithic ~budget ~minimize vtree_choice (d : Dimacs.t) o =
     0
   end
   else begin
-    match compile_with_choice ~budget vtree_choice ~minimize c with
+    match compile_with_choice ~budget ?compact_every vtree_choice ~minimize c
+    with
     | Error e -> report_error e
     | Ok (m, node, degraded) ->
       Printf.printf "SDD: size %d, width %d\n" (Sdd.size m node)
@@ -560,8 +595,11 @@ let cnf_monolithic ~budget ~minimize vtree_choice (d : Dimacs.t) o =
 
 (* The scaling path (the default): preprocessing, connected components
    compiled in parallel, treewidth-driven clause scheduling. *)
-let cnf_scaling ~budget ~preprocess ~schedule ~domains (d : Dimacs.t) o =
-  match Ctwsdd.compile_cnf ~budget ~preprocess ~schedule ?domains d with
+let cnf_scaling ~budget ~preprocess ~schedule ~domains ?compact_every
+    ~parallel_apply (d : Dimacs.t) o =
+  match
+    Ctwsdd.compile_cnf ~budget ~preprocess ~schedule ?domains ?compact_every d
+  with
   | Error e -> report_error e
   | Ok r ->
     if preprocess then
@@ -584,13 +622,34 @@ let cnf_scaling ~budget ~preprocess ~schedule ~domains (d : Dimacs.t) o =
     Printf.printf "SDD: size %d (%d components)\n" total_size
       (List.length comps);
     Printf.printf "models: %s\n" (Bigint.to_string r.Pipeline.count);
+    (* --parallel-apply N: conjoin the vtree-independent component roots
+       into one manager with a parallel tree reduction over N domains.
+       The joint model count is a cross-check against the product-based
+       count printed above. *)
+    (match parallel_apply with
+     | None -> ()
+     | Some n ->
+       (match
+          Obs.span "cli.parallel_apply" (fun () ->
+              Ctwsdd.conjoin_components ~domains:n r)
+        with
+        | None -> ()
+        | Some (jm, jroot) ->
+          Printf.printf "joint SDD: size %d (%d domains)\n"
+            (Sdd.size jm jroot) n;
+          Printf.printf "joint models: %s\n"
+            (Bigint.to_string
+               (Bigint.mul
+                  (Sdd.model_count jm jroot)
+                  (Bigint.pow2 r.Pipeline.free_vars)));
+          if o.stats then print_manager_stats jm));
     if o.stats then
       List.iter (fun c -> print_manager_stats c.Pipeline.k_manager) comps;
     report_degraded r.Pipeline.cnf_degraded
 
 let cnf_cmd =
-  let run path vtree_choice minimize no_preprocess schedule domains timeout
-      max_nodes o =
+  let run path vtree_choice minimize no_preprocess schedule domains
+      compact_every parallel_apply timeout max_nodes o =
     run_with_obs o @@ fun () ->
     let budget = budget_of timeout max_nodes in
     let d = Obs.span "cli.parse" (fun () -> Dimacs.parse_file path) in
@@ -598,15 +657,23 @@ let cnf_cmd =
       d.Dimacs.num_vars
       (List.length d.Dimacs.clauses)
       (Dimacs.free_var_count d);
+    let monolithic choice =
+      if parallel_apply <> None then
+        raise
+          (Cli_usage
+             "--parallel-apply requires the scaling pipeline (drop --vtree \
+              and --minimize)");
+      cnf_monolithic ~budget ~minimize ?compact_every choice d o
+    in
     match vtree_choice with
-    | Some choice -> cnf_monolithic ~budget ~minimize choice d o
+    | Some choice -> monolithic choice
     | None when minimize ->
       (* --minimize operates on a single manager: use the historical
          default vtree. *)
-      cnf_monolithic ~budget ~minimize `Lemma1 d o
+      monolithic `Lemma1
     | None ->
-      cnf_scaling ~budget ~preprocess:(not no_preprocess) ~schedule ~domains d
-        o
+      cnf_scaling ~budget ~preprocess:(not no_preprocess) ~schedule ~domains
+        ?compact_every ~parallel_apply d o
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let vtree_choice =
@@ -633,17 +700,27 @@ let cnf_cmd =
                    the default) or $(b,clauses) (input order).")
   in
   let domains =
-    Arg.(value & opt (some int) None & info [ "components" ] ~docv:"N"
+    Arg.(value & opt (some pos_int) None & info [ "components" ] ~docv:"N"
            ~doc:"Compile up to $(docv) connected components in parallel \
                  (OCaml domains).  Defaults to the machine's recommended \
                  domain count, capped at the number of components; \
                  CTWSDD_DOMAINS overrides the recommendation.")
   in
+  let parallel_apply =
+    Arg.(value & opt (some pos_int) None & info [ "parallel-apply" ]
+           ~docv:"N"
+           ~doc:"After compiling the components, conjoin their \
+                 vtree-independent SDDs into one manager with a parallel \
+                 tree reduction over $(docv) OCaml domains, and print the \
+                 joint SDD size and a cross-checking model count.  \
+                 Requires the scaling pipeline (no --vtree/--minimize).")
+  in
   Cmd.v
     (Cmd.info "cnf" ~exits:exit_code_docs
        ~doc:"Exact model counting for a DIMACS CNF file")
     Term.(ret (const run $ path $ vtree_choice $ minimize_flag $ no_preprocess
-               $ schedule $ domains $ timeout_arg $ max_nodes_arg $ obs_term))
+               $ schedule $ domains $ compact_every_arg $ parallel_apply
+               $ timeout_arg $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* isa                                                                 *)

@@ -35,18 +35,21 @@ val compile :
   ?minimize:bool ->
   ?max_steps:int ->
   ?domains:int ->
+  ?compact_every:int ->
   Circuit.t ->
   (Pipeline.result, Error.t) result
 (** Compile a circuit to a canonical SDD — {!Pipeline.compile}: vtree
     from the requested strategy, graceful degradation down the
     [`Search → `Treedec → `Balanced → `Right] ladder on budget trips,
-    optional anytime in-manager minimization. *)
+    optional anytime in-manager minimization, optional generational
+    arena compaction ([compact_every]). *)
 
 val compile_cnf :
   ?budget:Budget.t ->
   ?preprocess:bool ->
   ?schedule:Pipeline.cnf_schedule ->
   ?domains:int ->
+  ?compact_every:int ->
   Dimacs.t ->
   (Pipeline.cnf_result, Error.t) result
 (** SAT-scale DIMACS compilation — {!Pipeline.compile_cnf}:
@@ -58,8 +61,9 @@ val compile_cnf :
     them into one manager when a single SDD is needed). *)
 
 val conjoin_components :
-  Pipeline.cnf_result -> (Sdd.manager * Sdd.t) option
-(** See {!Pipeline.conjoin_components}. *)
+  ?domains:int -> Pipeline.cnf_result -> (Sdd.manager * Sdd.t) option
+(** See {!Pipeline.conjoin_components}; [domains > 1] conjoins the
+    vtree-independent component SDDs with {!Sdd.conjoin_parallel}. *)
 
 val prob :
   ?budget:Budget.t ->
@@ -88,6 +92,7 @@ val compile_exn :
   ?minimize:bool ->
   ?max_steps:int ->
   ?domains:int ->
+  ?compact_every:int ->
   Circuit.t ->
   Sdd.manager * Sdd.t
 (** Raising variant of {!compile} ({!Pipeline.compile_exn}). *)

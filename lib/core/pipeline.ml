@@ -61,16 +61,17 @@ let treedec_vtree ?budget c =
   end;
   (Lemma1.vtree_of_decomposition c td, Treedec.width td)
 
-let compile_with_vtree ?budget vt c =
-  let m = Sdd.manager ?budget vt in
+let compile_with_vtree ?budget ?compact_every vt c =
+  let m = Sdd.manager ?budget ?compact_every vt in
   (m, Sdd.compile_circuit m c)
 
 (* One rung of the degradation ladder: compile [c] with the given
    strategy under [budget], raising [Budget.Exhausted] on a trip. *)
-let compile_rung ~budget ?domains vars c = function
-  | `Right -> compile_with_vtree ~budget (Vtree.right_linear vars) c
-  | `Balanced -> compile_with_vtree ~budget (Vtree.balanced vars) c
-  | `Treedec -> compile_with_vtree ~budget (fst (treedec_vtree ~budget c)) c
+let compile_rung ~budget ?compact_every ?domains vars c = function
+  | `Right -> compile_with_vtree ~budget ?compact_every (Vtree.right_linear vars) c
+  | `Balanced -> compile_with_vtree ~budget ?compact_every (Vtree.balanced vars) c
+  | `Treedec ->
+    compile_with_vtree ~budget ?compact_every (fst (treedec_vtree ~budget c)) c
   | `Search ->
     (* Compile the deterministic candidate set in parallel and keep the
        smallest result; the tie-break (first minimum in candidate order)
@@ -99,7 +100,7 @@ let compile_rung ~budget ?domains vars c = function
       Vtree_search.parallel_map ~domains
         (fun mk_vt ->
           match
-            let m = Sdd.manager ~budget:per_candidate (mk_vt ()) in
+            let m = Sdd.manager ~budget:per_candidate ?compact_every (mk_vt ()) in
             let n = Sdd.compile_circuit m c in
             (m, n, Sdd.size m n)
           with
@@ -151,7 +152,7 @@ let compile_rung ~budget ?domains vars c = function
 let compile_seq = Atomic.make 0
 
 let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
-    ?(minimize = false) ?max_steps ?domains c =
+    ?(minimize = false) ?max_steps ?domains ?compact_every c =
   Ctwsdd_error.guard @@ fun () ->
   let rid =
     Printf.sprintf "%s/c%d" (Obs.run_id ())
@@ -188,7 +189,7 @@ let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
       (* Unreachable with [last = None]: the ladder is non-empty. *)
       raise (Budget.Exhausted (Option.get last))
     | rung :: rest ->
-      (match compile_rung ~budget ?domains vars c rung with
+      (match compile_rung ~budget ?compact_every ?domains vars c rung with
        | m, n -> (m, n, rung, last)
        | exception Budget.Exhausted r ->
          if rest <> [] then begin
@@ -405,7 +406,8 @@ let bag_schedule rt clauses =
    clauses in the scheduled order.  Raises [Budget.Exhausted] on a trip
    (the manager is dropped whole, so a mid-component trip never leaks a
    half-built state). *)
-let compile_component_rung ~budget (names : string array) (d : Dimacs.t) rung =
+let compile_component_rung ~budget ?compact_every (names : string array)
+    (d : Dimacs.t) rung =
   let vt, clauses =
     match rung with
     | `Bags ->
@@ -419,7 +421,7 @@ let compile_component_rung ~budget (names : string array) (d : Dimacs.t) rung =
     | `Balanced -> (Vtree.balanced (Array.to_list names), d.Dimacs.clauses)
     | `Right -> (Vtree.right_linear (Array.to_list names), d.Dimacs.clauses)
   in
-  let m = Sdd.manager ~budget vt in
+  let m = Sdd.manager ~budget ?compact_every vt in
   let root =
     List.fold_left
       (fun acc clause ->
@@ -428,7 +430,10 @@ let compile_component_rung ~budget (names : string array) (d : Dimacs.t) rung =
           Sdd.disjoin_list m
             (List.map (fun l -> Sdd.literal m names.(abs l - 1) (l > 0)) clause)
         in
-        Sdd.conjoin m acc cl)
+        (* Compaction checkpoint (opt-in): the running conjunction is the
+           only live root between clauses, so dead apply intermediates
+           from earlier clauses can be reclaimed here. *)
+        Sdd.maybe_compact m (Sdd.conjoin m acc cl))
       (Sdd.true_ m) clauses
   in
   (m, root)
@@ -442,7 +447,8 @@ let cnf_rung_name = function
 (* Compile one component under its budget share, degrading through
    cheaper vtrees/schedules on budget trips (mirror of the circuit
    ladder): treedec+schedule → balanced → right-linear. *)
-let compile_component ~budget ~schedule (names : string array) (d : Dimacs.t) =
+let compile_component ~budget ~schedule ?compact_every (names : string array)
+    (d : Dimacs.t) =
   let ladder =
     match schedule with
     | `Bags -> [ `Bags; `Balanced; `Right ]
@@ -451,7 +457,7 @@ let compile_component ~budget ~schedule (names : string array) (d : Dimacs.t) =
   let rec descend last = function
     | [] -> raise (Budget.Exhausted (Option.get last))
     | rung :: rest ->
-      (match compile_component_rung ~budget names d rung with
+      (match compile_component_rung ~budget ?compact_every names d rung with
        | m, root -> (m, root, last)
        | exception Budget.Exhausted r ->
          if rest = [] then raise (Budget.Exhausted r)
@@ -470,7 +476,7 @@ let compile_component ~budget ~schedule (names : string array) (d : Dimacs.t) =
   descend None ladder
 
 let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
-    ?(schedule = `Bags) ?domains (d : Dimacs.t) =
+    ?(schedule = `Bags) ?domains ?compact_every (d : Dimacs.t) =
   Ctwsdd_error.guard @@ fun () ->
   let rid =
     Printf.sprintf "%s/c%d" (Obs.run_id ())
@@ -531,7 +537,10 @@ let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
             in
             if !Obs.enabled_ref then
               Obs.hist_record "cnf.component_size" cnf.Dimacs.num_vars;
-            match compile_component ~budget:per_budget ~schedule names cnf with
+            match
+              compile_component ~budget:per_budget ~schedule ?compact_every
+                names cnf
+            with
             | m, root, degraded ->
               let size = Sdd.size m root in
               let count = Sdd.model_count m root in
@@ -617,7 +626,7 @@ let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
   else if List.exists (fun c -> c = []) d.Dimacs.clauses then unsat
   else proceed d (fun v -> v) (Dimacs.free_var_count d) 0
 
-let conjoin_components r =
+let conjoin_components ?domains r =
   match r.components with
   | [] -> None
   | comps ->
@@ -633,10 +642,24 @@ let conjoin_components r =
             c.k_manager c.k_root)
         comps
     in
-    Some (m, Sdd.conjoin_list m roots)
+    (* The imported roots live in disjoint vtree subtrees, so the
+       parallel tree reduction conjoins independent sub-SDDs on separate
+       domains; the default stays the sequential fold (bit-identical to
+       the historical behaviour). *)
+    let root =
+      match domains with
+      | Some d when d > 1 && List.length roots > 1 ->
+        Sdd.conjoin_parallel ~domains:d m roots
+      | _ -> Sdd.conjoin_list m roots
+    in
+    Some (m, root)
 
-let compile_exn ?budget ?vtree_strategy ?minimize ?max_steps ?domains c =
-  match compile ?budget ?vtree_strategy ?minimize ?max_steps ?domains c with
+let compile_exn ?budget ?vtree_strategy ?minimize ?max_steps ?domains
+    ?compact_every c =
+  match
+    compile ?budget ?vtree_strategy ?minimize ?max_steps ?domains
+      ?compact_every c
+  with
   | Error e -> Ctwsdd_error.throw e
   | Ok { degraded = Some r; _ } -> raise (Budget.Exhausted r)
   | Ok r -> (r.manager, r.root)

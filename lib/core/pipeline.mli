@@ -71,6 +71,7 @@ val compile :
   ?minimize:bool ->
   ?max_steps:int ->
   ?domains:int ->
+  ?compact_every:int ->
   Circuit.t ->
   (result, Ctwsdd_error.t) Stdlib.result
 (** [compile c] builds the canonical SDD of [c] in a fresh manager.
@@ -80,7 +81,9 @@ val compile :
     forwarded, default 50), mutating the returned manager's vtree in
     place; under a budget the pass is anytime.  [domains] bounds the
     parallelism of the [`Search] strategy (default
-    {!Vtree_search.default_domains}).
+    {!Vtree_search.default_domains}).  [compact_every] arms the
+    manager's generational compaction (see {!Sdd.manager}): the compile
+    loop then reclaims dead apply intermediates at gate boundaries.
 
     [Error (Invalid_input _)] on a constant circuit (no variables —
     there is no vtree to build; callers should special-case constants);
@@ -138,6 +141,7 @@ val compile_cnf :
   ?preprocess:bool ->
   ?schedule:cnf_schedule ->
   ?domains:int ->
+  ?compact_every:int ->
   Dimacs.t ->
   (cnf_result, Ctwsdd_error.t) Stdlib.result
 (** [compile_cnf d] compiles each connected component of [d] to a
@@ -156,15 +160,23 @@ val compile_cnf :
 
     [Error _] only when some component tripped the budget even on its
     last ladder rung; absorbed trips are reported via
-    {!cnf_result.cnf_degraded}. *)
+    {!cnf_result.cnf_degraded}.  [compact_every] arms generational
+    compaction in every per-component manager; the clause loop then
+    reclaims dead apply intermediates between clauses. *)
 
-val conjoin_components : cnf_result -> (Sdd.manager * Sdd.t) option
+val conjoin_components :
+  ?domains:int -> cnf_result -> (Sdd.manager * Sdd.t) option
 (** One manager holding the conjunction of all component SDDs, built by
     composing the component vtrees ({!Vtree.of_forest}) and importing
     each root ({!Sdd.import}) — the SDD of the whole CNF over the
     non-free variables.  [None] when there are no components (for an
     unsatisfiable input the caller can use [Sdd.false_] in any manager;
-    for a clause-free input, [Sdd.true_]). *)
+    for a clause-free input, [Sdd.true_]).
+
+    The imported roots occupy disjoint subtrees of the composed vtree,
+    so with [domains > 1] the conjunction runs as a parallel tree
+    reduction ({!Sdd.conjoin_parallel}) over vtree-independent
+    sub-SDDs; the default is the sequential fold. *)
 
 val compile_exn :
   ?budget:Budget.t ->
@@ -172,6 +184,7 @@ val compile_exn :
   ?minimize:bool ->
   ?max_steps:int ->
   ?domains:int ->
+  ?compact_every:int ->
   Circuit.t ->
   Sdd.manager * Sdd.t
 (** {!compile} with the historical signature.

@@ -1,52 +1,8 @@
-let default_domains () =
-  match Sys.getenv_opt "CTWSDD_DOMAINS" with
-  | Some s ->
-    (match int_of_string_opt (String.trim s) with
-     | Some n when n >= 1 -> n
-     | _ -> Domain.recommended_domain_count ())
-  | None -> Domain.recommended_domain_count ()
-
-(* Order-preserving parallel map over up to [domains] domains with
-   atomic work stealing.  The calling domain participates, so [d]
-   domains means [d - 1] spawns; each spawned worker runs under
-   {!Obs.Worker.capture} and its metrics are absorbed after the join,
-   making the instrumented totals independent of the schedule.  Every
-   worker is joined even on failure; the first exception is re-raised. *)
-let parallel_map ~domains f items =
-  let arr = Array.of_list items in
-  let n = Array.length arr in
-  let d = Stdlib.min domains n in
-  if d <= 1 then List.map f items
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let rec work () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        results.(i) <- Some (f arr.(i));
-        work ()
-      end
-    in
-    (* Capture the parent's run ID before spawning: a fresh domain
-       starts with the process-global ID, so flight-recorder entries
-       from workers would otherwise lose per-request attribution. *)
-    let rid = Obs.run_id () in
-    let spawned =
-      List.init (d - 1) (fun _ ->
-          Domain.spawn (fun () ->
-              Obs.with_run_id rid (fun () -> Obs.Worker.capture work)))
-    in
-    let main_exn = match work () with () -> None | exception e -> Some e in
-    let joined =
-      List.map (fun dom -> try Ok (Domain.join dom) with e -> Error e) spawned
-    in
-    List.iter
-      (function Ok ((), cap) -> Obs.Worker.absorb cap | Error _ -> ())
-      joined;
-    (match main_exn with Some e -> raise e | None -> ());
-    List.iter (function Error e -> raise e | Ok _ -> ()) joined;
-    Array.to_list (Array.map Option.get results)
-  end
+(* The generic work-stealing infrastructure lives in {!Obs.Worker} now
+   (lib/sdd reuses it for parallel apply, and ctw_sdd cannot depend on
+   ctw_core); these are kept as the historical entry points. *)
+let default_domains = Obs.Worker.default_domains
+let parallel_map ~domains f items = Obs.Worker.parallel_map ~domains f items
 
 type 'a anytime = {
   best : 'a;

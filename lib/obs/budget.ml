@@ -13,7 +13,7 @@ type t = {
   cancel : bool Atomic.t;
   active : bool;
   interval : int;
-  mutable tick : int;
+  tick : int Atomic.t;
 }
 
 let unlimited =
@@ -24,7 +24,7 @@ let unlimited =
     cancel = Atomic.make false;
     active = false;
     interval = max_int;
-    tick = max_int;
+    tick = Atomic.make max_int;
   }
 
 (* The most recently created active budget, for postmortems: when a
@@ -59,7 +59,7 @@ let create ?timeout ?max_nodes ?max_memory_words ?cancel
       cancel = (match cancel with Some c -> c | None -> Atomic.make false);
       active = true;
       interval = poll_interval;
-      tick = poll_interval;
+      tick = Atomic.make poll_interval;
     }
   in
   Atomic.set current_ref (Some t);
@@ -68,7 +68,8 @@ let create ?timeout ?max_nodes ?max_memory_words ?cancel
 let is_unlimited t = not t.active
 
 let with_max_nodes t max_nodes =
-  if not t.active then t else { t with max_nodes; tick = t.interval }
+  if not t.active then t
+  else { t with max_nodes; tick = Atomic.make t.interval }
 
 let split_nodes t k =
   if (not t.active) || t.max_nodes = max_int then t
@@ -118,9 +119,9 @@ let check_nodes t n = if t.active && n > t.max_nodes then exhaust Node_limit
 
 let poll t =
   if t.active then begin
-    t.tick <- t.tick - 1;
-    if t.tick <= 0 then begin
-      t.tick <- t.interval;
+    let left = Atomic.fetch_and_add t.tick (-1) in
+    if left <= 1 then begin
+      Atomic.set t.tick t.interval;
       check t
     end
   end

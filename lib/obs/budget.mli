@@ -52,11 +52,11 @@ type t = {
   cancel : bool Atomic.t;  (** Cancellation token, shared across domains. *)
   active : bool;  (** [false] only for {!unlimited}: single-branch fast path. *)
   interval : int;  (** Polls between full (clock/token/heap) checks. *)
-  mutable tick : int;
-      (** Countdown to the next full check.  Plain mutable on purpose:
-          concurrent polls race benignly (a checkpoint happens a little
-          earlier or later), which is cheaper than an atomic in the
-          allocation hot path. *)
+  tick : int Atomic.t;
+      (** Countdown to the next full check.  Atomic so the amortized
+          polling cadence stays exact when several domains share one
+          budget during parallel apply; an uncontended fetch-and-add is
+          a couple of nanoseconds next to the allocation it gates. *)
 }
 (** The representation is exposed so hot paths can gate on [active] with
     a single load instead of a cross-module call.  Treat the fields as

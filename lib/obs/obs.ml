@@ -911,6 +911,68 @@ module Worker = struct
     let st = span_state () in
     let parent = match st.sstack with top :: _ -> top | [] -> st.sroot in
     List.iter (merge_tree parent) cap.wspans
+
+  (* Domain-count policy.  [CTWSDD_DOMAINS] is validated strictly: a
+     garbage or non-positive value is a configuration error, not a
+     request for the hardware default, so it raises (and the CLI turns
+     [domains_env] into a usage error before any work starts). *)
+  let domains_env () =
+    match Sys.getenv_opt "CTWSDD_DOMAINS" with
+    | None -> Ok None
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Ok (Some n)
+      | _ ->
+        Error
+          (Printf.sprintf
+             "CTWSDD_DOMAINS: expected a positive domain count, got %S" s))
+
+  let default_domains () =
+    match domains_env () with
+    | Ok (Some n) -> n
+    | Ok None -> Domain.recommended_domain_count ()
+    | Error msg -> invalid_arg msg
+
+  (* Order-preserving parallel map over up to [domains] domains with
+     atomic work stealing.  The calling domain participates, so [d]
+     domains means [d - 1] spawns; each spawned worker runs under
+     [capture] and its metrics are absorbed after the join, making the
+     instrumented totals independent of the schedule.  Every worker is
+     joined even on failure; the first exception is re-raised. *)
+  let parallel_map ~domains f items =
+    let arr = Array.of_list items in
+    let n = Array.length arr in
+    let d = Stdlib.min domains n in
+    if d <= 1 then List.map f items
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let rec work () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f arr.(i));
+          work ()
+        end
+      in
+      (* Capture the parent's run ID before spawning: a fresh domain
+         starts with the process-global ID, so flight-recorder entries
+         from workers would otherwise lose per-request attribution. *)
+      let rid = run_id () in
+      let spawned =
+        List.init (d - 1) (fun _ ->
+            Domain.spawn (fun () -> with_run_id rid (fun () -> capture work)))
+      in
+      let main_exn = match work () with () -> None | exception e -> Some e in
+      let joined =
+        List.map (fun dom -> try Ok (Domain.join dom) with e -> Error e) spawned
+      in
+      List.iter
+        (function Ok ((), cap) -> absorb cap | Error _ -> ())
+        joined;
+      (match main_exn with Some e -> raise e | None -> ());
+      List.iter (function Error e -> raise e | Ok _ -> ()) joined;
+      Array.to_list (Array.map Option.get results)
+    end
 end
 
 (* Cross-invocation hygiene: [reset] empties the tables in place, but a

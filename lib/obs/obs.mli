@@ -308,6 +308,27 @@ module Worker : sig
       spans — the same rule {!span} applies to repeat entries.  Absorb
       captures only after joining their workers (typically in the main
       domain). *)
+
+  val domains_env : unit -> (int option, string) result
+  (** The [CTWSDD_DOMAINS] override, validated: [Ok None] when unset,
+      [Ok (Some n)] for a positive integer, [Error msg] for zero,
+      negative or unparsable values.  The CLI checks this before any
+      work starts so misconfiguration is a usage error, not a crash. *)
+
+  val default_domains : unit -> int
+  (** The domain count used when a caller passes no explicit [~domains]:
+      the validated [CTWSDD_DOMAINS] override, or
+      [Domain.recommended_domain_count ()].  Raises [Invalid_argument]
+      on a garbage or non-positive override (see {!domains_env}). *)
+
+  val parallel_map : domains:int -> ('a -> 'b) -> 'a list -> 'b list
+  (** Order-preserving parallel map over up to [domains] domains with
+      atomic work stealing.  The calling domain participates ([d]
+      domains spawn [d - 1] workers); each worker runs under {!capture}
+      and is absorbed after its join, so the instrumented totals are
+      independent of the schedule.  Every worker is joined even on
+      failure and the first exception is re-raised.  [domains <= 1] (or
+      a singleton list) degrades to [List.map]. *)
 end
 
 (** {1 Export} *)

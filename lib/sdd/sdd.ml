@@ -1,11 +1,29 @@
-(* Canonical SDDs: hash-consed, compressed, trimmed. *)
+(* Canonical SDDs: hash-consed, compressed, trimmed.
+
+   Node storage is an arena.  Instead of one boxed [node_data] record
+   per node, the manager keeps a struct-of-arrays store — a kind byte, a
+   vtree-node word and an auxiliary word per node, plus an offset into a
+   shared flat element buffer holding the prime/sub pairs of every
+   decision back to back.  A node costs ~3 words + 2 words per element,
+   with no per-node heap object, no tuple boxing and no GC scanning of
+   the payload (every array is immediate ints).
+
+   The store is published through an [Atomic.t] so that the sharded
+   parallel-apply section (see [apply_parallel]) can grow it from one
+   domain while others keep reading: growth copies into fresh arrays and
+   republishes; old snapshots remain valid for every node they cover,
+   because node cells are written exactly once, before the node id is
+   published (through the unique-table shard mutex that created it).
+
+   Tombstones left by dynamic vtree edits are reclaimed by a periodic
+   compaction pass ([compact] / [maybe_compact]): mark from the caller's
+   roots, relocate live nodes into exact-fit arrays with a monotone
+   remap, rebuild the unique table and rewrite the packed-int caches
+   through the remap.  Each compaction bumps the manager's generation
+   counter; the census reports garbage words and generations so the
+   telemetry surface shows reclamation at work. *)
 
 type t = int
-
-type node_data =
-  | DConst of bool
-  | DLit of string * bool * int  (* variable, polarity, vtree leaf *)
-  | DDec of int * (int * int) array  (* vtree node, elements sorted by prime *)
 
 (* The unique table is keyed by [|v; p0; s0; p1; s1; ...|].  Polymorphic
    hashing only samples a bounded prefix of a structured key, so wide
@@ -45,17 +63,60 @@ end
 
 module Int_tbl = Hashtbl.Make (Int_key)
 
+(* ------------------------------------------------------------------ *)
+(* Arena store                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Node kinds, one byte each in [store.kind]. *)
+let k_tomb = '\000' (* slot killed by an edit, awaiting compaction *)
+let k_const = '\001' (* aux = 0 (⊥) or 1 (⊤); ids 0 and 1 only *)
+let k_lit = '\002' (* vnode = vtree leaf, aux = polarity (0/1) *)
+let k_dec = '\003' (* vnode = vtree node, aux = element count, off set *)
+
+type store = {
+  kind : Bytes.t;
+  vnode : int array;  (* vtree node; -1 for constants *)
+  aux : int array;  (* constant value / literal polarity / element count *)
+  off : int array;  (* decision: base index into [elems]; -1 otherwise *)
+  elems : int array;  (* prime/sub pairs of all decisions, back to back *)
+}
+
+(* The unique table and the packed-int caches are sharded so the
+   parallel-apply section contends on stripes, not one global lock:
+   decisions stripe by vtree node (vtree-independent subproblems touch
+   disjoint unique shards), caches by key hash. *)
+let shard_bits = 4
+let n_shards = 1 lsl shard_bits
+let shard_mask = n_shards - 1
+
+let[@inline] dec_shard v = v land shard_mask
+
 type manager = {
   mutable vt : Vtree.t;
-  mutable data : node_data array;
-  mutable count : int;
+  store : store Atomic.t;
+  count : int Atomic.t;  (* node slots handed out *)
+  mutable elems_len : int;  (* words used in [store.elems] *)
   mutable budget : Budget.t;
-  unique : int Dec_tbl.t;
-  lit_tbl : int array;  (* 2 * vtree leaf + polarity -> node id, -1 free *)
-  and_cache : int Int_tbl.t;
-  or_cache : int Int_tbl.t;
-  neg_cache : int Int_tbl.t;
-  cond_cache : int Int_tbl.t;
+  unique : int Dec_tbl.t array;  (* sharded by [dec_shard vnode] *)
+  mutable lit_tbl : int array;  (* 2*leaf + polarity -> node id, -1 free *)
+  and_cache : int Int_tbl.t array;  (* sharded by key hash *)
+  or_cache : int Int_tbl.t array;
+  neg_cache : int Int_tbl.t array;
+  cond_cache : int Int_tbl.t array;
+  (* Parallel section plumbing: [parallel] arms the mutexes below; it is
+     false outside [apply_parallel], where every lock site reduces to a
+     load and a branch. *)
+  mutable parallel : bool;
+  alloc_mu : Mutex.t;  (* guards store growth, count, elems_len *)
+  unique_mu : Mutex.t array;  (* one per unique shard *)
+  cache_mu : Mutex.t array;  (* one per cache shard *)
+  (* Generational compaction state. *)
+  mutable dead_nodes : int;  (* tombstones since the last compaction *)
+  mutable dead_elems : int;  (* element pairs those tombstones strand *)
+  mutable generation : int;
+  mutable compactions_done : int;
+  mutable compact_every : int;  (* max_int = never *)
+  mutable last_compact_count : int;
   cs_unique : Obs.Cache.t;
   cs_and : Obs.Cache.t;
   cs_or : Obs.Cache.t;
@@ -98,17 +159,37 @@ let live_managers () =
    2^31 in any workload that fits in memory. *)
 let[@inline] pair_key a b = (a lsl 31) lor b
 
-let manager ?(budget = Budget.unlimited) vt =
-  let unique = Dec_tbl.create 1024 in
-  let and_cache = Int_tbl.create 1024 in
-  let or_cache = Int_tbl.create 1024 in
-  let neg_cache = Int_tbl.create 256 in
-  let cond_cache = Int_tbl.create 256 in
+let initial_store () =
+  let cap = 1024 in
+  let kind = Bytes.make cap k_tomb in
+  let vnode = Array.make cap (-1) in
+  let aux = Array.make cap 0 in
+  let off = Array.make cap (-1) in
+  Bytes.unsafe_set kind 0 k_const;
+  Bytes.unsafe_set kind 1 k_const;
+  aux.(1) <- 1;
+  { kind; vnode; aux; off; elems = Array.make 1024 0 }
+
+let tbl_entries shards =
+  Array.fold_left (fun acc t -> acc + Int_tbl.length t) 0 shards
+
+let unique_entries_of m =
+  Array.fold_left (fun acc t -> acc + Dec_tbl.length t) 0 m.unique
+
+let manager ?(budget = Budget.unlimited) ?(compact_every = max_int) vt =
+  if compact_every < 1 then
+    invalid_arg "Sdd.manager: compact_every must be positive";
+  let unique = Array.init n_shards (fun _ -> Dec_tbl.create 128) in
+  let and_cache = Array.init n_shards (fun _ -> Int_tbl.create 128) in
+  let or_cache = Array.init n_shards (fun _ -> Int_tbl.create 128) in
+  let neg_cache = Array.init n_shards (fun _ -> Int_tbl.create 32) in
+  let cond_cache = Array.init n_shards (fun _ -> Int_tbl.create 32) in
   let m =
     {
       vt;
-      data = Array.make 1024 (DConst false);
-      count = 2;
+      store = Atomic.make (initial_store ());
+      count = Atomic.make 2;
+      elems_len = 0;
       budget;
       unique;
       lit_tbl = Array.make (2 * Vtree.num_nodes vt) (-1);
@@ -116,34 +197,54 @@ let manager ?(budget = Budget.unlimited) vt =
       or_cache;
       neg_cache;
       cond_cache;
+      parallel = false;
+      alloc_mu = Mutex.create ();
+      unique_mu = Array.init n_shards (fun _ -> Mutex.create ());
+      cache_mu = Array.init n_shards (fun _ -> Mutex.create ());
+      dead_nodes = 0;
+      dead_elems = 0;
+      generation = 0;
+      compactions_done = 0;
+      compact_every;
+      last_compact_count = 2;
       cs_unique =
-        Obs.Cache.create ~size:(fun () -> Dec_tbl.length unique) "sdd.unique";
+        Obs.Cache.create
+          ~size:(fun () ->
+            Array.fold_left (fun acc t -> acc + Dec_tbl.length t) 0 unique)
+          "sdd.unique";
       cs_and =
-        Obs.Cache.create ~size:(fun () -> Int_tbl.length and_cache) "sdd.and_cache";
+        Obs.Cache.create ~size:(fun () -> tbl_entries and_cache) "sdd.and_cache";
       cs_or =
-        Obs.Cache.create ~size:(fun () -> Int_tbl.length or_cache) "sdd.or_cache";
+        Obs.Cache.create ~size:(fun () -> tbl_entries or_cache) "sdd.or_cache";
       cs_neg =
-        Obs.Cache.create ~size:(fun () -> Int_tbl.length neg_cache) "sdd.neg_cache";
+        Obs.Cache.create ~size:(fun () -> tbl_entries neg_cache) "sdd.neg_cache";
       cs_cond =
         Obs.Cache.create
-          ~size:(fun () -> Int_tbl.length cond_cache)
+          ~size:(fun () -> tbl_entries cond_cache)
           "sdd.cond_cache";
     }
   in
-  m.data.(0) <- DConst false;
-  m.data.(1) <- DConst true;
-  Int_tbl.add m.neg_cache 0 1;
-  Int_tbl.add m.neg_cache 1 0;
+  Int_tbl.replace m.neg_cache.(Int_key.hash 0 land shard_mask) 0 1;
+  Int_tbl.replace m.neg_cache.(Int_key.hash 1 land shard_mask) 1 0;
   register_manager m;
   m
 
 let vtree m = m.vt
-let num_nodes_allocated m = m.count
+let num_nodes_allocated m = Atomic.get m.count
 let budget m = m.budget
 let set_budget m b = m.budget <- b
 
+let set_compact_every m n =
+  if n < 1 then invalid_arg "Sdd.set_compact_every: must be positive";
+  m.compact_every <- n
+
+let generation m = m.generation
+let compactions m = m.compactions_done
+
 (* Direct field bumps: local enough for ocamlopt to inline, so the hot
-   apply/negate paths pay two stores, not a cross-module call. *)
+   apply/negate paths pay two stores, not a cross-module call.  In the
+   parallel section concurrent bumps can lose counts — acceptable for
+   hit-rate telemetry, not worth a lock. *)
 let[@inline] cache_hit (c : Obs.Cache.t) =
   c.Obs.Cache.hits <- c.Obs.Cache.hits + 1
 
@@ -155,22 +256,29 @@ let stats m =
     [ m.cs_unique; m.cs_and; m.cs_or; m.cs_neg; m.cs_cond ]
 
 (* Unique-table and apply-cache occupancy telemetry: bucket-length
-   distribution from [Hashtbl.statistics], entry watermarks and load
-   factor.  Called after whole-circuit compiles and dynamic edits, not
-   per operation, so the bucket walk stays off the hot path. *)
+   distribution from [Hashtbl.statistics] aggregated over the shards,
+   entry watermarks and load factor.  Called after whole-circuit
+   compiles and dynamic edits, not per operation, so the bucket walks
+   stay off the hot path. *)
 let probe_occupancy m =
-  let st = Dec_tbl.stats m.unique in
-  Obs.gauge_max "sdd.unique.entries_peak" st.Hashtbl.num_bindings;
-  Obs.gauge_max "sdd.unique.max_bucket" st.Hashtbl.max_bucket_length;
-  Array.iteri
-    (fun len count ->
-      if count > 0 then Obs.hist_record ~n:count "sdd.unique.bucket_len" len)
-    st.Hashtbl.bucket_histogram;
-  if st.Hashtbl.num_buckets > 0 then
-    Obs.hist_record "sdd.unique.load_pct"
-      (100 * st.Hashtbl.num_bindings / st.Hashtbl.num_buckets);
+  let bindings = ref 0 and buckets = ref 0 and max_bucket = ref 0 in
+  Array.iter
+    (fun tbl ->
+      let st = Dec_tbl.stats tbl in
+      bindings := !bindings + st.Hashtbl.num_bindings;
+      buckets := !buckets + st.Hashtbl.num_buckets;
+      max_bucket := Stdlib.max !max_bucket st.Hashtbl.max_bucket_length;
+      Array.iteri
+        (fun len count ->
+          if count > 0 then Obs.hist_record ~n:count "sdd.unique.bucket_len" len)
+        st.Hashtbl.bucket_histogram)
+    m.unique;
+  Obs.gauge_max "sdd.unique.entries_peak" !bindings;
+  Obs.gauge_max "sdd.unique.max_bucket" !max_bucket;
+  if !buckets > 0 then
+    Obs.hist_record "sdd.unique.load_pct" (100 * !bindings / !buckets);
   Obs.gauge_max "sdd.apply_cache.entries_peak"
-    (Int_tbl.length m.and_cache + Int_tbl.length m.or_cache)
+    (tbl_entries m.and_cache + tbl_entries m.or_cache)
 
 (* ------------------------------------------------------------------ *)
 (* Manager census (postmortem and telemetry surface)                   *)
@@ -191,51 +299,68 @@ type census = {
   data_capacity : int;
   approx_heap_words : int;
   bytes_per_node : int;
+  garbage_words : int;
+  generation : int;
+  compactions : int;
 }
 
 (* Exact walk over the node store; O(allocated), called at dump/export
-   time only, never on a hot path.  The byte estimate counts the node
-   record, its element array and tuples, the unique-table key and an
-   amortized bucket cell — the dominant per-node storage. *)
+   time only, never on a hot path.  The estimate counts the arena
+   arrays themselves (per-node storage is flat: ~25/8 words of header
+   across the four column arrays plus the element pairs), the literal
+   table, and per live decision its unique-table key array and an
+   amortized bucket cell.  [garbage_words] is the slice of that total
+   stranded by tombstones — reclaimable by the next compaction. *)
 let census m =
-  let data = m.data in
-  let count = Stdlib.min m.count (Array.length data) in
+  let st = Atomic.get m.store in
+  let count = Stdlib.min (Atomic.get m.count) (Bytes.length st.kind) in
   let decisions = ref 0
   and literals = ref 0
   and tombstones = ref 0
-  and elements = ref 0
-  and words = ref (Array.length data) in
+  and elements = ref 0 in
+  let cap = Bytes.length st.kind in
+  let words =
+    ref (((cap + 7) / 8) + (3 * cap) + Array.length st.elems
+        + Array.length m.lit_tbl)
+  in
   for id = 2 to count - 1 do
-    match data.(id) with
-    | DConst _ ->
-      (* Constants live only at ids 0 and 1; a constant at a higher id
-         is a slot tombstoned by a dynamic edit. *)
-      Stdlib.incr tombstones
-    | DLit _ ->
-      Stdlib.incr literals;
-      words := !words + 5
-    | DDec (_, elems) ->
-      let k = Array.length elems in
+    let k = Bytes.unsafe_get st.kind id in
+    if k = k_dec then begin
+      let e = st.aux.(id) in
       Stdlib.incr decisions;
-      elements := !elements + k;
-      words := !words + (6 * k) + 10
+      elements := !elements + e;
+      (* unique-table key array (1 + 2e ints + header) and bucket cell *)
+      words := !words + (2 * e) + 5
+    end
+    else if k = k_lit then Stdlib.incr literals
+    else Stdlib.incr tombstones
   done;
-  let st = Dec_tbl.stats m.unique in
+  let ub = ref 0 and ubk = ref 0 and umax = ref 0 in
+  Array.iter
+    (fun tbl ->
+      let s = Dec_tbl.stats tbl in
+      ub := !ub + s.Hashtbl.num_bindings;
+      ubk := !ubk + s.Hashtbl.num_buckets;
+      umax := Stdlib.max !umax s.Hashtbl.max_bucket_length)
+    m.unique;
   {
     allocated = count;
     decisions = !decisions;
     literals = !literals;
     tombstones = !tombstones;
     elements = !elements;
-    unique_entries = st.Hashtbl.num_bindings;
-    unique_buckets = st.Hashtbl.num_buckets;
-    unique_max_bucket = st.Hashtbl.max_bucket_length;
-    apply_entries = Int_tbl.length m.and_cache + Int_tbl.length m.or_cache;
-    neg_entries = Int_tbl.length m.neg_cache;
-    cond_entries = Int_tbl.length m.cond_cache;
-    data_capacity = Array.length data;
+    unique_entries = !ub;
+    unique_buckets = !ubk;
+    unique_max_bucket = !umax;
+    apply_entries = tbl_entries m.and_cache + tbl_entries m.or_cache;
+    neg_entries = tbl_entries m.neg_cache;
+    cond_entries = tbl_entries m.cond_cache;
+    data_capacity = cap;
     approx_heap_words = !words;
     bytes_per_node = 8 * !words / Stdlib.max 1 count;
+    garbage_words = (3 * !tombstones) + (2 * m.dead_elems);
+    generation = m.generation;
+    compactions = m.compactions_done;
   }
 
 let census_to_json c =
@@ -255,6 +380,9 @@ let census_to_json c =
       ("data_capacity", Obs.Json.Int c.data_capacity);
       ("approx_heap_words", Obs.Json.Int c.approx_heap_words);
       ("bytes_per_node", Obs.Json.Int c.bytes_per_node);
+      ("garbage_words", Obs.Json.Int c.garbage_words);
+      ("generation", Obs.Json.Int c.generation);
+      ("compactions", Obs.Json.Int c.compactions);
     ]
 
 let census_all () = List.map census (live_managers ())
@@ -270,93 +398,241 @@ let () =
    numbers (no node walk) refreshed whenever occupancy is probed. *)
 let occupancy_gauges m =
   if !Obs.enabled_ref then begin
-    Obs.gauge_set "sdd.nodes_allocated" m.count;
-    Obs.gauge_set "sdd.unique.entries" (Dec_tbl.length m.unique);
+    Obs.gauge_set "sdd.nodes_allocated" (Atomic.get m.count);
+    Obs.gauge_set "sdd.unique.entries" (unique_entries_of m);
     Obs.gauge_set "sdd.apply_cache.entries"
-      (Int_tbl.length m.and_cache + Int_tbl.length m.or_cache)
+      (tbl_entries m.and_cache + tbl_entries m.or_cache)
   end;
   if !Flight_recorder.enabled_ref then
     Flight_recorder.record Flight_recorder.Note "sdd.occupancy"
       ~args:
         [
-          ("allocated", string_of_int m.count);
-          ("unique_entries", string_of_int (Dec_tbl.length m.unique));
+          ("allocated", string_of_int (Atomic.get m.count));
+          ("unique_entries", string_of_int (unique_entries_of m));
         ]
 
 let false_ _ = 0
 let true_ _ = 1
+(* ------------------------------------------------------------------ *)
+(* Allocation                                                          *)
+(* ------------------------------------------------------------------ *)
 
-let alloc m d =
-  (* Budget checkpoint: every node allocation gates on [active] (one
-     load + branch when unlimited, see bench/overhead.ml).  The node cap
-     is exact — same allocation sequence, same trip point, whatever the
-     domain count — while clock/cancellation/heap ride the amortized
-     poll. *)
+(* Budget checkpoint: every node allocation gates on [active] (one load
+   + branch when unlimited, see bench/overhead.ml).  The node cap is
+   exact — same allocation sequence, same trip point, whatever the
+   domain count — while clock/cancellation/heap ride the amortized
+   poll.  Runs outside [alloc_mu] so a trip never leaves it held. *)
+let[@inline] budget_gate m =
   if m.budget.Budget.active then begin
-    Budget.check_nodes m.budget m.count;
+    Budget.check_nodes m.budget (Atomic.get m.count);
     Budget.poll m.budget
-  end;
-  if m.count >= Array.length m.data then begin
-    let data' = Array.make (2 * Array.length m.data) (DConst false) in
-    Array.blit m.data 0 data' 0 m.count;
-    m.data <- data'
-  end;
-  let id = m.count in
-  m.data.(id) <- d;
-  m.count <- m.count + 1;
+  end
+
+(* Store growth.  Copies into fresh arrays and republishes the record;
+   in parallel mode the caller holds [alloc_mu], and readers racing on
+   an old snapshot stay correct because every cell they can name was
+   written before its id was published.  Returns the store to write
+   into. *)
+let ensure_node_capacity m st id =
+  if id < Bytes.length st.kind then st
+  else begin
+    let cap = Bytes.length st.kind in
+    let cap' = 2 * cap in
+    let kind = Bytes.make cap' k_tomb in
+    Bytes.blit st.kind 0 kind 0 cap;
+    let vnode = Array.make cap' (-1) in
+    Array.blit st.vnode 0 vnode 0 cap;
+    let aux = Array.make cap' 0 in
+    Array.blit st.aux 0 aux 0 cap;
+    let off = Array.make cap' (-1) in
+    Array.blit st.off 0 off 0 cap;
+    let st' = { kind; vnode; aux; off; elems = st.elems } in
+    Atomic.set m.store st';
+    st'
+  end
+
+let ensure_elems_capacity m st needed =
+  if needed <= Array.length st.elems then st
+  else begin
+    let cap = ref (2 * Array.length st.elems) in
+    while needed > !cap do
+      cap := 2 * !cap
+    done;
+    let elems = Array.make !cap 0 in
+    Array.blit st.elems 0 elems 0 m.elems_len;
+    let st' = { st with elems } in
+    Atomic.set m.store st';
+    st'
+  end
+
+(* Allocation telemetry, shared by the raw allocators below. *)
+let[@inline] after_alloc m count =
   if !Obs.enabled_ref then begin
     Obs.incr "sdd.alloc";
-    Obs.gauge_max "sdd.nodes_allocated" m.count
+    Obs.gauge_max "sdd.nodes_allocated" count
   end;
   (* Occupancy pulse: one flight-recorder note (and gauge refresh) every
      4096 allocations, so a postmortem tail shows growth history without
      taxing the per-alloc path beyond a mask-and-branch. *)
-  if m.count land 4095 = 0 then occupancy_gauges m;
+  if count land 4095 = 0 then occupancy_gauges m
+
+(* Raw literal allocation; in parallel mode the caller holds
+   [alloc_mu].  Cells are fully written before [count] moves, and the
+   id is only handed to other domains through a mutex. *)
+let alloc_lit_raw m leaf polarity =
+  let id = Atomic.get m.count in
+  let st = ensure_node_capacity m (Atomic.get m.store) id in
+  Bytes.unsafe_set st.kind id k_lit;
+  st.vnode.(id) <- leaf;
+  st.aux.(id) <- polarity;
+  st.off.(id) <- -1;
+  Atomic.set m.count (id + 1);
+  after_alloc m (id + 1);
   id
 
-let literal m v polarity =
-  let leaf = Vtree.leaf_of_var m.vt v in
-  let slot = (2 * leaf) + Bool.to_int polarity in
+(* Raw decision allocation from a prime-sorted element list. *)
+let alloc_dec_raw m v sorted k =
+  let id = Atomic.get m.count in
+  let st = ensure_node_capacity m (Atomic.get m.store) id in
+  let st = ensure_elems_capacity m st (m.elems_len + (2 * k)) in
+  let base = m.elems_len in
+  List.iteri
+    (fun i (p, s) ->
+      st.elems.(base + (2 * i)) <- p;
+      st.elems.(base + (2 * i) + 1) <- s)
+    sorted;
+  Bytes.unsafe_set st.kind id k_dec;
+  st.vnode.(id) <- v;
+  st.aux.(id) <- k;
+  st.off.(id) <- base;
+  m.elems_len <- base + (2 * k);
+  Atomic.set m.count (id + 1);
+  after_alloc m (id + 1);
+  id
+
+let alloc_dec m v sorted k =
+  budget_gate m;
+  if m.parallel then begin
+    Mutex.lock m.alloc_mu;
+    let id = alloc_dec_raw m v sorted k in
+    Mutex.unlock m.alloc_mu;
+    id
+  end
+  else alloc_dec_raw m v sorted k
+
+(* Literal lookup by vtree leaf and polarity (0/1).  Outside a parallel
+   section misses allocate directly; inside one, [apply_parallel]
+   pre-creates every literal so the table is read-only, and the locked
+   double-checked slow path below is defense in depth. *)
+let literal_at m leaf polarity =
+  let slot = (2 * leaf) + polarity in
   let cached = m.lit_tbl.(slot) in
   if cached >= 0 then cached
   else begin
-    let id = alloc m (DLit (v, polarity, leaf)) in
-    m.lit_tbl.(slot) <- id;
-    id
+    budget_gate m;
+    if not m.parallel then begin
+      let id = alloc_lit_raw m leaf polarity in
+      m.lit_tbl.(slot) <- id;
+      id
+    end
+    else begin
+      Mutex.lock m.alloc_mu;
+      let cached = m.lit_tbl.(slot) in
+      let id =
+        if cached >= 0 then cached
+        else begin
+          let id = alloc_lit_raw m leaf polarity in
+          m.lit_tbl.(slot) <- id;
+          id
+        end
+      in
+      Mutex.unlock m.alloc_mu;
+      id
+    end
   end
 
+let literal m v polarity =
+  literal_at m (Vtree.leaf_of_var m.vt v) (Bool.to_int polarity)
+
 let vtree_node m a =
-  match m.data.(a) with
-  | DConst _ -> None
-  | DLit (_, _, leaf) -> Some leaf
-  | DDec (v, _) -> Some v
+  let st = Atomic.get m.store in
+  if Bytes.unsafe_get st.kind a = k_const then None else Some st.vnode.(a)
 
 let equal (a : t) (b : t) = a = b
 let is_true _ a = a = 1
 let is_false _ a = a = 0
+
+(* Elements of decision [id] as a (prime, sub) list, newest snapshot not
+   required: cells are immutable once published. *)
+let elements_list st id =
+  let k = st.aux.(id) and base = st.off.(id) in
+  let rec go i acc =
+    if i < 0 then acc
+    else
+      go (i - 1)
+        ((st.elems.(base + (2 * i)), st.elems.(base + (2 * i) + 1)) :: acc)
+  in
+  go (k - 1) []
+
+(* ------------------------------------------------------------------ *)
+(* Sharded cache access                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Missing entries return -1 (node ids are non-negative) so the hot
+   path is exception-free.  Sequential mode takes no locks. *)
+let cache_find m (shards : int Int_tbl.t array) key =
+  let s = Int_key.hash key land shard_mask in
+  if not m.parallel then
+    match Int_tbl.find shards.(s) key with
+    | r -> r
+    | exception Not_found -> -1
+  else begin
+    let mu = m.cache_mu.(s) in
+    Mutex.lock mu;
+    let r =
+      match Int_tbl.find shards.(s) key with
+      | r -> r
+      | exception Not_found -> -1
+    in
+    Mutex.unlock mu;
+    r
+  end
+
+let cache_put m (shards : int Int_tbl.t array) key v =
+  let s = Int_key.hash key land shard_mask in
+  if not m.parallel then Int_tbl.replace shards.(s) key v
+  else begin
+    let mu = m.cache_mu.(s) in
+    Mutex.lock mu;
+    Int_tbl.replace shards.(s) key v;
+    Mutex.unlock mu
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Node construction: compression, trimming, unique table              *)
 (* ------------------------------------------------------------------ *)
 
 let rec negate m a =
-  match Int_tbl.find m.neg_cache a with
-  | r ->
+  let c = cache_find m m.neg_cache a in
+  if c >= 0 then begin
     cache_hit m.cs_neg;
-    r
-  | exception Not_found ->
+    c
+  end
+  else begin
     cache_miss m.cs_neg;
+    let st = Atomic.get m.store in
+    let k = Bytes.unsafe_get st.kind a in
     let r =
-      match m.data.(a) with
-      | DConst b -> if b then 0 else 1
-      | DLit (v, polarity, _) -> literal m v (not polarity)
-      | DDec (v, elems) ->
-        mk_decision m v
-          (Array.to_list (Array.map (fun (p, s) -> (p, negate m s)) elems))
+      if k = k_const then 1 - st.aux.(a)
+      else if k = k_lit then literal_at m st.vnode.(a) (1 - st.aux.(a))
+      else
+        mk_decision m st.vnode.(a)
+          (List.map (fun (p, s) -> (p, negate m s)) (elements_list st a))
     in
-    Int_tbl.replace m.neg_cache a r;
-    Int_tbl.replace m.neg_cache r a;
+    cache_put m m.neg_cache a r;
+    cache_put m m.neg_cache r a;
     r
+  end
 
 (* Builds the canonical node for a decision at vtree node [v] from an
    element list whose primes are pairwise disjoint and jointly exhaustive
@@ -402,15 +678,47 @@ and mk_decision m v elems =
         key.((2 * i) + 1) <- p;
         key.((2 * i) + 2) <- s)
       sorted;
-    (match Dec_tbl.find m.unique key with
-     | id ->
-       cache_hit m.cs_unique;
-       id
-     | exception Not_found ->
-       cache_miss m.cs_unique;
-       let id = alloc m (DDec (v, Array.of_list sorted)) in
-       Dec_tbl.add m.unique key id;
-       id)
+    let shard = dec_shard v in
+    let tbl = m.unique.(shard) in
+    if not m.parallel then begin
+      match Dec_tbl.find tbl key with
+      | id ->
+        cache_hit m.cs_unique;
+        id
+      | exception Not_found ->
+        cache_miss m.cs_unique;
+        let id = alloc_dec m v sorted k in
+        Dec_tbl.add tbl key id;
+        id
+    end
+    else begin
+      (* The shard mutex is held across find + alloc + add so two
+         domains cannot both allocate the same decision (canonicity
+         requires exactly one id per key).  [alloc_dec] nests [alloc_mu]
+         inside the shard lock; the lock order is always
+         shard → alloc and [alloc_mu] takes no further locks, so there
+         is no cycle.  A budget trip inside [alloc_dec] must release
+         the shard. *)
+      let mu = m.unique_mu.(shard) in
+      Mutex.lock mu;
+      match
+        (match Dec_tbl.find tbl key with
+        | id ->
+          cache_hit m.cs_unique;
+          id
+        | exception Not_found ->
+          cache_miss m.cs_unique;
+          let id = alloc_dec m v sorted k in
+          Dec_tbl.add tbl key id;
+          id)
+      with
+      | id ->
+        Mutex.unlock mu;
+        id
+      | exception e ->
+        Mutex.unlock mu;
+        raise e
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Apply                                                               *)
@@ -419,15 +727,17 @@ and mk_decision m v elems =
 (* Elements of [a] viewed as a decision at vtree node [v] (an ancestor of
    a's vtree node, or the node itself). *)
 and elements_at m v a =
-  match m.data.(a) with
-  | DDec (u, elems) when u = v -> Array.to_list elems
-  | _ ->
-    let u = Option.get (vtree_node m a) in
+  let st = Atomic.get m.store in
+  if Bytes.unsafe_get st.kind a = k_dec && st.vnode.(a) = v then
+    elements_list st a
+  else begin
+    let u = st.vnode.(a) in
     if Vtree.in_left_subtree m.vt v u then [ (a, 1); (negate m a, 0) ]
     else begin
       assert (Vtree.in_right_subtree m.vt v u);
       [ (1, a) ]
     end
+  end
 
 and apply m op_and a b =
   let cache = if op_and then m.and_cache else m.or_cache in
@@ -437,19 +747,16 @@ and apply m op_and a b =
   else if a = neutral then b
   else if b = neutral then a
   else if a = b then a
-  else if
-    match Int_tbl.find m.neg_cache a with
-    | r -> r = b
-    | exception Not_found -> false
-  then absorbing
+  else if cache_find m m.neg_cache a = b then absorbing
   else begin
     let key = pair_key (Stdlib.min a b) (Stdlib.max a b) in
     let cstat = if op_and then m.cs_and else m.cs_or in
-    match Int_tbl.find cache key with
-    | r ->
+    let cached = cache_find m cache key in
+    if cached >= 0 then begin
       cache_hit cstat;
-      r
-    | exception Not_found ->
+      cached
+    end
+    else begin
       cache_miss cstat;
       let va = Option.get (vtree_node m a) in
       let vb = Option.get (vtree_node m b) in
@@ -486,8 +793,9 @@ and apply m op_and a b =
           mk_decision m v !out
         end
       in
-      Int_tbl.add cache key r;
+      cache_put m cache key r;
       r
+    end
   end
 
 and conjoin m a b = apply m true a b
@@ -508,33 +816,276 @@ let condition m a x value =
   | lx ->
     let num_nodes = Vtree.num_nodes m.vt in
     let rec go a =
-      match m.data.(a) with
-      | DConst _ -> a
-      | DLit (y, polarity, _) ->
-        if y = x then (if polarity = value then 1 else 0) else a
-      | DDec (v, elems) ->
+      let st = Atomic.get m.store in
+      let k = Bytes.unsafe_get st.kind a in
+      if k = k_const then a
+      else if k = k_lit then begin
+        if st.vnode.(a) = lx then (if st.aux.(a) = Bool.to_int value then 1 else 0)
+        else a
+      end
+      else begin
+        let v = st.vnode.(a) in
         if not (Vtree.is_ancestor m.vt v lx) then a
         else begin
           let key = (((a * num_nodes) + lx) lsl 1) lor Bool.to_int value in
-          match Int_tbl.find m.cond_cache key with
-          | r ->
+          let cached = cache_find m m.cond_cache key in
+          if cached >= 0 then begin
             cache_hit m.cs_cond;
-            r
-          | exception Not_found ->
+            cached
+          end
+          else begin
             cache_miss m.cs_cond;
             let in_left = Vtree.is_ancestor m.vt (Vtree.left m.vt v) lx in
             let elems' =
               List.map
                 (fun (p, s) -> if in_left then (go p, s) else (p, go s))
-                (Array.to_list elems)
+                (elements_list st a)
             in
             let r = mk_decision m v elems' in
-            Int_tbl.add m.cond_cache key r;
+            cache_put m m.cond_cache key r;
             r
+          end
         end
+      end
     in
     go a
+(* ------------------------------------------------------------------ *)
+(* Generational compaction                                             *)
+(* ------------------------------------------------------------------ *)
 
+(* Unique-table key of decision [id], straight from the arena: the
+   element buffer already holds [p0; s0; p1; s1; ...] prime-sorted, so
+   the key is one blit. *)
+let dec_key_of_store st id =
+  let k = st.aux.(id) and base = st.off.(id) in
+  let key = Array.make (1 + (2 * k)) st.vnode.(id) in
+  Array.blit st.elems base key 1 (2 * k);
+  key
+
+let rebuild_unique m =
+  Array.iter Dec_tbl.reset m.unique;
+  let st = Atomic.get m.store in
+  let n = Atomic.get m.count in
+  for id = 2 to n - 1 do
+    if Bytes.unsafe_get st.kind id = k_dec then
+      Dec_tbl.add m.unique.(dec_shard st.vnode.(id)) (dec_key_of_store st id) id
+  done
+
+let saved_entries shards =
+  Array.fold_left
+    (fun acc tbl -> Int_tbl.fold (fun k r acc -> (k, r) :: acc) tbl acc)
+    [] shards
+
+let reset_caches m =
+  Array.iter Int_tbl.reset m.and_cache;
+  Array.iter Int_tbl.reset m.or_cache;
+  Array.iter Int_tbl.reset m.neg_cache;
+  Array.iter Int_tbl.reset m.cond_cache
+
+let seed_neg m =
+  cache_put m m.neg_cache 0 1;
+  cache_put m m.neg_cache 1 0
+
+let mask31 = (1 lsl 31) - 1
+
+(* Compaction: mark live nodes from [roots], relocate them into
+   exact-fit arrays with a monotone remap (ascending old id → ascending
+   new id, so prime-sorted element order and unique keys stay
+   canonical), rebuild the unique table and literal table, and rewrite
+   the packed-int caches through the remap.  Supersedes the reachability
+   GC that dynamic edits perform on their own roots: it reclaims
+   tombstones and dead intermediates across the whole manager, and
+   resets the per-node heap overhead to the live set.
+
+   All raising (the budget poll during marking) happens before any
+   mutation, so a mid-compaction trip leaves the manager untouched —
+   [dynamic_edit] relies on this to keep its transaction rollback
+   simple.  Returns the remapped roots, positionally. *)
+let compact_roots m (roots : int array) : int array =
+  Budget.check m.budget;
+  let t0 = Unix.gettimeofday () in
+  let st = Atomic.get m.store in
+  let n = Atomic.get m.count in
+  let old_node_cap = Bytes.length st.kind in
+  let old_elems_cap = Array.length st.elems in
+  (* -- Mark (iterative: E20-scale chains overflow the OCaml stack). -- *)
+  let live = Bytes.make n '\000' in
+  Bytes.unsafe_set live 0 '\001';
+  Bytes.unsafe_set live 1 '\001';
+  let n_live = ref 2 and live_pairs = ref 0 in
+  (* Literals always survive: lit_tbl must stay total over created
+     literals, and there are at most two per variable. *)
+  for id = 2 to n - 1 do
+    if Bytes.unsafe_get st.kind id = k_lit then begin
+      Bytes.unsafe_set live id '\001';
+      incr n_live
+    end
+  done;
+  let stack = ref (Array.make 1024 0) in
+  let sp = ref 0 in
+  let push x =
+    if !sp >= Array.length !stack then begin
+      let s' = Array.make (2 * Array.length !stack) 0 in
+      Array.blit !stack 0 s' 0 !sp;
+      stack := s'
+    end;
+    !stack.(!sp) <- x;
+    incr sp
+  in
+  Array.iter
+    (fun r -> if r >= 2 && Bytes.unsafe_get live r = '\000' then push r)
+    roots;
+  while !sp > 0 do
+    decr sp;
+    let id = !stack.(!sp) in
+    if Bytes.unsafe_get live id = '\000' then begin
+      Budget.poll m.budget;
+      Bytes.unsafe_set live id '\001';
+      if Bytes.unsafe_get st.kind id = k_dec then begin
+        incr n_live;
+        let k = st.aux.(id) and base = st.off.(id) in
+        live_pairs := !live_pairs + k;
+        for i = 0 to (2 * k) - 1 do
+          let x = st.elems.(base + i) in
+          if x >= 2 && Bytes.unsafe_get live x = '\000' then push x
+        done
+      end
+    end
+  done;
+  (* -- Remap: monotone in old id, so relative order is preserved. -- *)
+  let remap = Array.make (Stdlib.max n 2) (-1) in
+  remap.(0) <- 0;
+  remap.(1) <- 1;
+  let next = ref 2 in
+  for id = 2 to n - 1 do
+    if Bytes.unsafe_get live id = '\001' then begin
+      remap.(id) <- !next;
+      incr next
+    end
+  done;
+  (* -- Relocate into exact-fit arrays. -- *)
+  let node_cap = Stdlib.max 1024 !next in
+  let elems_cap = Stdlib.max 1024 (2 * !live_pairs) in
+  let kind = Bytes.make node_cap k_tomb in
+  let vnode = Array.make node_cap (-1) in
+  let aux = Array.make node_cap 0 in
+  let off = Array.make node_cap (-1) in
+  let elems = Array.make elems_cap 0 in
+  Bytes.unsafe_set kind 0 k_const;
+  Bytes.unsafe_set kind 1 k_const;
+  aux.(1) <- 1;
+  let epos = ref 0 in
+  for id = 2 to n - 1 do
+    if Bytes.unsafe_get live id = '\001' then begin
+      let nid = remap.(id) in
+      let kch = Bytes.unsafe_get st.kind id in
+      Bytes.unsafe_set kind nid kch;
+      vnode.(nid) <- st.vnode.(id);
+      aux.(nid) <- st.aux.(id);
+      if kch = k_dec then begin
+        let k = st.aux.(id) and base = st.off.(id) in
+        off.(nid) <- !epos;
+        for i = 0 to (2 * k) - 1 do
+          elems.(!epos + i) <- remap.(st.elems.(base + i))
+        done;
+        epos := !epos + (2 * k)
+      end
+    end
+  done;
+  (* Save cache entries before the store flips (decode needs nothing,
+     but keep mutation strictly after all reads of the old state). *)
+  let saved_and = saved_entries m.and_cache in
+  let saved_or = saved_entries m.or_cache in
+  let saved_neg = saved_entries m.neg_cache in
+  let saved_cond = saved_entries m.cond_cache in
+  Atomic.set m.store { kind; vnode; aux; off; elems };
+  Atomic.set m.count !next;
+  m.elems_len <- !epos;
+  (* Literal table: same vtree, new ids. *)
+  Array.fill m.lit_tbl 0 (Array.length m.lit_tbl) (-1);
+  for nid = 2 to !next - 1 do
+    if Bytes.unsafe_get kind nid = k_lit then
+      m.lit_tbl.((2 * vnode.(nid)) + aux.(nid)) <- nid
+  done;
+  rebuild_unique m;
+  (* Caches: reinsert through the remap, dropping entries that touch a
+     collected node.  The remap is monotone, so commuted apply keys
+     stay min/max-ordered and stored element sort orders were already
+     preserved above. *)
+  reset_caches m;
+  let reinsert_apply shards entries =
+    List.iter
+      (fun (k, r) ->
+        let ka = k lsr 31 and kb = k land mask31 in
+        if remap.(ka) >= 0 && remap.(kb) >= 0 && remap.(r) >= 0 then begin
+          let a = remap.(ka) and b = remap.(kb) in
+          cache_put m shards (pair_key (Stdlib.min a b) (Stdlib.max a b))
+            remap.(r)
+        end)
+      entries
+  in
+  reinsert_apply m.and_cache saved_and;
+  reinsert_apply m.or_cache saved_or;
+  List.iter
+    (fun (a, b) ->
+      if remap.(a) >= 0 && remap.(b) >= 0 then
+        cache_put m m.neg_cache remap.(a) remap.(b))
+    saved_neg;
+  let nn = Vtree.num_nodes m.vt in
+  List.iter
+    (fun (k, r) ->
+      let value = k land 1 in
+      let k2 = k lsr 1 in
+      let ka = k2 / nn and lx = k2 mod nn in
+      if remap.(ka) >= 0 && remap.(r) >= 0 then
+        cache_put m m.cond_cache
+          ((((remap.(ka) * nn) + lx) lsl 1) lor value)
+          remap.(r))
+    saved_cond;
+  (* Bookkeeping + telemetry (satellite: every compaction leaves a
+     flight-recorder note with relocation and pause figures). *)
+  let relocated = !next - 2 in
+  let words_before = (3 * old_node_cap) + (old_node_cap / 8) + old_elems_cap in
+  let words_after = (3 * node_cap) + (node_cap / 8) + elems_cap in
+  let reclaimed = Stdlib.max 0 (words_before - words_after) in
+  m.dead_nodes <- 0;
+  m.dead_elems <- 0;
+  m.generation <- m.generation + 1;
+  m.compactions_done <- m.compactions_done + 1;
+  m.last_compact_count <- !next;
+  let pause_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+  if !Obs.enabled_ref then begin
+    Obs.incr "sdd.compaction";
+    Obs.event "sdd.compaction"
+      [
+        ("relocated", Obs.Json.Int relocated);
+        ("reclaimed_words", Obs.Json.Int reclaimed);
+        ("pause_us", Obs.Json.Int pause_us);
+        ("generation", Obs.Json.Int m.generation);
+      ]
+  end;
+  if !Flight_recorder.enabled_ref then
+    Flight_recorder.record Flight_recorder.Note "sdd.compaction"
+      ~dur_s:(float_of_int pause_us /. 1e6)
+      ~args:
+        [
+          ("relocated", string_of_int relocated);
+          ("reclaimed_words", string_of_int reclaimed);
+          ("pause_us", string_of_int pause_us);
+          ("generation", string_of_int m.generation);
+        ];
+  Array.map (fun r -> if r < 2 then r else remap.(r)) roots
+
+let compact m root = (compact_roots m [| root |]).(0)
+
+(* Due when the manager has allocated [compact_every] nodes since the
+   last pass or edits have stranded that many tombstones. *)
+let compact_due m =
+  m.compact_every <> max_int
+  && (Atomic.get m.count - m.last_compact_count >= m.compact_every
+     || m.dead_nodes >= m.compact_every)
+
+let maybe_compact m root = if compact_due m then compact m root else root
 (* ------------------------------------------------------------------ *)
 (* Dynamic vtree edits                                                 *)
 (* ------------------------------------------------------------------ *)
@@ -568,10 +1119,10 @@ let condition m a x value =
    the root (dead compile intermediates, leftovers of earlier edits) are
    tombstoned instead of rewritten, so a long chain of edits — the
    in-manager vtree search applies and reverts hundreds — costs
-   O(reachable) per edit rather than O(allocated), and the unique table
-   tracks the live set.  This is exactly the documented handle contract:
-   an edit invalidates every outstanding handle except the forwarded
-   root it returns.
+   O(reachable) per edit rather than O(allocated); tombstones accumulate
+   in the dead counters until [compact] relocates the live set.  This is
+   exactly the documented handle contract: an edit invalidates every
+   outstanding handle except the forwarded root it returns.
 
    The apply/negate/condition caches are snapshotted, cleared for the
    duration of the rebuild (their entries reference old ids), and then
@@ -589,13 +1140,13 @@ let dynamic_edit m move root =
      affected decisions through [disjoin]/[conjoin], and on adversarial
      inputs (inversion lineage) that rebuild blows up — so it must stay
      pollable, yet a trip mid-rebuild would leave the tables
-     half-migrated.  Resolution: snapshot the pre-edit state (node data
-     up to [count], lit_tbl, and the caches already saved below for
-     forwarding), run the rebuild with the budget live, and on
-     [Budget.Exhausted] roll the manager back to the snapshot before
-     re-raising.  Callers always observe either the completed edit or
-     the untouched pre-edit manager.  Unbudgeted edits skip the
-     snapshot entirely. *)
+     half-migrated.  Resolution: snapshot the pre-edit state (arena
+     cells up to [count], element buffer up to [elems_len], lit_tbl,
+     and the caches already saved below for forwarding), run the
+     rebuild with the budget live, and on [Budget.Exhausted] roll the
+     manager back to the snapshot before re-raising.  Callers always
+     observe either the completed edit or the untouched pre-edit
+     manager.  Unbudgeted edits skip the snapshot entirely. *)
   Budget.check m.budget;
   let old_vt = m.vt in
   (* Validates the move (raises Invalid_argument before any mutation). *)
@@ -610,87 +1161,84 @@ let dynamic_edit m move root =
     done
   in
   (match move with
-   | Vtree.Swap v ->
-     affected.(v) <- true;
-     let a = Vtree.left old_vt v and b = Vtree.right old_vt v in
-     let sa = subtree_span old_vt a and sb = subtree_span old_vt b in
-     shift a sb;
-     shift b (-sa)
-   | Vtree.Rotate_right v ->
-     (* ((a b) c) -> (a (b c)): only the a-block moves (one slot left,
-        into the place of the dissolved child); b and c keep their ids. *)
-     let w = Vtree.left old_vt v in
-     affected.(v) <- true;
-     affected.(w) <- true;
-     map.(w) <- -1;
-     shift (Vtree.left old_vt w) (-1)
-   | Vtree.Rotate_left v ->
-     (* (a (b c)) -> ((a b) c): the a-block moves one slot right, under
-        the fresh internal node; b and c keep their ids. *)
-     let w = Vtree.right old_vt v in
-     affected.(v) <- true;
-     affected.(w) <- true;
-     map.(w) <- -1;
-     shift (Vtree.left old_vt v) 1);
-  let old_count = m.count in
-  let saved tbl = Int_tbl.fold (fun k r acc -> (k, r) :: acc) tbl [] in
-  let saved_and = saved m.and_cache in
-  let saved_or = saved m.or_cache in
-  let saved_neg = saved m.neg_cache in
-  let saved_cond = saved m.cond_cache in
-  (* Rollback snapshot, taken only when the budget can trip: node data
-     (the rebuild rewrites literals and unaffected decisions in place)
-     and lit_tbl.  The caches are already saved above, and the unique
-     table is reconstructible from the restored data — tombstoning
-     keeps it in bijection with live decisions. *)
+  | Vtree.Swap v ->
+    affected.(v) <- true;
+    let a = Vtree.left old_vt v and b = Vtree.right old_vt v in
+    let sa = subtree_span old_vt a and sb = subtree_span old_vt b in
+    shift a sb;
+    shift b (-sa)
+  | Vtree.Rotate_right v ->
+    (* ((a b) c) -> (a (b c)): only the a-block moves (one slot left,
+       into the place of the dissolved child); b and c keep their ids. *)
+    let w = Vtree.left old_vt v in
+    affected.(v) <- true;
+    affected.(w) <- true;
+    map.(w) <- -1;
+    shift (Vtree.left old_vt w) (-1)
+  | Vtree.Rotate_left v ->
+    (* (a (b c)) -> ((a b) c): the a-block moves one slot right, under
+       the fresh internal node; b and c keep their ids. *)
+    let w = Vtree.right old_vt v in
+    affected.(v) <- true;
+    affected.(w) <- true;
+    map.(w) <- -1;
+    shift (Vtree.left old_vt v) 1);
+  let old_count = Atomic.get m.count in
+  let old_elems_len = m.elems_len in
+  let saved_and = saved_entries m.and_cache in
+  let saved_or = saved_entries m.or_cache in
+  let saved_neg = saved_entries m.neg_cache in
+  let saved_cond = saved_entries m.cond_cache in
+  (* Rollback snapshot, taken only when the budget can trip: the arena
+     prefix (the rebuild rewrites literal leaves and unaffected
+     decisions in place) and lit_tbl.  The caches are already saved
+     above, and the unique table is reconstructible from the restored
+     cells — tombstoning keeps it in bijection with live decisions. *)
   let snapshot =
-    if m.budget.Budget.active then
-      Some (Array.sub m.data 0 old_count, Array.copy m.lit_tbl)
+    if m.budget.Budget.active then begin
+      let st = Atomic.get m.store in
+      Some
+        ( Bytes.sub st.kind 0 old_count,
+          Array.sub st.vnode 0 old_count,
+          Array.sub st.aux 0 old_count,
+          Array.sub st.off 0 old_count,
+          Array.sub st.elems 0 old_elems_len,
+          Array.copy m.lit_tbl,
+          m.dead_nodes,
+          m.dead_elems )
+    end
     else None
   in
-  let rollback (snap_data, snap_lit) =
+  let rollback (s_kind, s_vnode, s_aux, s_off, s_elems, s_lit, s_dn, s_de) =
     m.vt <- old_vt;
-    m.count <- old_count;
-    Array.blit snap_data 0 m.data 0 old_count;
-    Array.blit snap_lit 0 m.lit_tbl 0 (Array.length snap_lit);
-    Int_tbl.reset m.and_cache;
-    Int_tbl.reset m.or_cache;
-    Int_tbl.reset m.neg_cache;
-    Int_tbl.reset m.cond_cache;
-    List.iter (fun (k, r) -> Int_tbl.replace m.and_cache k r) saved_and;
-    List.iter (fun (k, r) -> Int_tbl.replace m.or_cache k r) saved_or;
-    List.iter (fun (k, r) -> Int_tbl.replace m.neg_cache k r) saved_neg;
-    List.iter (fun (k, r) -> Int_tbl.replace m.cond_cache k r) saved_cond;
-    Dec_tbl.reset m.unique;
-    for id = 2 to old_count - 1 do
-      match m.data.(id) with
-      | DDec (u, elems) ->
-        (* Stored element arrays are already prime-sorted. *)
-        let k = Array.length elems in
-        let key = Array.make (1 + (2 * k)) u in
-        Array.iteri
-          (fun i (p, s) ->
-            key.((2 * i) + 1) <- p;
-            key.((2 * i) + 2) <- s)
-          elems;
-        Dec_tbl.add m.unique key id
-      | DConst _ | DLit _ -> ()
-    done;
+    let st = Atomic.get m.store in
+    Bytes.blit s_kind 0 st.kind 0 old_count;
+    Array.blit s_vnode 0 st.vnode 0 old_count;
+    Array.blit s_aux 0 st.aux 0 old_count;
+    Array.blit s_off 0 st.off 0 old_count;
+    Array.blit s_elems 0 st.elems 0 old_elems_len;
+    Atomic.set m.count old_count;
+    m.elems_len <- old_elems_len;
+    m.dead_nodes <- s_dn;
+    m.dead_elems <- s_de;
+    Array.blit s_lit 0 m.lit_tbl 0 (Array.length s_lit);
+    reset_caches m;
+    List.iter (fun (k, r) -> cache_put m m.and_cache k r) saved_and;
+    List.iter (fun (k, r) -> cache_put m m.or_cache k r) saved_or;
+    List.iter (fun (k, r) -> cache_put m m.neg_cache k r) saved_neg;
+    List.iter (fun (k, r) -> cache_put m m.cond_cache k r) saved_cond;
+    rebuild_unique m;
     if !Obs.enabled_ref then Obs.incr "sdd.edit.rolled_back"
   in
   let on_trip handler f =
     try f () with Budget.Exhausted _ as e -> handler (); raise e
   in
   on_trip (fun () -> Option.iter rollback snapshot) @@ fun () ->
-  Int_tbl.reset m.and_cache;
-  Int_tbl.reset m.or_cache;
-  Int_tbl.reset m.neg_cache;
-  Int_tbl.reset m.cond_cache;
-  Dec_tbl.reset m.unique;
+  reset_caches m;
+  Array.iter Dec_tbl.reset m.unique;
   Array.fill m.lit_tbl 0 (Array.length m.lit_tbl) (-1);
   m.vt <- new_vt;
-  Int_tbl.replace m.neg_cache 0 1;
-  Int_tbl.replace m.neg_cache 1 0;
+  seed_neg m;
   let fwd = Array.init old_count Fun.id in
   let live = Array.make old_count false in
   live.(0) <- true;
@@ -700,14 +1248,14 @@ let dynamic_edit m move root =
      literal nodes during the decision rebuilds below.  All literals are
      kept live regardless of reachability — there are at most two per
      variable and lit_tbl must stay consistent. *)
+  let st0 = Atomic.get m.store in
   for id = 2 to old_count - 1 do
-    match m.data.(id) with
-    | DLit (x, pol, leaf) ->
-      let leaf' = map.(leaf) in
-      m.data.(id) <- DLit (x, pol, leaf');
-      m.lit_tbl.((2 * leaf') + Bool.to_int pol) <- id;
+    if Bytes.unsafe_get st0.kind id = k_lit then begin
+      let leaf' = map.(st0.vnode.(id)) in
+      st0.vnode.(id) <- leaf';
+      m.lit_tbl.((2 * leaf') + st0.aux.(id)) <- id;
       live.(id) <- true
-    | DConst _ | DDec _ -> ()
+    end
   done;
   (* Decisions reachable from the root, in dependency order (elements
      recursively before the decision referencing them). *)
@@ -715,38 +1263,53 @@ let dynamic_edit m move root =
   let rec process id =
     if id >= 2 && id < old_count && not live.(id) then begin
       live.(id) <- true;
-      match m.data.(id) with
-      | DConst _ | DLit _ -> ()
-      | DDec (u, elems) ->
-        Array.iter
+      let st = Atomic.get m.store in
+      if Bytes.unsafe_get st.kind id = k_dec then begin
+        let u = st.vnode.(id) in
+        let pairs = elements_list st id in
+        List.iter
           (fun (p, s) ->
             process p;
             process s)
-          elems;
+          pairs;
         if affected.(u) then begin
           incr rebuilt;
           fwd.(id) <-
-            Array.fold_left
+            List.fold_left
               (fun acc (p, s) -> disjoin m acc (conjoin m fwd.(p) fwd.(s)))
-              0 elems
+              0 pairs
         end
         else begin
           let u' = map.(u) in
-          let k = Array.length elems in
-          let elems' = Array.map (fun (p, s) -> (fwd.(p), fwd.(s))) elems in
-          Array.sort (fun (p1, _) (p2, _) -> Int.compare p1 p2) elems';
+          let k = List.length pairs in
+          let elems' =
+            List.sort
+              (fun (p1, _) (p2, _) -> Int.compare p1 p2)
+              (List.map (fun (p, s) -> (fwd.(p), fwd.(s))) pairs)
+          in
           let key = Array.make (1 + (2 * k)) u' in
-          Array.iteri
+          List.iteri
             (fun i (p, s) ->
               key.((2 * i) + 1) <- p;
               key.((2 * i) + 2) <- s)
             elems';
-          (match Dec_tbl.find m.unique key with
-           | n -> fwd.(id) <- n
-           | exception Not_found ->
-             m.data.(id) <- DDec (u', elems');
-             Dec_tbl.add m.unique key id)
+          let shard = dec_shard u' in
+          match Dec_tbl.find m.unique.(shard) key with
+          | n -> fwd.(id) <- n
+          | exception Not_found ->
+            (* Claim in place: rewrite the cells (the rebuilds above may
+               have grown the store, so refetch the snapshot). *)
+            let st = Atomic.get m.store in
+            st.vnode.(id) <- u';
+            let base = st.off.(id) in
+            List.iteri
+              (fun i (p, s) ->
+                st.elems.(base + (2 * i)) <- p;
+                st.elems.(base + (2 * i) + 1) <- s)
+              elems';
+            Dec_tbl.add m.unique.(shard) key id
         end
+      end
     end
   in
   process root;
@@ -757,22 +1320,27 @@ let dynamic_edit m move root =
      referenced again — every surviving handle and cache entry goes
      through [fwd], and entries touching dead nodes are dropped. *)
   let tombstoned = ref 0 in
+  let stf = Atomic.get m.store in
   for id = 2 to old_count - 1 do
     if (not live.(id)) || fwd.(id) <> id then begin
-      m.data.(id) <- DConst false;
-      incr tombstoned
+      let kch = Bytes.unsafe_get stf.kind id in
+      if kch <> k_tomb then begin
+        if kch = k_dec then m.dead_elems <- m.dead_elems + stf.aux.(id);
+        Bytes.unsafe_set stf.kind id k_tomb;
+        m.dead_nodes <- m.dead_nodes + 1;
+        incr tombstoned
+      end
     end
   done;
   (* Reinsert the cache entries whose nodes survived, under forwarded
      keys; entries referencing collected nodes are dropped. *)
-  let mask31 = (1 lsl 31) - 1 in
-  let reinsert_apply tbl entries =
+  let reinsert_apply shards entries =
     List.iter
       (fun (k, r) ->
         let ka = k lsr 31 and kb = k land mask31 in
         if live.(ka) && live.(kb) && live.(r) then begin
           let a = fwd.(ka) and b = fwd.(kb) in
-          Int_tbl.replace tbl
+          cache_put m shards
             (pair_key (Stdlib.min a b) (Stdlib.max a b))
             fwd.(r)
         end)
@@ -782,7 +1350,7 @@ let dynamic_edit m move root =
   reinsert_apply m.or_cache saved_or;
   List.iter
     (fun (a, b) ->
-      if live.(a) && live.(b) then Int_tbl.replace m.neg_cache fwd.(a) fwd.(b))
+      if live.(a) && live.(b) then cache_put m m.neg_cache fwd.(a) fwd.(b))
     saved_neg;
   List.iter
     (fun (k, r) ->
@@ -791,7 +1359,7 @@ let dynamic_edit m move root =
       let ka = k2 / nn in
       if live.(ka) && live.(r) then begin
         let a = fwd.(ka) and lx = map.(k2 mod nn) in
-        Int_tbl.replace m.cond_cache
+        cache_put m m.cond_cache
           ((((a * nn) + lx) lsl 1) lor value)
           fwd.(r)
       end)
@@ -799,20 +1367,83 @@ let dynamic_edit m move root =
   if !Obs.enabled_ref then begin
     Obs.incr
       (match move with
-       | Vtree.Swap _ -> "sdd.edit.swap"
-       | Vtree.Rotate_left _ -> "sdd.edit.rotate_left"
-       | Vtree.Rotate_right _ -> "sdd.edit.rotate_right");
+      | Vtree.Swap _ -> "sdd.edit.swap"
+      | Vtree.Rotate_left _ -> "sdd.edit.rotate_left"
+      | Vtree.Rotate_right _ -> "sdd.edit.rotate_right");
     Obs.incr ~by:!rebuilt "sdd.edit.rebuilt_decisions";
     Obs.incr ~by:!tombstoned "sdd.edit.tombstoned";
     Obs.hist_record "sdd.edit.tombstoned_per_edit" !tombstoned;
     probe_occupancy m
   end;
-  fwd.(root)
+  (* Opt-in generational compaction rides the same transaction: a
+     budget trip inside [compact] (which only raises before mutating)
+     rolls the whole edit back. *)
+  maybe_compact m fwd.(root)
 
 let apply_move = dynamic_edit
 let swap m v root = dynamic_edit m (Vtree.Swap v) root
 let rotate_left m v root = dynamic_edit m (Vtree.Rotate_left v) root
 let rotate_right m v root = dynamic_edit m (Vtree.Rotate_right v) root
+(* ------------------------------------------------------------------ *)
+(* Sharded parallel apply                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Pre-create both polarities of every vtree variable so lit_tbl is
+   read-only inside the parallel section ([Domain.spawn] publishes the
+   entries to the workers). *)
+let prepare_literals m =
+  List.iter
+    (fun v ->
+      ignore (literal m v true);
+      ignore (literal m v false))
+    (Vtree.variables m.vt)
+
+(* Conjoin each pair in one shared manager, fanned out over domains.
+   Sound for vtree-independent pairs (disjoint unique shards, disjoint
+   subproblems) and still correct — just contended — otherwise: the
+   unique shard mutex is held across find+alloc+add so canonicity
+   survives races, every allocation serializes on [alloc_mu], and cache
+   shards are locked per access.  [domains = 1] (or a single pair) runs
+   the plain sequential path with the locks disarmed, so ablations
+   compare against the true baseline. *)
+let apply_parallel ?domains m pairs =
+  let domains =
+    match domains with Some d -> d | None -> Obs.Worker.default_domains ()
+  in
+  if domains < 1 then invalid_arg "Sdd.apply_parallel: domains must be >= 1";
+  if m.parallel then
+    invalid_arg "Sdd.apply_parallel: manager already in a parallel section";
+  match pairs with
+  | [] -> []
+  | _ when domains = 1 || List.length pairs = 1 ->
+    List.map (fun (a, b) -> conjoin m a b) pairs
+  | _ ->
+    Obs.span "sdd.apply_parallel" @@ fun () ->
+    if !Obs.enabled_ref then begin
+      Obs.incr "sdd.apply_parallel";
+      Obs.gauge_set "sdd.apply_parallel.domains" domains
+    end;
+    prepare_literals m;
+    m.parallel <- true;
+    Fun.protect
+      ~finally:(fun () -> m.parallel <- false)
+      (fun () ->
+        Obs.Worker.parallel_map ~domains (fun (a, b) -> conjoin m a b) pairs)
+
+(* Tree reduction over [apply_parallel]: each round conjoins adjacent
+   pairs in parallel until one root remains. *)
+let conjoin_parallel ?domains m roots =
+  let rec pair_up = function
+    | a :: b :: rest -> (a, b) :: pair_up rest
+    | [ a ] -> [ (a, 1) ]
+    | [] -> []
+  in
+  let rec round = function
+    | [] -> 1
+    | [ r ] -> r
+    | rs -> round (apply_parallel ?domains m (pair_up rs))
+  in
+  round roots
 
 (* ------------------------------------------------------------------ *)
 (* Structure and views                                                 *)
@@ -829,25 +1460,33 @@ let decision m v elems =
    a valid partition at the mapped node, so the rebuild goes through
    [mk_decision] — re-canonicalized in [dst]'s unique table — in one
    memoized O(size) pass.  This is how per-component SDDs compiled in
-   independent managers are conjoined under a composed vtree. *)
+   independent managers are conjoined under a composed vtree.  No
+   compaction fires inside the import: the memo maps source ids to
+   [dst] ids and a relocation would dangle its values. *)
 let import ~dst ~map src root =
   let memo = Int_tbl.create 256 in
   let rec go a =
     match Int_tbl.find_opt memo a with
     | Some b -> b
     | None ->
+      let st = Atomic.get src.store in
+      let k = Bytes.unsafe_get st.kind a in
       let b =
-        match src.data.(a) with
-        | DConst b -> if b then 1 else 0
-        | DLit (v, polarity, _) -> literal dst v polarity
-        | DDec (v, elems) ->
+        if k = k_const then st.aux.(a)
+        else if k = k_lit then
+          literal_at dst
+            (Vtree.leaf_of_var dst.vt (Vtree.var_of_leaf src.vt st.vnode.(a)))
+            st.aux.(a)
+        else begin
           let elems' =
-            Array.to_list elems
-            |> List.map (fun (p, s) ->
-                   let p' = go p in
-                   (p', go s))
+            List.map
+              (fun (p, s) ->
+                let p' = go p in
+                (p', go s))
+              (elements_list st a)
           in
-          mk_decision dst (map v) elems'
+          mk_decision dst (map st.vnode.(a)) elems'
+        end
       in
       Int_tbl.add memo a b;
       b
@@ -861,35 +1500,42 @@ type view =
   | Decision of Vtree.node * (t * t) list
 
 let view m a =
-  match m.data.(a) with
-  | DConst false -> False
-  | DConst true -> True
-  | DLit (v, polarity, _) -> Literal (v, polarity)
-  | DDec (v, elems) -> Decision (v, Array.to_list elems)
+  let st = Atomic.get m.store in
+  let k = Bytes.unsafe_get st.kind a in
+  if k = k_const then (if st.aux.(a) = 1 then True else False)
+  else if k = k_lit then
+    Literal (Vtree.var_of_leaf m.vt st.vnode.(a), st.aux.(a) = 1)
+  else Decision (st.vnode.(a), elements_list st a)
 
+(* Iterative (dynamic edits and E20-scale chains make recursion-depth
+   assumptions unsafe); returns each reachable decision with its vtree
+   node and element list. *)
 let reachable_decisions m a =
+  let st = Atomic.get m.store in
   let seen = Hashtbl.create 64 in
   let acc = ref [] in
-  let rec go a =
-    if not (Hashtbl.mem seen a) then begin
-      Hashtbl.add seen a ();
-      match m.data.(a) with
-      | DConst _ | DLit _ -> ()
-      | DDec (v, elems) ->
-        acc := (a, v, elems) :: !acc;
-        Array.iter
-          (fun (p, s) ->
-            go p;
-            go s)
-          elems
-    end
-  in
-  go a;
+  let stack = ref [ a ] in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | x :: rest ->
+      stack := rest;
+      if not (Hashtbl.mem seen x) then begin
+        Hashtbl.add seen x ();
+        if Bytes.unsafe_get st.kind x = k_dec then begin
+          let pairs = elements_list st x in
+          acc := (x, st.vnode.(x), pairs) :: !acc;
+          List.iter
+            (fun (p, s) -> stack := p :: s :: !stack)
+            pairs
+        end
+      end
+  done;
   !acc
 
 let size m a =
   List.fold_left
-    (fun acc (_, _, elems) -> acc + Array.length elems)
+    (fun acc (_, _, elems) -> acc + List.length elems)
     0 (reachable_decisions m a)
 
 let node_count m a = List.length (reachable_decisions m a)
@@ -899,7 +1545,7 @@ let width_profile m a =
   List.iter
     (fun (_, v, elems) ->
       let cur = Option.value ~default:0 (Hashtbl.find_opt tbl v) in
-      Hashtbl.replace tbl v (cur + Array.length elems))
+      Hashtbl.replace tbl v (cur + List.length elems))
     (reachable_decisions m a);
   List.sort compare (Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [])
 
@@ -910,7 +1556,6 @@ let validate m a =
   let check_one (_, v, elems) =
     if Vtree.is_leaf m.vt v then Error "decision normalized to a leaf"
     else begin
-      let elems = Array.to_list elems in
       let lv = Vtree.left m.vt v and rv = Vtree.right m.vt v in
       let inside side x =
         match vtree_node m x with
@@ -945,38 +1590,37 @@ let validate m a =
   List.fold_left
     (fun acc d -> Result.bind acc (fun () -> check_one d))
     (Ok ()) (reachable_decisions m a)
-
 (* ------------------------------------------------------------------ *)
 (* Counting                                                            *)
 (* ------------------------------------------------------------------ *)
 
 let model_count m a =
+  let st = Atomic.get m.store in
   let cache = Hashtbl.create 64 in
   (* Count of node over exactly the variables below its own vtree node;
      gaps are filled at the use site. *)
   let rec own a =
-    match m.data.(a) with
-    | DConst _ -> assert false
-    | DLit _ -> Bigint.one
-    | DDec (v, elems) ->
-      (match Hashtbl.find_opt cache a with
-       | Some r -> r
-       | None ->
-         let lv = Vtree.left m.vt v and rv = Vtree.right m.vt v in
-         let r =
-           Array.fold_left
-             (fun acc (p, s) ->
-               Bigint.add acc (Bigint.mul (at p lv) (at s rv)))
-             Bigint.zero elems
-         in
-         Hashtbl.add cache a r;
-         r)
+    if Bytes.unsafe_get st.kind a = k_lit then Bigint.one
+    else begin
+      match Hashtbl.find_opt cache a with
+      | Some r -> r
+      | None ->
+        let v = st.vnode.(a) in
+        let lv = Vtree.left m.vt v and rv = Vtree.right m.vt v in
+        let r =
+          List.fold_left
+            (fun acc (p, s) -> Bigint.add acc (Bigint.mul (at p lv) (at s rv)))
+            Bigint.zero (elements_list st a)
+        in
+        Hashtbl.add cache a r;
+        r
+    end
   and at a v =
     (* models of a over the variables below v; requires vtree(a) ≤ v *)
     if a = 0 then Bigint.zero
     else if a = 1 then Bigint.pow2 (Vtree.num_vars_below m.vt v)
     else begin
-      let u = Option.get (vtree_node m a) in
+      let u = st.vnode.(a) in
       let gap = Vtree.num_vars_below m.vt v - Vtree.num_vars_below m.vt u in
       Bigint.mul (Bigint.pow2 gap) (own a)
     end
@@ -986,6 +1630,7 @@ let model_count m a =
 (* Weighted model counting with probabilities (weights of the two
    polarities sum to 1, so vtree gaps contribute factor 1). *)
 let probability m a weight =
+  let st = Atomic.get m.store in
   let cache = Hashtbl.create 64 in
   let rec go a =
     if a = 0 then 0.0
@@ -995,14 +1640,14 @@ let probability m a weight =
       | Some r -> r
       | None ->
         let r =
-          match m.data.(a) with
-          | DConst _ -> assert false
-          | DLit (v, polarity, _) ->
-            if polarity then weight v else 1.0 -. weight v
-          | DDec (_, elems) ->
-            Array.fold_left
+          if Bytes.unsafe_get st.kind a = k_lit then begin
+            let w = weight (Vtree.var_of_leaf m.vt st.vnode.(a)) in
+            if st.aux.(a) = 1 then w else 1.0 -. w
+          end
+          else
+            List.fold_left
               (fun acc (p, s) -> acc +. (go p *. go s))
-              0.0 elems
+              0.0 (elements_list st a)
         in
         Hashtbl.add cache a r;
         r
@@ -1011,6 +1656,7 @@ let probability m a weight =
   go a
 
 let probability_ratio m a weight =
+  let st = Atomic.get m.store in
   let cache = Hashtbl.create 64 in
   let rec go a =
     if a = 0 then Ratio.zero
@@ -1020,14 +1666,14 @@ let probability_ratio m a weight =
       | Some r -> r
       | None ->
         let r =
-          match m.data.(a) with
-          | DConst _ -> assert false
-          | DLit (v, polarity, _) ->
-            if polarity then weight v else Ratio.sub Ratio.one (weight v)
-          | DDec (_, elems) ->
-            Array.fold_left
+          if Bytes.unsafe_get st.kind a = k_lit then begin
+            let w = weight (Vtree.var_of_leaf m.vt st.vnode.(a)) in
+            if st.aux.(a) = 1 then w else Ratio.sub Ratio.one w
+          end
+          else
+            List.fold_left
               (fun acc (p, s) -> Ratio.add acc (Ratio.mul (go p) (go s)))
-              Ratio.zero elems
+              Ratio.zero (elements_list st a)
         in
         Hashtbl.add cache a r;
         r
@@ -1038,23 +1684,26 @@ let probability_ratio m a weight =
 let any_model m a =
   if a = 0 then None
   else begin
+    let st = Atomic.get m.store in
     let bindings = ref [] in
     let rec go a =
-      match m.data.(a) with
-      | DConst true -> ()
-      | DConst false -> assert false
-      | DLit (v, polarity, _) -> bindings := (v, polarity) :: !bindings
-      | DDec (_, elems) ->
+      let k = Bytes.unsafe_get st.kind a in
+      if k = k_const then assert (st.aux.(a) = 1)
+      else if k = k_lit then
+        bindings :=
+          (Vtree.var_of_leaf m.vt st.vnode.(a), st.aux.(a) = 1) :: !bindings
+      else begin
         (* Canonicity: a node other than ⊥ is satisfiable, so some element
            has a satisfiable (non-⊥) sub; its prime is non-⊥ by
            construction. *)
         let p, s =
-          match Array.to_list elems |> List.find_opt (fun (_, s) -> s <> 0) with
+          match List.find_opt (fun (_, s) -> s <> 0) (elements_list st a) with
           | Some e -> e
           | None -> assert false
         in
         go p;
         go s
+      end
     in
     go a;
     let partial = !bindings in
@@ -1082,11 +1731,17 @@ let compile_circuit m c =
   for i = 0 to n - 1 do
     res.(i) <-
       (match Circuit.gate c i with
-       | Circuit.Var v -> literal m v true
-       | Circuit.Const b -> if b then 1 else 0
-       | Circuit.Not j -> negate m res.(j)
-       | Circuit.And js -> conjoin_list m (List.map (fun j -> res.(j)) js)
-       | Circuit.Or js -> disjoin_list m (List.map (fun j -> res.(j)) js))
+      | Circuit.Var v -> literal m v true
+      | Circuit.Const b -> if b then 1 else 0
+      | Circuit.Not j -> negate m res.(j)
+      | Circuit.And js -> conjoin_list m (List.map (fun j -> res.(j)) js)
+      | Circuit.Or js -> disjoin_list m (List.map (fun j -> res.(j)) js));
+    (* Per-gate compaction checkpoint (opt-in via [compact_every]): the
+       live roots are exactly the gate results computed so far. *)
+    if compact_due m then begin
+      let roots = compact_roots m (Array.sub res 0 (i + 1)) in
+      Array.blit roots 0 res 0 (i + 1)
+    end
   done;
   if !Obs.enabled_ref then probe_occupancy m;
   res.(Circuit.output c)
@@ -1104,24 +1759,25 @@ let of_boolfun_naive m f =
 let eval m a asg =
   (* Memoized per call so that shared subnodes are evaluated once: total
      work is linear in the number of reachable elements. *)
+  let st = Atomic.get m.store in
   let memo = Hashtbl.create 64 in
   let rec go a =
     match Hashtbl.find_opt memo a with
     | Some r -> r
     | None ->
       let r =
-        match m.data.(a) with
-        | DConst b -> b
-        | DLit (v, polarity, _) -> Boolfun.Smap.find v asg = polarity
-        | DDec (_, elems) ->
-          let rec find i =
-            if i >= Array.length elems then assert false (* exhaustive *)
-            else begin
-              let p, s = elems.(i) in
-              if go p then go s else find (i + 1)
-            end
+        let k = Bytes.unsafe_get st.kind a in
+        if k = k_const then st.aux.(a) = 1
+        else if k = k_lit then
+          Boolfun.Smap.find (Vtree.var_of_leaf m.vt st.vnode.(a)) asg
+          = (st.aux.(a) = 1)
+        else begin
+          let rec find = function
+            | [] -> assert false (* exhaustive *)
+            | (p, s) :: rest -> if go p then go s else find rest
           in
-          find 0
+          find (elements_list st a)
+        end
       in
       Hashtbl.add memo a r;
       r
@@ -1129,6 +1785,7 @@ let eval m a asg =
   go a
 
 let to_boolfun m a =
+  let st = Atomic.get m.store in
   let vars = Vtree.variables m.vt in
   (* Bit position of each leaf's variable in the sorted variable order:
      literals evaluate with two shifts instead of a map lookup, and the
@@ -1139,28 +1796,27 @@ let to_boolfun m a =
   Boolfun.of_fun_index vars (fun i ->
       Int_tbl.reset memo;
       let rec go a =
-        match m.data.(a) with
-        | DConst b -> b
-        | DLit (_, polarity, leaf) ->
-          (i lsr pos_of_leaf.(leaf)) land 1 = Bool.to_int polarity
-        | DDec (_, elems) ->
-          (match Int_tbl.find memo a with
-           | r -> r
-           | exception Not_found ->
-             let rec find j =
-               if j >= Array.length elems then assert false (* exhaustive *)
-               else begin
-                 let p, s = elems.(j) in
-                 if go p then go s else find (j + 1)
-               end
-             in
-             let r = find 0 in
-             Int_tbl.add memo a r;
-             r)
+        let k = Bytes.unsafe_get st.kind a in
+        if k = k_const then st.aux.(a) = 1
+        else if k = k_lit then
+          (i lsr pos_of_leaf.(st.vnode.(a))) land 1 = st.aux.(a)
+        else begin
+          match Int_tbl.find memo a with
+          | r -> r
+          | exception Not_found ->
+            let rec find = function
+              | [] -> assert false (* exhaustive *)
+              | (p, s) :: rest -> if go p then go s else find rest
+            in
+            let r = find (elements_list st a) in
+            Int_tbl.add memo a r;
+            r
+        end
       in
       go a)
 
 let to_nnf_circuit m a =
+  let st = Atomic.get m.store in
   let b = Circuit.Builder.create () in
   let memo = Hashtbl.create 64 in
   let rec go a =
@@ -1168,15 +1824,18 @@ let to_nnf_circuit m a =
     | Some r -> r
     | None ->
       let r =
-        match m.data.(a) with
-        | DConst v -> Circuit.Builder.const b v
-        | DLit (v, true, _) -> Circuit.Builder.var b v
-        | DLit (v, false, _) -> Circuit.Builder.not_ b (Circuit.Builder.var b v)
-        | DDec (_, elems) ->
+        let k = Bytes.unsafe_get st.kind a in
+        if k = k_const then Circuit.Builder.const b (st.aux.(a) = 1)
+        else if k = k_lit then begin
+          let v = Vtree.var_of_leaf m.vt st.vnode.(a) in
+          if st.aux.(a) = 1 then Circuit.Builder.var b v
+          else Circuit.Builder.not_ b (Circuit.Builder.var b v)
+        end
+        else
           Circuit.Builder.or_ b
             (List.map
                (fun (p, s) -> Circuit.Builder.and_ b [ go p; go s ])
-               (Array.to_list elems))
+               (elements_list st a))
       in
       Hashtbl.add memo a r;
       r
@@ -1185,14 +1844,21 @@ let to_nnf_circuit m a =
 
 let pp m ppf a =
   let rec go ppf a =
-    match m.data.(a) with
-    | DConst false -> Format.pp_print_string ppf "F"
-    | DConst true -> Format.pp_print_string ppf "T"
-    | DLit (v, true, _) -> Format.pp_print_string ppf v
-    | DLit (v, false, _) -> Format.fprintf ppf "~%s" v
-    | DDec (v, elems) ->
-      Format.fprintf ppf "@[<hov 1>[@%d" v;
-      Array.iter (fun (p, s) -> Format.fprintf ppf " (%a,%a)" go p go s) elems;
+    let st = Atomic.get m.store in
+    let k = Bytes.unsafe_get st.kind a in
+    if k = k_const then
+      Format.pp_print_string ppf (if st.aux.(a) = 1 then "T" else "F")
+    else if k = k_lit then begin
+      let v = Vtree.var_of_leaf m.vt st.vnode.(a) in
+      if st.aux.(a) = 1 then Format.pp_print_string ppf v
+      else Format.fprintf ppf "~%s" v
+    end
+    else begin
+      Format.fprintf ppf "@[<hov 1>[@%d" st.vnode.(a);
+      List.iter
+        (fun (p, s) -> Format.fprintf ppf " (%a,%a)" go p go s)
+        (elements_list st a);
       Format.fprintf ppf "]@]"
+    end
   in
   go ppf a

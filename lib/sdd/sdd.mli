@@ -16,7 +16,7 @@ type t
 
 (** {1 Manager} *)
 
-val manager : ?budget:Budget.t -> Vtree.t -> manager
+val manager : ?budget:Budget.t -> ?compact_every:int -> Vtree.t -> manager
 (** [budget] (default {!Budget.unlimited}) is polled at every node
     allocation: the live-node cap is checked exactly, the clock /
     cancellation token / heap watermark at the budget's amortized
@@ -25,7 +25,14 @@ val manager : ?budget:Budget.t -> Vtree.t -> manager
     {!apply_move} is transactional: it checks before mutating, polls
     throughout the rebuild, and rolls the manager back to its pre-edit
     state if the budget trips mid-edit, so a budgeted manager never
-    observes a half-applied edit. *)
+    observes a half-applied edit.
+
+    [compact_every] (default [max_int], i.e. never) arms generational
+    compaction: when that many nodes have been allocated since the last
+    pass, or dynamic edits have stranded that many tombstones, the
+    checkpoints inside {!apply_move} and {!compile_circuit} (and the
+    pipeline's clause loop) run {!compact} on their live roots.
+    @raise Invalid_argument if [compact_every < 1]. *)
 
 val vtree : manager -> Vtree.t
 val num_nodes_allocated : manager -> int
@@ -34,6 +41,69 @@ val budget : manager -> Budget.t
 val set_budget : manager -> Budget.t -> unit
 (** Replace the manager's budget (e.g. release it after a successful
     compile, or install one before a long minimization). *)
+
+(** {1 Generational compaction}
+
+    Dynamic edits tombstone dead slots rather than reclaiming them; the
+    arena store accumulates that garbage until a compaction pass
+    relocates the live set into exact-fit arrays.  Compaction
+    {e invalidates every outstanding handle} except the roots it is
+    given (same contract as a dynamic edit): pass in each handle you
+    intend to keep and continue with the returned equivalents.  Each
+    pass bumps {!generation}, records an [sdd.compaction] event and a
+    flight-recorder note (nodes relocated, words reclaimed, pause µs),
+    and resets the census garbage counters. *)
+
+val compact : manager -> t -> t
+(** [compact m root] reclaims everything not reachable from [root]
+    (literals and constants always survive) and returns the relocated
+    root.  Raises [Budget.Exhausted] only before mutating anything, so
+    a budget trip leaves the manager untouched. *)
+
+val compact_roots : manager -> t array -> t array
+(** Multi-root {!compact}: the whole array is kept live and returned
+    relocated, positionally. *)
+
+val maybe_compact : manager -> t -> t
+(** {!compact} if the [compact_every] threshold is due, else the
+    identity.  The checkpoint used by the compile loops. *)
+
+val set_compact_every : manager -> int -> unit
+(** Re-arm (or disarm with [max_int]) the compaction threshold.
+    @raise Invalid_argument if the argument is [< 1]. *)
+
+val generation : manager -> int
+(** Number of compactions survived by the current node ids — handles
+    from an older generation are invalid. *)
+
+val compactions : manager -> int
+(** Total compaction passes run by this manager. *)
+
+(** {1 Parallel apply}
+
+    The unique table and the apply/negate/condition caches are sharded
+    (by vtree node and key hash respectively), so several domains can
+    conjoin {e vtree-independent} sub-SDDs inside one manager: each
+    subproblem touches its own shards and the only serialization point
+    is node allocation.  The section is cooperative: the manager's
+    mutexes are armed for its duration and every literal is pre-created
+    before the fan-out. *)
+
+val apply_parallel : ?domains:int -> manager -> (t * t) list -> t list
+(** [apply_parallel m pairs] conjoins each pair, fanning the list out
+    over [domains] worker domains (default
+    [Obs.Worker.default_domains ()], which honours [CTWSDD_DOMAINS]).
+    With [domains = 1] or a single pair this is exactly the sequential
+    [conjoin] loop — no locks armed — so ablations compare against the
+    true baseline.  Node-cap budget trips remain exact; deadline and
+    cancellation trips are checked at the shared amortized cadence.
+    @raise Invalid_argument if [domains < 1] or the manager is already
+    inside a parallel section. *)
+
+val conjoin_parallel : ?domains:int -> manager -> t list -> t
+(** Tree reduction over {!apply_parallel}: rounds of adjacent-pair
+    conjoins until one root remains ([⊤] for the empty list).  Used by
+    the pipeline to conjoin per-component SDDs after import. *)
 
 val stats : manager -> Obs.Cache.snapshot list
 (** Hit/miss/size statistics of the manager's five hash tables, in the
@@ -56,11 +126,17 @@ type census = {
   apply_entries : int;  (** AND + OR cache entries. *)
   neg_entries : int;
   cond_entries : int;
-  data_capacity : int;  (** Node-store array length. *)
+  data_capacity : int;  (** Node-store (arena) capacity in slots. *)
   approx_heap_words : int;
-      (** Estimated words held by nodes, element arrays, unique-table
-          keys and bucket cells. *)
+      (** Estimated words held by the arena columns, the element
+          buffer, the literal table, unique-table keys and bucket
+          cells. *)
   bytes_per_node : int;  (** [8 * approx_heap_words / allocated]. *)
+  garbage_words : int;
+      (** Words stranded by tombstones (dead slots and their element
+          pairs) — what the next compaction would reclaim. *)
+  generation : int;  (** Compaction generation of the node ids. *)
+  compactions : int;  (** Total compaction passes run. *)
 }
 
 val census : manager -> census
