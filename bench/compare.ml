@@ -1,4 +1,4 @@
-(* Diff two ctwsdd-metrics files (v1, v2 or v3) and print a per-span
+(* Diff two ctwsdd-metrics files (v1 through v4) and print a per-span
    speedup table:
 
      dune exec bench/compare.exe -- \

@@ -9,8 +9,9 @@
      dune exec bench/main.exe -- --trace    -- also write TRACE_<ids>.json
 
    Each experiment additionally writes its metrics (span timings, cache
-   statistics, counters, histograms, GC deltas, trajectory events) to
-   BENCH_<ids>.json in the working directory, in the ctwsdd-metrics/v3
+   statistics, counters, histograms, GC deltas, trajectory events,
+   attribution cost centers) to BENCH_<ids>.json in the working
+   directory, in the ctwsdd-metrics/v4
    schema documented in EXPERIMENTS.md, so the performance trajectory
    across commits is machine-readable.  With --trace, every span call is
    also recorded individually and dumped as a Chrome trace_event file
@@ -29,6 +30,7 @@ let experiments =
     ([ "E18" ], "pipeline compilation and dynamic minimization", Exp_pipeline.run);
     ([ "E19" ], "SAT-scale CNF compilation", Exp_cnf.run);
     ([ "E20" ], "arena store: scale, compaction, parallel apply", Exp_arena.run);
+    ([ "E21" ], "attribution profiler and parallelism observability", Exp_attr.run);
   ]
 
 let metrics_file ids = "BENCH_" ^ String.concat "_" ids ^ ".json"

@@ -77,6 +77,24 @@ let per_call_event () =
         Obs.event "overhead.calib" []
       done)
 
+(* The attribution profiler (PR 9) shares the master switch: a disabled
+   [with_center] or charge is one [enabled_ref] load and branch.  The
+   center value is built outside the loop — constructors format labels,
+   which the disabled path never does. *)
+let per_call_attr_center () =
+  let c = Attribution.component 0 in
+  let nothing () = ignore (Sys.opaque_identity 0) in
+  calibrate (fun () ->
+      for _ = 1 to calib_iters do
+        Attribution.with_center c nothing
+      done)
+
+let per_call_attr_charge () =
+  calibrate (fun () ->
+      for _ = 1 to calib_iters do
+        Attribution.charge_nodes 1
+      done)
+
 (* The checkpoint [Sdd.alloc] runs per node: one [active] load and
    branch when the manager carries [Budget.unlimited].  [Budget.poll] on
    the unlimited budget is that same gate behind a call, so timing it is
@@ -139,6 +157,20 @@ let () =
   in
   let event_count = List.length (Obs.events ()) in
   let budget_gates = Obs.counter_value "sdd.alloc" in
+  (* Attribution call counts from the same enabled run: [enters] counts
+     [with_center] calls exactly; the integer charges are upper bounds
+     in the [incr ~by] sense (a [charge_elements k] counts as k). *)
+  let attr_rows = Attribution.export () in
+  let attr_enters =
+    List.fold_left (fun acc r -> acc + r.Attribution.enters) 0 attr_rows
+  in
+  let attr_charges =
+    List.fold_left
+      (fun acc r ->
+        acc + r.Attribution.nodes + r.Attribution.elements
+        + r.Attribution.apply_misses)
+      0 attr_rows
+  in
   Obs.reset ();
   (* 3: disabled wall time (best of 3 to shed scheduling noise) and
      per-call disabled instrument cost. *)
@@ -148,12 +180,16 @@ let () =
   let incr_cost, incr_samples = per_call_incr () in
   let hist_cost, hist_samples' = per_call_hist () in
   let event_cost, event_samples = per_call_event () in
+  let attr_center_cost, attr_center_samples = per_call_attr_center () in
+  let attr_charge_cost, attr_charge_samples = per_call_attr_charge () in
   let budget_cost, budget_samples = per_call_budget_gate () in
   let est_overhead_s =
     (float_of_int span_calls *. span_cost)
     +. (float_of_int counter_bumps *. incr_cost)
     +. (float_of_int hist_samples *. hist_cost)
     +. (float_of_int event_count *. event_cost)
+    +. (float_of_int attr_enters *. attr_center_cost)
+    +. (float_of_int attr_charges *. attr_charge_cost)
     +. (float_of_int budget_gates *. budget_cost)
   in
   let fraction = est_overhead_s /. disabled_s in
@@ -165,12 +201,18 @@ let () =
     (1e9 *. hist_cost);
   Printf.printf "disabled event    : %.2f ns/call (median of 3)\n"
     (1e9 *. event_cost);
+  Printf.printf "disabled attr ctr : %.2f ns/call (median of 3)\n"
+    (1e9 *. attr_center_cost);
+  Printf.printf "disabled attr chg : %.2f ns/call (median of 3)\n"
+    (1e9 *. attr_charge_cost);
   Printf.printf "budget gate       : %.2f ns/call (median of 3)\n"
     (1e9 *. budget_cost);
   Printf.printf "span calls        : %d\n" span_calls;
   Printf.printf "counter bumps     : %d (upper bound)\n" counter_bumps;
   Printf.printf "hist samples      : %d (upper bound)\n" hist_samples;
   Printf.printf "events            : %d\n" event_count;
+  Printf.printf "attr enters       : %d\n" attr_enters;
+  Printf.printf "attr charges      : %d (upper bound)\n" attr_charges;
   Printf.printf "budget gates      : %d (sdd.alloc)\n" budget_gates;
   Printf.printf "workload disabled : %.1f ms\n" (1e3 *. disabled_s);
   Printf.printf "est. overhead     : %.3f ms (%.3f%% of workload, bound %.1f%%)\n"
@@ -188,6 +230,8 @@ let () =
     dump "incr" incr_samples;
     dump "hist" hist_samples';
     dump "event" event_samples;
+    dump "attr center" attr_center_samples;
+    dump "attr charge" attr_charge_samples;
     dump "budget gate" budget_samples;
     exit 1
   end

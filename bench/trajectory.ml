@@ -1,4 +1,4 @@
-(* Render the vtree-search trajectory recorded in a ctwsdd-metrics/v3
+(* Render the vtree-search trajectory recorded in a ctwsdd-metrics/v4
    file as a table:
 
      dune exec bench/trajectory.exe -- METRICS.json

@@ -3,17 +3,21 @@
      ctwsdd compile   -c "(or (and x y) (not z))" --vtree lemma1
      ctwsdd treewidth -c "(and (or a b) (or b c))"
      ctwsdd query     -q "R(x), S(x,y)" --db facts.txt
+     ctwsdd explain   instance.cnf --parallel-apply 4
      ctwsdd isa 18
 
    Database files contain one fact per line: `R(a,b) 1/2`.
 
    Every subcommand accepts --stats (human-readable span timings, cache
    statistics and histograms on stderr, keeping stdout pipeable),
-   --trace FILE (ctwsdd-metrics/v3 JSON dump), --trace-out FILE (Chrome
+   --trace FILE (ctwsdd-metrics/v4 JSON dump), --trace-out FILE (Chrome
    trace_event file for Perfetto / chrome://tracing), --telemetry-out
    FILE [--telemetry-interval SEC] (OpenMetrics text snapshots, written
-   atomically and periodically for live scraping) and --postmortem FILE
-   (where failure dumps land); see EXPERIMENTS.md for the schemas.
+   atomically and periodically for live scraping; FILE may be `-` for
+   stdout), --explain-out FILE (ctwsdd-explain/v1 attribution report)
+   and --postmortem FILE (where failure dumps land); see EXPERIMENTS.md
+   for the schemas.  CTWSDD_RING resizes the always-on flight-recorder
+   ring; CTWSDD_DOMAINS caps the parallel worker pool.
 
    A postmortem dump (ctwsdd-postmortem/v1 JSON: flight-recorder tail,
    metrics snapshot, GC stats, manager census, budget state) is written
@@ -200,6 +204,7 @@ type obs_opts = {
   trace_out : string option;
   telemetry_out : string option;
   telemetry_interval : float;
+  explain_out : string option;
   postmortem : string;
 }
 
@@ -210,7 +215,7 @@ let stats_flag =
 
 let trace_file =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
-         ~doc:"Write all recorded metrics to $(docv) as ctwsdd-metrics/v3 \
+         ~doc:"Write all recorded metrics to $(docv) as ctwsdd-metrics/v4 \
                JSON (implies collection, like $(b,--stats)).")
 
 let trace_out_file =
@@ -222,9 +227,10 @@ let trace_out_file =
 let telemetry_out_file =
   Arg.(value & opt (some string) None & info [ "telemetry-out" ] ~docv:"FILE"
          ~doc:"Write OpenMetrics / Prometheus text snapshots of the live \
-               counters, gauges, histograms, caches and GC state to \
-               $(docv) (atomic replace, so `watch cat` or a textfile \
-               collector never sees a torn file).  Implies collection. \
+               counters, gauges, histograms, caches, attribution cost \
+               centers and GC state to $(docv) (atomic replace, so \
+               `watch cat` or a textfile collector never sees a torn \
+               file; `-` prints to stdout instead).  Implies collection. \
                One snapshot is written at startup and one at exit; add \
                $(b,--telemetry-interval) for periodic refresh.")
 
@@ -234,6 +240,15 @@ let telemetry_interval_arg =
                the run is in flight (0, the default, means only at \
                startup and exit).")
 
+let explain_out_file =
+  Arg.(value & opt (some string) None & info [ "explain-out" ] ~docv:"FILE"
+         ~doc:"Write a ctwsdd-explain/v1 JSON attribution report to \
+               $(docv) after the run: ranked cost centers (vtree nodes, \
+               treewidth bags, clauses, components, pipeline rungs), top \
+               bags by node growth with width vs log2(nodes), per-shard \
+               lock contention, and the parallelism / Amdahl summary.  \
+               Implies collection.")
+
 let postmortem_file =
   Arg.(value & opt string "ctwsdd-postmortem.json" & info [ "postmortem" ]
          ~docv:"FILE"
@@ -241,11 +256,14 @@ let postmortem_file =
                uncaught exceptions and SIGUSR1).")
 
 let obs_term =
-  let mk stats trace trace_out telemetry_out telemetry_interval postmortem =
-    { stats; trace; trace_out; telemetry_out; telemetry_interval; postmortem }
+  let mk stats trace trace_out telemetry_out telemetry_interval explain_out
+      postmortem =
+    { stats; trace; trace_out; telemetry_out; telemetry_interval; explain_out;
+      postmortem }
   in
   Term.(const mk $ stats_flag $ trace_file $ trace_out_file
-        $ telemetry_out_file $ telemetry_interval_arg $ postmortem_file)
+        $ telemetry_out_file $ telemetry_interval_arg $ explain_out_file
+        $ postmortem_file)
 
 (* Runs the body (which returns the process exit code: 0, or a budget
    code from the table above) with observability enabled when requested,
@@ -264,7 +282,7 @@ let run_with_obs o f =
   Postmortem.install_sigusr1 ();
   let collecting =
     o.stats || o.trace <> None || o.trace_out <> None
-    || o.telemetry_out <> None
+    || o.telemetry_out <> None || o.explain_out <> None
   in
   if collecting then begin
     Obs.set_enabled true;
@@ -315,15 +333,26 @@ let run_with_obs o f =
     Option.iter
       (fun path ->
         Openmetrics.write path;
-        Printf.eprintf "telemetry: wrote %s\n%!" path)
-      o.telemetry_out
+        if path <> "-" then Printf.eprintf "telemetry: wrote %s\n%!" path)
+      o.telemetry_out;
+    Option.iter
+      (fun path ->
+        Explain.write (Explain.collect ()) path;
+        Printf.eprintf "explain : wrote %s\n%!" path)
+      o.explain_out
   in
   (* Validate the environment inside the guarded region so a bad
-     CTWSDD_DOMAINS surfaces as a usage error, not a crash mid-run. *)
+     CTWSDD_DOMAINS or CTWSDD_RING surfaces as a usage error, not a
+     crash mid-run.  The ring capacity is applied after the hard_reset
+     above (which clears entries but preserves capacity). *)
   let f () =
     (match Obs.Worker.domains_env () with
      | Error msg -> raise (Cli_usage msg)
      | Ok _ -> ());
+    (match Flight_recorder.ring_env () with
+     | Error msg -> raise (Cli_usage msg)
+     | Ok None -> ()
+     | Ok (Some n) -> Flight_recorder.set_capacity n);
     f ()
   in
   match f () with
@@ -489,7 +518,7 @@ let parse_db path =
   Pdb.make (List.rev !entries)
 
 let query_cmd =
-  let run query db_path brute minimize timeout max_nodes o =
+  let run query db_path brute minimize compact_every timeout max_nodes o =
     run_with_obs o @@ fun () ->
     let budget = budget_of timeout max_nodes in
     let q = Ucq.of_string query in
@@ -507,7 +536,7 @@ let query_cmd =
       (List.length (Circuit.variables lineage));
     match
       Obs.span "cli.prob_sdd" (fun () ->
-          Ctwsdd.prob ~budget ~minimize q db)
+          Ctwsdd.prob ~budget ~minimize ?compact_every q db)
     with
     | Error e -> report_error e
     | Ok a ->
@@ -554,8 +583,8 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~exits:exit_code_docs
        ~doc:"Probability of a UCQ over a probabilistic database")
-    Term.(ret (const run $ query $ db $ brute $ minimize_flag $ timeout_arg
-               $ max_nodes_arg $ obs_term))
+    Term.(ret (const run $ query $ db $ brute $ minimize_flag
+               $ compact_every_arg $ timeout_arg $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* cnf : DIMACS model counting                                         *)
@@ -723,6 +752,111 @@ let cnf_cmd =
                $ timeout_arg $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
+(* explain : attribution report for a CNF compile                      *)
+(* ------------------------------------------------------------------ *)
+
+let explain_cmd =
+  let run path schedule domains no_preprocess compact_every parallel_apply
+      top timeout max_nodes o =
+    (* The report is written from inside the run (it needs the component
+       managers' censuses); strip explain_out from the generic exporter
+       so it is not overwritten with a census-less collect afterwards. *)
+    let explain_out = o.explain_out in
+    run_with_obs { o with explain_out = None } @@ fun () ->
+    (* The whole point of this subcommand is the attribution report:
+       collection is on regardless of the --stats/--trace switches. *)
+    if not (Obs.enabled ()) then begin
+      Obs.set_enabled true;
+      Obs.reset ()
+    end;
+    let budget = budget_of timeout max_nodes in
+    let d = Obs.span "cli.parse" (fun () -> Dimacs.parse_file path) in
+    Printf.eprintf "cnf: %d variables, %d clauses\n%!" d.Dimacs.num_vars
+      (List.length d.Dimacs.clauses);
+    match
+      Ctwsdd.compile_cnf ~budget ~preprocess:(not no_preprocess) ~schedule
+        ?domains ?compact_every d
+    with
+    | Error e -> report_error e
+    | Ok r ->
+      (* The optional joint conjoin is what arms the sharded locks and
+         populates the contention / critical-path sections. *)
+      (match parallel_apply with
+       | None -> ()
+       | Some n ->
+         ignore
+           (Obs.span "cli.parallel_apply" (fun () ->
+                Ctwsdd.conjoin_components ~domains:n r)));
+      (* Check per-bag attributed nodes against the component managers
+         only: a joint conjoin target would dilute the coverage ratio
+         with nodes no bag ever allocated. *)
+      let censuses =
+        List.map
+          (fun (c : Pipeline.cnf_component) -> Sdd.census c.Pipeline.k_manager)
+          r.Pipeline.components
+      in
+      let report =
+        Explain.collect ~top
+          ?censuses:(if censuses = [] then None else Some censuses)
+          ()
+      in
+      Format.printf "%a@." Explain.pp report;
+      Option.iter
+        (fun p ->
+          Explain.write report p;
+          Printf.eprintf "explain : wrote %s\n%!" p)
+        explain_out;
+      report_degraded r.Pipeline.cnf_degraded
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let no_preprocess =
+    Arg.(value & flag & info [ "no-preprocess" ]
+           ~doc:"Skip CNF preprocessing, as on $(b,ctwsdd cnf).")
+  in
+  let schedule =
+    Arg.(value
+         & opt (enum [ ("bags", `Bags); ("clauses", `Clauses) ]) `Bags
+         & info [ "schedule" ] ~docv:"ORDER"
+             ~doc:"Clause conjunction order within a component ($(b,bags) \
+                   or $(b,clauses)); with $(b,clauses) there are no bag \
+                   cost centers to report.")
+  in
+  let domains =
+    Arg.(value & opt (some pos_int) None & info [ "components" ] ~docv:"N"
+           ~doc:"Compile up to $(docv) connected components in parallel.")
+  in
+  let parallel_apply =
+    Arg.(value & opt (some pos_int) None & info [ "parallel-apply" ]
+           ~docv:"N"
+           ~doc:"Also conjoin the component SDDs with a parallel tree \
+                 reduction over $(docv) domains, populating the shard \
+                 contention and Amdahl sections.")
+  in
+  let top =
+    Arg.(value & opt pos_int 10 & info [ "top" ] ~docv:"K"
+           ~doc:"Rows in the ranked tables (cost centers, bags).")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~exits:exit_code_docs
+       ~doc:"Compile a DIMACS CNF and report where the time and nodes went"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the same scaling pipeline as $(b,ctwsdd cnf) with the \
+              attribution profiler on, then prints a ranked cost-center \
+              table (treewidth bags, clauses, components, pipeline \
+              rungs), the top bags by node growth with bag width against \
+              log2(nodes), the per-shard lock-contention heatmap and the \
+              parallelism/Amdahl summary with the critical path.  \
+              $(b,--explain-out) additionally writes the report as \
+              ctwsdd-explain/v1 JSON.";
+         ])
+    Term.(ret (const run $ path $ schedule $ domains $ no_preprocess
+               $ compact_every_arg $ parallel_apply $ top $ timeout_arg
+               $ max_nodes_arg $ obs_term))
+
+(* ------------------------------------------------------------------ *)
 (* isa                                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -773,4 +907,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ compile_cmd; treewidth_cmd; query_cmd; cnf_cmd; isa_cmd ]))
+          [ compile_cmd; treewidth_cmd; query_cmd; cnf_cmd; explain_cmd;
+            isa_cmd ]))

@@ -69,6 +69,7 @@ val prob :
   ?budget:Budget.t ->
   ?vtree:Vtree.t ->
   ?minimize:bool ->
+  ?compact_every:int ->
   Ucq.t ->
   Pdb.t ->
   (Prob.answer, Error.t) result
@@ -101,6 +102,7 @@ val prob_exn :
   ?budget:Budget.t ->
   ?vtree:Vtree.t ->
   ?minimize:bool ->
+  ?compact_every:int ->
   Ucq.t ->
   Pdb.t ->
   Ratio.t * int

@@ -160,6 +160,7 @@ let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
   in
   Obs.with_run_id rid @@ fun () ->
   Obs.span "pipeline.compile" @@ fun () ->
+  Attribution.with_center (Attribution.pipeline "compile") @@ fun () ->
   let vars = Circuit.variables c in
   if vars = [] then invalid_arg "Pipeline.compile: circuit has no variables";
   Budget.check budget;
@@ -189,7 +190,10 @@ let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
       (* Unreachable with [last = None]: the ladder is non-empty. *)
       raise (Budget.Exhausted (Option.get last))
     | rung :: rest ->
-      (match compile_rung ~budget ?compact_every ?domains vars c rung with
+      (match
+         Attribution.with_center (Attribution.rung (strategy_name rung))
+           (fun () -> compile_rung ~budget ?compact_every ?domains vars c rung)
+       with
        | m, n -> (m, n, rung, last)
        | exception Budget.Exhausted r ->
          if rest <> [] then begin
@@ -387,28 +391,35 @@ let vtree_of_rooted rt (names : string array) =
 let bag_schedule rt clauses =
   let host clause =
     match clause with
-    | [] -> max_int
+    | [] -> (max_int, -1)
     | l :: _ ->
       let vars = List.sort_uniq compare (List.map (fun l -> abs l - 1) clause) in
       let subset bag = List.for_all (fun v -> List.mem v bag) vars in
       let candidates = rt.bags_of_var.(abs l - 1) in
       List.fold_left
-        (fun best b ->
+        (fun ((best, _) as acc) b ->
           if rt.post_index.(b) < best && subset rt.td.Treedec.bags.(b) then
-            rt.post_index.(b)
-          else best)
-        max_int candidates
+            (rt.post_index.(b), b)
+          else acc)
+        (max_int, -1) candidates
   in
-  List.stable_sort compare (List.map (fun c -> (host c, c)) clauses)
-  |> List.map snd
+  (* The sort key is [(post, clause)] — identical to the pre-annotation
+     schedule, so tie-breaking (and therefore node counts) is unchanged;
+     the hosting bag rides along only to label attribution centers. *)
+  List.map (fun c -> let p, b = host c in ((p, c), b)) clauses
+  |> List.stable_sort (fun (k1, _) (k2, _) -> compare k1 k2)
+  |> List.map (fun ((p, c), b) ->
+         let w = if b >= 0 then List.length rt.td.Treedec.bags.(b) else 0 in
+         (p, w, c))
 
 (* One rung of the per-component ladder: build the vtree, conjoin the
    clauses in the scheduled order.  Raises [Budget.Exhausted] on a trip
    (the manager is dropped whole, so a mid-component trip never leaks a
    half-built state). *)
-let compile_component_rung ~budget ?compact_every (names : string array)
-    (d : Dimacs.t) rung =
-  let vt, clauses =
+let compile_component_rung ~budget ~comp ?compact_every
+    (names : string array) (d : Dimacs.t) rung =
+  let unscheduled clauses = List.map (fun c -> (-1, 0, c)) clauses in
+  let vt, sched =
     match rung with
     | `Bags ->
       let g = cnf_primal_graph d in
@@ -417,24 +428,47 @@ let compile_component_rung ~budget ?compact_every (names : string array)
     | `Clauses ->
       let g = cnf_primal_graph d in
       let rt = root_treedec d.Dimacs.num_vars (var_treedec ~budget g) in
-      (vtree_of_rooted rt names, d.Dimacs.clauses)
-    | `Balanced -> (Vtree.balanced (Array.to_list names), d.Dimacs.clauses)
-    | `Right -> (Vtree.right_linear (Array.to_list names), d.Dimacs.clauses)
+      (vtree_of_rooted rt names, unscheduled d.Dimacs.clauses)
+    | `Balanced ->
+      (Vtree.balanced (Array.to_list names), unscheduled d.Dimacs.clauses)
+    | `Right ->
+      (Vtree.right_linear (Array.to_list names), unscheduled d.Dimacs.clauses)
   in
   let m = Sdd.manager ~budget ?compact_every vt in
+  let conjoin_clause acc clause =
+    Budget.poll budget;
+    let cl =
+      Sdd.disjoin_list m
+        (List.map (fun l -> Sdd.literal m names.(abs l - 1) (l > 0)) clause)
+    in
+    (* Compaction checkpoint (opt-in): the running conjunction is the
+       only live root between clauses, so dead apply intermediates
+       from earlier clauses can be reclaimed here. *)
+    Sdd.maybe_compact m (Sdd.conjoin m acc cl)
+  in
+  let idx = ref (-1) in
   let root =
     List.fold_left
-      (fun acc clause ->
-        Budget.poll budget;
-        let cl =
-          Sdd.disjoin_list m
-            (List.map (fun l -> Sdd.literal m names.(abs l - 1) (l > 0)) clause)
-        in
-        (* Compaction checkpoint (opt-in): the running conjunction is the
-           only live root between clauses, so dead apply intermediates
-           from earlier clauses can be reclaimed here. *)
-        Sdd.maybe_compact m (Sdd.conjoin m acc cl))
-      (Sdd.true_ m) clauses
+      (fun acc (bag, width, clause) ->
+        incr idx;
+        if not (Attribution.enabled ()) then conjoin_clause acc clause
+        else begin
+          (* Bag center outside, clause center inside: charges reach
+             both, so per-bag node totals partition the clause loop's
+             allocations (the explain report's width-vs-size view) and
+             hot clauses stay individually visible. *)
+          let step () =
+            Attribution.with_center (Attribution.clause ~component:comp !idx)
+              (fun () -> conjoin_clause acc clause)
+          in
+          if bag >= 0 then
+            Attribution.with_center (Attribution.bag ~component:comp bag)
+              (fun () ->
+                Attribution.set_width width;
+                step ())
+          else step ()
+        end)
+      (Sdd.true_ m) sched
   in
   (m, root)
 
@@ -447,8 +481,8 @@ let cnf_rung_name = function
 (* Compile one component under its budget share, degrading through
    cheaper vtrees/schedules on budget trips (mirror of the circuit
    ladder): treedec+schedule → balanced → right-linear. *)
-let compile_component ~budget ~schedule ?compact_every (names : string array)
-    (d : Dimacs.t) =
+let compile_component ~budget ~schedule ~comp ?compact_every
+    (names : string array) (d : Dimacs.t) =
   let ladder =
     match schedule with
     | `Bags -> [ `Bags; `Balanced; `Right ]
@@ -457,7 +491,11 @@ let compile_component ~budget ~schedule ?compact_every (names : string array)
   let rec descend last = function
     | [] -> raise (Budget.Exhausted (Option.get last))
     | rung :: rest ->
-      (match compile_component_rung ~budget ?compact_every names d rung with
+      (match
+         Attribution.with_center (Attribution.rung (cnf_rung_name rung))
+           (fun () ->
+             compile_component_rung ~budget ~comp ?compact_every names d rung)
+       with
        | m, root -> (m, root, last)
        | exception Budget.Exhausted r ->
          if rest = [] then raise (Budget.Exhausted r)
@@ -484,6 +522,7 @@ let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
   in
   Obs.with_run_id rid @@ fun () ->
   Obs.span "pipeline.compile_cnf" @@ fun () ->
+  Attribution.with_center (Attribution.pipeline "compile_cnf") @@ fun () ->
   Budget.check budget;
   if !Obs.enabled_ref then
     Obs.event "pipeline.compile_cnf"
@@ -538,8 +577,9 @@ let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
             if !Obs.enabled_ref then
               Obs.hist_record "cnf.component_size" cnf.Dimacs.num_vars;
             match
-              compile_component ~budget:per_budget ~schedule ?compact_every
-                names cnf
+              Attribution.with_center (Attribution.component i) (fun () ->
+                  compile_component ~budget:per_budget ~schedule ~comp:i
+                    ?compact_every names cnf)
             with
             | m, root, degraded ->
               let size = Sdd.size m root in

@@ -221,6 +221,7 @@ let minimize_exn ?budget ?max_steps ?domains ?cache_cap ~score vt =
 let minimize_manager ?budget ?(max_steps = 50) ?(cache_cap = default_cache_cap)
     m root0 =
   Obs.span "vtree_search.minimize_manager" @@ fun () ->
+  Attribution.with_center (Attribution.rung "minimize") @@ fun () ->
   let budget = match budget with Some b -> b | None -> Sdd.budget m in
   let saved = Sdd.budget m in
   Sdd.set_budget m budget;
@@ -238,6 +239,10 @@ let minimize_manager ?budget ?(max_steps = 50) ?(cache_cap = default_cache_cap)
       if !Obs.enabled_ref then Obs.incr "vtree_search.score_cache_hits";
       (s, k)
     | None ->
+      (* Charge the forward/revert edit pair (and its node churn) to the
+         targeted vtree node, so the explain report can rank which vtree
+         fragments the climb spent its budget on. *)
+      Attribution.with_center (Attribution.vnode (move_node mv)) @@ fun () ->
       let fwd = Sdd.apply_move m mv !root in
       (* [fwd] is the only valid handle once the forward edit lands:
          point [root] at it before reverting, so a trip rolled back to
@@ -296,7 +301,10 @@ let minimize_manager ?budget ?(max_steps = 50) ?(cache_cap = default_cache_cap)
            Obs.incr "vtree_search.steps";
            (* Re-applying the accepted move rebuilds from cold caches and
               can trip; the rollback leaves [!root] valid as-is. *)
-           match Sdd.apply_move m mv !root with
+           match
+             Attribution.with_center (Attribution.vnode (move_node mv))
+               (fun () -> Sdd.apply_move m mv !root)
+           with
            | r' ->
              root := r';
              climb s' (steps + 1)

@@ -1,0 +1,233 @@
+(* Attribution profiler: ambient cost-center stack charging time and
+   kernel-event counters to semantic centers (vtree node, treewidth
+   bag, CNF clause, component, pipeline rung).  See attribution.mli for
+   the accounting model.  Deliberately independent of Obs: the Sdd
+   kernel hooks call straight in here, and Obs layers capture/absorb
+   and export on top. *)
+
+let enabled_ref = ref false
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+
+type center = { ckind : string; clabel : string }
+
+let vnode v = { ckind = "vnode"; clabel = string_of_int v }
+let bag ~component b =
+  { ckind = "bag"; clabel = Printf.sprintf "k%d/b%d" component b }
+let clause ~component i =
+  { ckind = "clause"; clabel = Printf.sprintf "k%d/c%d" component i }
+let component k = { ckind = "component"; clabel = Printf.sprintf "k%d" k }
+let rung name = { ckind = "rung"; clabel = name }
+let pipeline name = { ckind = "pipeline"; clabel = name }
+
+(* Per-center accumulator.  One record per (kind, label) pair, resolved
+   once when the center is pushed; charges on the hot path only bump
+   mutable fields. *)
+type stats = {
+  mutable self_s : float;
+  mutable root_s : float;
+  mutable nodes : int;
+  mutable elements : int;
+  mutable apply_misses : int;
+  mutable compaction_pause_us : int;
+  mutable enters : int;
+  mutable width : int;
+}
+
+let mk_stats () =
+  {
+    self_s = 0.;
+    root_s = 0.;
+    nodes = 0;
+    elements = 0;
+    apply_misses = 0;
+    compaction_pause_us = 0;
+    enters = 0;
+    width = 0;
+  }
+
+type frame = {
+  fcenter : center;
+  fstats : stats;
+  fstart : float;
+  (* Wall time spent in centers nested inside this frame; subtracted on
+     pop so self_s is exclusive, added to the parent so the telescoping
+     sum [Σ self_s = Σ root_s] holds per domain. *)
+  mutable fchild : float;
+}
+
+type state = {
+  tbl : (string * string, stats) Hashtbl.t;
+  mutable stack : frame list;
+  (* Charges arriving with an empty stack (e.g. allocations outside any
+     compile window, like manager constants). *)
+  unattributed : stats;
+}
+
+let mk_state () =
+  { tbl = Hashtbl.create 64; stack = []; unattributed = mk_stats () }
+
+let key : state Domain.DLS.key = Domain.DLS.new_key mk_state
+let state () = Domain.DLS.get key
+let current_state () = state ()
+let install_state s = Domain.DLS.set key s
+let fresh () = Domain.DLS.set key (mk_state ())
+
+let now () = Unix.gettimeofday ()
+
+let stats_for st c =
+  let k = (c.ckind, c.clabel) in
+  match Hashtbl.find_opt st.tbl k with
+  | Some s -> s
+  | None ->
+      let s = mk_stats () in
+      Hashtbl.add st.tbl k s;
+      s
+
+let with_center c f =
+  if not !enabled_ref then f ()
+  else begin
+    let st = state () in
+    let fr =
+      { fcenter = c; fstats = stats_for st c; fstart = now (); fchild = 0. }
+    in
+    st.stack <- fr :: st.stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = now () -. fr.fstart in
+        (match st.stack with
+        | top :: rest when top == fr -> st.stack <- rest
+        | _ ->
+            (* A nested [f] escaped without popping (only possible via
+               effects we don't use); drop down to the frame. *)
+            let rec drop = function
+              | top :: rest when top == fr -> rest
+              | _ :: rest -> drop rest
+              | [] -> []
+            in
+            st.stack <- drop st.stack);
+        let s = fr.fstats in
+        s.enters <- s.enters + 1;
+        s.self_s <- s.self_s +. (dt -. fr.fchild);
+        match st.stack with
+        | parent :: _ -> parent.fchild <- parent.fchild +. dt
+        | [] -> s.root_s <- s.root_s +. dt)
+      f
+  end
+
+(* Counter charges go to every frame on the stack: a node allocated
+   inside clause c of bag b of component k counts for all three, so the
+   bag totals partition the clause-loop allocations and component
+   totals partition the bag totals. *)
+
+let charge_nodes n =
+  if !enabled_ref && n <> 0 then begin
+    let st = state () in
+    match st.stack with
+    | [] -> st.unattributed.nodes <- st.unattributed.nodes + n
+    | stack ->
+        List.iter (fun fr -> fr.fstats.nodes <- fr.fstats.nodes + n) stack
+  end
+
+let charge_elements n =
+  if !enabled_ref && n <> 0 then begin
+    let st = state () in
+    match st.stack with
+    | [] -> st.unattributed.elements <- st.unattributed.elements + n
+    | stack ->
+        List.iter
+          (fun fr -> fr.fstats.elements <- fr.fstats.elements + n)
+          stack
+  end
+
+let charge_apply_miss () =
+  if !enabled_ref then begin
+    let st = state () in
+    match st.stack with
+    | [] -> st.unattributed.apply_misses <- st.unattributed.apply_misses + 1
+    | stack ->
+        List.iter
+          (fun fr -> fr.fstats.apply_misses <- fr.fstats.apply_misses + 1)
+          stack
+  end
+
+let charge_compaction_pause us =
+  if !enabled_ref && us <> 0 then begin
+    let st = state () in
+    match st.stack with
+    | [] ->
+        st.unattributed.compaction_pause_us <-
+          st.unattributed.compaction_pause_us + us
+    | stack ->
+        List.iter
+          (fun fr ->
+            fr.fstats.compaction_pause_us <-
+              fr.fstats.compaction_pause_us + us)
+          stack
+  end
+
+let set_width w =
+  if !enabled_ref then
+    let st = state () in
+    match st.stack with
+    | fr :: _ -> fr.fstats.width <- max fr.fstats.width w
+    | [] -> ()
+
+type row = {
+  kind : string;
+  label : string;
+  time_s : float;
+  root_s : float;
+  nodes : int;
+  elements : int;
+  apply_misses : int;
+  compaction_pause_us : int;
+  enters : int;
+  width : int;
+}
+
+let row_of (kind, label) (s : stats) =
+  {
+    kind;
+    label;
+    time_s = s.self_s;
+    root_s = s.root_s;
+    nodes = s.nodes;
+    elements = s.elements;
+    apply_misses = s.apply_misses;
+    compaction_pause_us = s.compaction_pause_us;
+    enters = s.enters;
+    width = s.width;
+  }
+
+let nonzero (s : stats) =
+  s.enters <> 0 || s.nodes <> 0 || s.elements <> 0 || s.apply_misses <> 0
+  || s.compaction_pause_us <> 0
+
+let export () =
+  let st = state () in
+  let acc = Hashtbl.fold (fun k s l -> row_of k s :: l) st.tbl [] in
+  if nonzero st.unattributed then
+    row_of ("other", "unattributed") st.unattributed :: acc
+  else acc
+
+let rows () =
+  List.sort (fun a b -> compare b.time_s a.time_s) (export ())
+
+let absorb captured =
+  let st = state () in
+  List.iter
+    (fun (r : row) ->
+      let s =
+        if r.kind = "other" && r.label = "unattributed" then st.unattributed
+        else stats_for st { ckind = r.kind; clabel = r.label }
+      in
+      s.self_s <- s.self_s +. r.time_s;
+      s.root_s <- s.root_s +. r.root_s;
+      s.nodes <- s.nodes + r.nodes;
+      s.elements <- s.elements + r.elements;
+      s.apply_misses <- s.apply_misses + r.apply_misses;
+      s.compaction_pause_us <- s.compaction_pause_us + r.compaction_pause_us;
+      s.enters <- s.enters + r.enters;
+      s.width <- max s.width r.width)
+    captured

@@ -97,6 +97,21 @@ let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
 
 let set_capacity n = ring := mk_ring (pow2_at_least (max 16 n) 16)
 let clear () = ring := mk_ring (capacity ())
+
+(* [CTWSDD_RING] is validated with the same strictness as
+   [CTWSDD_DOMAINS] (Obs.Worker.domains_env): garbage or a non-positive
+   value is a configuration error the caller must surface, not a
+   request for the default capacity. *)
+let ring_env () =
+  match Sys.getenv_opt "CTWSDD_RING" with
+  | None -> Ok None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Ok (Some n)
+    | _ ->
+      Error
+        (Printf.sprintf
+           "CTWSDD_RING: expected a positive ring capacity, got %S" s))
 let recorded () = Atomic.get !ring.cursor
 let overwritten () = max 0 (recorded () - capacity ())
 

@@ -78,6 +78,13 @@ val set_capacity : int -> unit
 (** Resize the ring (rounded up to a power of two, at least 16) and
     clear it.  The default is 4096 entries. *)
 
+val ring_env : unit -> (int option, string) result
+(** The [CTWSDD_RING] capacity override, validated with the same
+    strictness as [CTWSDD_DOMAINS]: [Ok None] when unset,
+    [Ok (Some n)] for a positive integer (pass to {!set_capacity}),
+    [Error msg] for zero, negative or unparsable values.  The CLI turns
+    the error into a usage failure (exit 124) before any work starts. *)
+
 val recorded : unit -> int
 (** Total entries ever recorded since the last {!clear} — entries beyond
     {!capacity} have been overwritten. *)

@@ -7,7 +7,12 @@
 let enabled_ref = ref false
 let enabled_flag = enabled_ref
 let enabled () = !enabled_flag
-let set_enabled b = enabled_flag := b
+
+(* The attribution profiler shares the master switch: one [set_enabled]
+   arms both the classic instruments and the cost-center stack. *)
+let set_enabled b =
+  enabled_flag := b;
+  Attribution.set_enabled b
 
 (* Tracing (per-call Chrome trace_event recording) is a second, rarer
    switch on top of the master one: span aggregation is cheap, but one
@@ -792,7 +797,8 @@ let reset () =
   Domain.DLS.set gc_baseline_key (Gc.quick_stat ());
   let st = span_state () in
   st.sroot <- mk_span "<root>";
-  st.sstack <- []
+  st.sstack <- [];
+  Attribution.fresh ()
 
 (* ------------------------------------------------------------------ *)
 (* Worker domains                                                      *)
@@ -809,6 +815,7 @@ module Worker = struct
     wtrace_dropped : int;
     wevents_dropped : int;
     wspans : span_tree list;
+    wattr : Attribution.row list;
   }
 
   let fresh_state () =
@@ -820,7 +827,8 @@ module Worker = struct
     Domain.DLS.set trace_key { tevs = []; tcount = 0; tdropped = 0 };
     Domain.DLS.set events_key { uevs = []; ucount = 0; udropped = 0 };
     Domain.DLS.set gc_baseline_key (Gc.quick_stat ());
-    Domain.DLS.set span_key { sroot = mk_span "<root>"; sstack = [] }
+    Domain.DLS.set span_key { sroot = mk_span "<root>"; sstack = [] };
+    Attribution.fresh ()
 
   let capture f =
     let old_counters = Domain.DLS.get counters_key in
@@ -832,6 +840,7 @@ module Worker = struct
     let old_events = Domain.DLS.get events_key in
     let old_gc = Domain.DLS.get gc_baseline_key in
     let old_spans = Domain.DLS.get span_key in
+    let old_attr = Attribution.current_state () in
     let restore () =
       Domain.DLS.set counters_key old_counters;
       Domain.DLS.set gauges_key old_gauges;
@@ -841,7 +850,8 @@ module Worker = struct
       Domain.DLS.set trace_key old_trace;
       Domain.DLS.set events_key old_events;
       Domain.DLS.set gc_baseline_key old_gc;
-      Domain.DLS.set span_key old_spans
+      Domain.DLS.set span_key old_spans;
+      Attribution.install_state old_attr
     in
     fresh_state ();
     match f () with
@@ -859,6 +869,7 @@ module Worker = struct
           wtrace_dropped = tb.tdropped;
           wevents_dropped = eb.udropped;
           wspans = span_roots ();
+          wattr = Attribution.export ();
         }
       in
       restore ();
@@ -910,7 +921,8 @@ module Worker = struct
     (event_buf ()).udropped <- (event_buf ()).udropped + cap.wevents_dropped;
     let st = span_state () in
     let parent = match st.sstack with top :: _ -> top | [] -> st.sroot in
-    List.iter (merge_tree parent) cap.wspans
+    List.iter (merge_tree parent) cap.wspans;
+    Attribution.absorb cap.wattr
 
   (* Domain-count policy.  [CTWSDD_DOMAINS] is validated strictly: a
      garbage or non-positive value is a configuration error, not a
@@ -947,30 +959,73 @@ module Worker = struct
     else begin
       let results = Array.make n None in
       let next = Atomic.make 0 in
-      let rec work () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (f arr.(i));
-          work ()
-        end
+      (* Steal/idle accounting: every worker counts the items it takes
+         off the shared queue and the wall time spent inside [f]; the
+         rest of its lifetime is idle (queue contention plus the tail
+         wait for the last item).  [worker.steals] counts only items
+         executed by spawned domains — work that actually migrated off
+         the calling domain.  Recorded from inside each worker so the
+         numbers ride the ordinary capture/absorb merge and totals are
+         independent of the schedule. *)
+      let work ~stolen () =
+        let t0 = if enabled () then now () else 0. in
+        let items = ref 0 and busy = ref 0. in
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (if enabled () then begin
+               let t1 = now () in
+               results.(i) <- Some (f arr.(i));
+               busy := !busy +. (now () -. t1)
+             end
+             else results.(i) <- Some (f arr.(i)));
+            items := !items + 1;
+            loop ()
+          end
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            if enabled () then begin
+              incr ~by:!items "worker.items";
+              if stolen then incr ~by:!items "worker.steals";
+              let idle = now () -. t0 -. !busy in
+              hist_record "worker.busy_us" (int_of_float (!busy *. 1e6));
+              hist_record "worker.idle_us"
+                (int_of_float (Float.max 0. idle *. 1e6))
+            end)
+          loop
       in
       (* Capture the parent's run ID before spawning: a fresh domain
          starts with the process-global ID, so flight-recorder entries
          from workers would otherwise lose per-request attribution. *)
       let rid = run_id () in
-      let spawned =
-        List.init (d - 1) (fun _ ->
-            Domain.spawn (fun () -> with_run_id rid (fun () -> capture work)))
-      in
-      let main_exn = match work () with () -> None | exception e -> Some e in
-      let joined =
-        List.map (fun dom -> try Ok (Domain.join dom) with e -> Error e) spawned
-      in
-      List.iter
-        (function Ok ((), cap) -> absorb cap | Error _ -> ())
-        joined;
-      (match main_exn with Some e -> raise e | None -> ());
-      List.iter (function Error e -> raise e | Ok _ -> ()) joined;
+      gauge_max "worker.parallel_map.domains" d;
+      (* The span brackets spawn-to-join on the calling domain, so its
+         total is the parallel region's wall clock and the per-item
+         spans [f] opens (from main and absorbed workers alike) land as
+         its children — the shape the critical-path/Amdahl extractor
+         keys on. *)
+      span "worker.parallel_map" (fun () ->
+          let spawned =
+            List.init (d - 1) (fun _ ->
+                Domain.spawn (fun () ->
+                    with_run_id rid (fun () -> capture (work ~stolen:true))))
+          in
+          let main_exn =
+            match work ~stolen:false () with
+            | () -> None
+            | exception e -> Some e
+          in
+          let joined =
+            List.map
+              (fun dom -> try Ok (Domain.join dom) with e -> Error e)
+              spawned
+          in
+          List.iter
+            (function Ok ((), cap) -> absorb cap | Error _ -> ())
+            joined;
+          (match main_exn with Some e -> raise e | None -> ());
+          List.iter (function Error e -> raise e | Ok _ -> ()) joined);
       Array.to_list (Array.map Option.get results)
     end
 end
@@ -991,7 +1046,7 @@ let hard_reset () =
 (* Export                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let schema_version = "ctwsdd-metrics/v3"
+let schema_version = "ctwsdd-metrics/v4"
 
 let rec span_to_json t =
   Json.Obj
@@ -1082,6 +1137,24 @@ let flight_section () =
       ("overwritten", Json.Int (Flight_recorder.overwritten ()));
     ]
 
+let attr_row_to_json (r : Attribution.row) =
+  Json.Obj
+    [
+      ("kind", Json.String r.Attribution.kind);
+      ("label", Json.String r.Attribution.label);
+      ("time_s", Json.Float r.Attribution.time_s);
+      ("root_s", Json.Float r.Attribution.root_s);
+      ("nodes", Json.Int r.Attribution.nodes);
+      ("elements", Json.Int r.Attribution.elements);
+      ("apply_misses", Json.Int r.Attribution.apply_misses);
+      ("compaction_pause_us", Json.Int r.Attribution.compaction_pause_us);
+      ("enters", Json.Int r.Attribution.enters);
+      ("width", Json.Int r.Attribution.width);
+    ]
+
+let attribution_section () =
+  Json.List (List.map attr_row_to_json (Attribution.rows ()))
+
 let snapshot ?(extra = []) () =
   (* Peak-heap gauge: refreshed at every export so the watermark is
      visible among the ordinary gauges too. *)
@@ -1113,6 +1186,7 @@ let snapshot ?(extra = []) () =
         ("events", Json.List (List.map event_to_json (events ())));
         ("trace", trace_section ());
         ("flight_recorder", flight_section ());
+        ("attribution", attribution_section ());
         ("spans", Json.List (List.map span_to_json (span_roots ())));
       ])
 

@@ -11,11 +11,16 @@
     a couple of stores next to a hash-table probe that dwarfs them.
 
     Metrics are exported either as a human-readable summary table
-    ({!pp_summary}) or as JSON under the stable [ctwsdd-metrics/v3]
-    schema ({!snapshot}, {!write_json}) — a strict superset of v2 (which
-    added [histograms], [gc], [events], [trace] and per-span GC deltas
-    over v1) adding a top-level [run_id], a [run] field on events and a
-    [flight_recorder] section.  With {!set_tracing} on, every span call
+    ({!pp_summary}) or as JSON under the stable [ctwsdd-metrics/v4]
+    schema ({!snapshot}, {!write_json}) — a strict superset of v3 (which
+    added [run_id], per-event [run] attribution and [flight_recorder]
+    over v2's [histograms], [gc], [events], [trace] and per-span GC
+    deltas) adding an [attribution] section: the {!Attribution}
+    cost-center rows charging time, allocated nodes/elements, apply
+    misses and compaction pauses to semantic centers (vtree node,
+    treewidth bag, CNF clause, component, pipeline rung).  The
+    attribution profiler shares the master switch ({!set_enabled} arms
+    both).  With {!set_tracing} on, every span call
     and event is also recorded individually and exported as a Chrome
     [trace_event] file ({!write_trace}) that loads in Perfetto /
     chrome://tracing, with one track per OCaml domain.  Independently of
@@ -28,7 +33,11 @@
 (** {1 Enabling} *)
 
 val enabled : unit -> bool
+
 val set_enabled : bool -> unit
+(** Arm or disarm the master switch.  Also flips
+    [Attribution.enabled_ref], so one call arms the classic instruments
+    and the cost-center profiler together. *)
 
 val enabled_ref : bool ref
 (** The raw master switch, exposed so hot paths can gate a probe with a
@@ -288,8 +297,8 @@ val events : unit -> event list
 module Worker : sig
   type captured
   (** Frozen metric state of one unit of work: counters, gauges, cache
-      snapshots, histograms, events, trace events and the span forest
-      recorded while it ran. *)
+      snapshots, histograms, events, trace events, attribution rows and
+      the span forest recorded while it ran. *)
 
   val capture : (unit -> 'a) -> 'a * captured
   (** [capture f] runs [f] against fresh, empty metric state and returns
@@ -303,11 +312,12 @@ module Worker : sig
       gauges take the maximum, cache snapshots are accumulated into the
       {!caches} aggregation, histograms merge by name, events and trace
       events are appended (keeping the worker's track id, so its work
-      shows on its own Chrome-trace track), and span trees are grafted
+      shows on its own Chrome-trace track), span trees are grafted
       under the currently open span, summing durations of same-named
-      spans — the same rule {!span} applies to repeat entries.  Absorb
-      captures only after joining their workers (typically in the main
-      domain). *)
+      spans — the same rule {!span} applies to repeat entries — and
+      attribution rows merge by cost center ([Attribution.absorb]).
+      Absorb captures only after joining their workers (typically in
+      the main domain). *)
 
   val domains_env : unit -> (int option, string) result
   (** The [CTWSDD_DOMAINS] override, validated: [Ok None] when unset,
@@ -328,22 +338,41 @@ module Worker : sig
       and is absorbed after its join, so the instrumented totals are
       independent of the schedule.  Every worker is joined even on
       failure and the first exception is re-raised.  [domains <= 1] (or
-      a singleton list) degrades to [List.map]. *)
+      a singleton list) degrades to [List.map].
+
+      When enabled, the parallel region is additionally accounted for:
+      the spawn-to-join window runs under a ["worker.parallel_map"]
+      span (per-item spans from main and absorbed workers land as its
+      children), the peak domain count is kept in the
+      ["worker.parallel_map.domains"] gauge, each worker's item count
+      feeds the ["worker.items"] counter (["worker.steals"] for items
+      executed by spawned domains), and per-worker busy/idle wall time
+      is recorded in the ["worker.busy_us"] / ["worker.idle_us"]
+      histograms — the inputs to the explain report's critical-path and
+      Amdahl analysis. *)
 end
 
 (** {1 Export} *)
 
 val schema_version : string
-(** ["ctwsdd-metrics/v3"]. *)
+(** ["ctwsdd-metrics/v4"]. *)
+
+val attribution_section : unit -> Json.t
+(** Just the [attribution] rows of {!snapshot}, as a JSON list sorted by
+    descending self time.  Reused by the postmortem dump so attribution
+    appears both inside [metrics] and as a top-level field. *)
 
 val snapshot : ?extra:(string * Json.t) list -> unit -> Json.t
-(** The full metrics state as a [ctwsdd-metrics/v3] object: [schema],
+(** The full metrics state as a [ctwsdd-metrics/v4] object: [schema],
     [run_id], [counters], [gauges], [caches], [histograms], [gc] (deltas
     since {!reset} plus current/top heap words), [events] (each with its
     [run] attribution), [trace] (track ids and buffer statistics),
-    [flight_recorder] (switch, capacity, recorded/overwritten counts)
-    and [spans] (with per-span [gc] sub-objects).  [extra] fields are
-    prepended after the [schema] field. *)
+    [flight_recorder] (switch, capacity, recorded/overwritten counts),
+    [attribution] (cost-center rows, sorted by descending self time,
+    each [{kind, label, time_s, root_s, nodes, elements, apply_misses,
+    compaction_pause_us, enters, width}]) and [spans] (with per-span
+    [gc] sub-objects).  [extra] fields are prepended after the [schema]
+    field. *)
 
 val write_json : ?extra:(string * Json.t) list -> string -> unit
 (** [write_json path] writes [snapshot ()] to [path]. *)

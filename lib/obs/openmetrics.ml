@@ -136,10 +136,52 @@ let render () =
   int_sample "ctwsdd_flight_recorded_total" [] (Flight_recorder.recorded ());
   meta buf "ctwsdd_flight_capacity" "gauge" "Flight-recorder ring capacity.";
   int_sample "ctwsdd_flight_capacity" [] (Flight_recorder.capacity ());
+  (* Attribution cost centers, labelled by (kind, label).  Self time is
+     exposed in seconds as a float; the integer charges as counters. *)
+  let attrs = Attribution.rows () in
+  if attrs <> [] then begin
+    let lbl (r : Attribution.row) =
+      [ ("kind", r.Attribution.kind); ("center", r.Attribution.label) ]
+    in
+    meta buf "ctwsdd_attr_self_seconds" "counter"
+      "Exclusive (self) seconds charged to each cost center.";
+    List.iter
+      (fun (r : Attribution.row) ->
+        sample buf "ctwsdd_attr_self_seconds_total" (lbl r)
+          (fmt_float r.Attribution.time_s))
+      attrs;
+    meta buf "ctwsdd_attr_nodes" "counter"
+      "SDD nodes allocated while each cost center was active.";
+    List.iter
+      (fun (r : Attribution.row) ->
+        int_sample "ctwsdd_attr_nodes_total" (lbl r) r.Attribution.nodes)
+      attrs;
+    meta buf "ctwsdd_attr_apply_misses" "counter"
+      "Apply-cache misses charged to each cost center.";
+    List.iter
+      (fun (r : Attribution.row) ->
+        int_sample "ctwsdd_attr_apply_misses_total" (lbl r)
+          r.Attribution.apply_misses)
+      attrs;
+    meta buf "ctwsdd_attr_compaction_pause_us" "counter"
+      "Compaction pause microseconds charged to each cost center.";
+    List.iter
+      (fun (r : Attribution.row) ->
+        int_sample "ctwsdd_attr_compaction_pause_us_total" (lbl r)
+          r.Attribution.compaction_pause_us)
+      attrs
+  end;
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 
 let write path =
+  if path = "-" then begin
+    (* Snapshot to stdout: no temp file, just flush so interleaving with
+       the CLI's own output stays ordered. *)
+    print_string (render ());
+    flush stdout
+  end
+  else begin
   let dir = Filename.dirname path in
   let tmp =
     Filename.concat dir
@@ -156,3 +198,4 @@ let write path =
     (try Sys.remove tmp with Sys_error _ -> ());
     raise e);
   Sys.rename tmp path
+  end

@@ -6,9 +6,13 @@
     format: `# TYPE` metadata, escaped label values, a final `# EOF`).
     Metric names are fixed families ([ctwsdd_counter_total],
     [ctwsdd_gauge], [ctwsdd_cache_*], [ctwsdd_histogram_*],
-    [ctwsdd_gc], ...) with the dynamic instrument name carried in a
-    [name]/[cache]/[stat] label, so a scrape config needs no
-    per-instrument rules; the run ID rides on [ctwsdd_run_info].
+    [ctwsdd_gc], [ctwsdd_attr_*], ...) with the dynamic instrument name
+    carried in a [name]/[cache]/[stat] label, so a scrape config needs
+    no per-instrument rules; the run ID rides on [ctwsdd_run_info].
+    Attribution cost centers export as [ctwsdd_attr_self_seconds_total],
+    [ctwsdd_attr_nodes_total], [ctwsdd_attr_apply_misses_total] and
+    [ctwsdd_attr_compaction_pause_us_total], labelled by [kind] and
+    [center].
 
     {!write} is atomic (write to a sibling temporary file, then
     [Sys.rename]), so a reader tailing the file — `watch cat
@@ -24,7 +28,9 @@ val render : unit -> string
 
 val write : string -> unit
 (** [write path] renders and atomically replaces [path] (temporary file
-    + rename in [path]'s directory).
+    + rename in [path]'s directory).  [write "-"] instead prints the
+    snapshot to stdout and flushes — no temporary file, no rename — so
+    telemetry can be piped ([--telemetry-out -]).
     @raise Sys_error on I/O failure. *)
 
 val escape_label : string -> string

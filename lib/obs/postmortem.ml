@@ -108,6 +108,7 @@ let json ?budget ?(detail = "") ~reason () =
       ("flight_recorder", flight_to_json ());
       ("gc", gc_to_json ());
       ("managers", Obs.Json.Obj (censuses ()));
+      ("attribution", Obs.attribution_section ());
       ("metrics", Obs.snapshot ());
     ]
 

@@ -4,12 +4,17 @@
 
     A dump ([ctwsdd-postmortem/v1]) bundles the trip/crash [reason], the
     run ID, the {!Flight_recorder} tail (what the engine was doing just
-    before), the full [ctwsdd-metrics/v3] snapshot (counters, gauges,
+    before), the full [ctwsdd-metrics/v4] snapshot (counters, gauges,
     histograms, events, spans — empty sections when observability was
     off, the recorder tail still tells the story), the complete
-    {!Gc.stat}, the active {!Budget.t} state, and a census of every live
-    SDD manager (node/tombstone counts, unique-table occupancy,
-    estimated bytes per node) collected through registered providers.
+    {!Gc.stat}, the active {!Budget.t} state, a top-level [attribution]
+    field (the cost-center rows of {!Obs.attribution_section}, surfaced
+    outside [metrics] so postmortem consumers need not dig), and a
+    census of every live SDD manager (node/tombstone/garbage-word
+    counts, generation and compaction totals, unique-table occupancy,
+    estimated bytes per node) collected through registered providers
+    — including per-manager [sdd_contention_<i>] lock-contention
+    objects when any shard lock ever contended.
 
     The CLI writes one on any budget trip, on an uncaught exception, and
     on [SIGUSR1] ({!install_sigusr1}), so long-lived runs can be

@@ -43,8 +43,8 @@ let constant_lineage c =
 (* Either a constant probability or a compiled manager/root with the
    budget-degradation flag.  Raises [Budget.Exhausted] (for the guard in
    the callers) when even the degradation ladder could not finish. *)
-let compile_lineage ?(budget = Budget.unlimited) ?vtree ?(minimize = false) q
-    db =
+let compile_lineage ?(budget = Budget.unlimited) ?vtree ?(minimize = false)
+    ?compact_every q db =
   let c = Lineage.circuit q db in
   match constant_lineage c with
   | Some p -> Error p
@@ -54,7 +54,7 @@ let compile_lineage ?(budget = Budget.unlimited) ?vtree ?(minimize = false) q
        | Some vt ->
          (* An explicit vtree pins the shape: no ladder to fall back on,
             so a budget trip during the compile escapes to the caller. *)
-         let m = Sdd.manager ~budget vt in
+         let m = Sdd.manager ~budget ?compact_every vt in
          let node = Sdd.compile_circuit m c in
          let node, degraded =
            if minimize then
@@ -74,14 +74,17 @@ let compile_lineage ?(budget = Budget.unlimited) ?vtree ?(minimize = false) q
          let strategy =
            if Qsafety.inversion_free q then `Treedec else `Balanced
          in
-         (match Pipeline.compile ~budget ~vtree_strategy:strategy ~minimize c with
+         (match
+            Pipeline.compile ~budget ~vtree_strategy:strategy ~minimize
+              ?compact_every c
+          with
           | Error e -> Ctwsdd_error.throw e
           | Ok r ->
             (r.Pipeline.manager, r.Pipeline.root, r.Pipeline.degraded)))
 
-let via_sdd ?budget ?vtree ?minimize q db =
+let via_sdd ?budget ?vtree ?minimize ?compact_every q db =
   Ctwsdd_error.guard @@ fun () ->
-  match compile_lineage ?budget ?vtree ?minimize q db with
+  match compile_lineage ?budget ?vtree ?minimize ?compact_every q db with
   | Error p -> { probability = p; size = 0; degraded = None }
   | Ok (m, node, degraded) ->
     {
@@ -90,9 +93,9 @@ let via_sdd ?budget ?vtree ?minimize q db =
       degraded;
     }
 
-let via_dnnf ?budget ?minimize q db =
+let via_dnnf ?budget ?minimize ?compact_every q db =
   Ctwsdd_error.guard @@ fun () ->
-  match compile_lineage ?budget ?minimize q db with
+  match compile_lineage ?budget ?minimize ?compact_every q db with
   | Error p -> { probability = p; size = 0; degraded = None }
   | Ok (m, node, degraded) ->
     let c = Sdd.to_nnf_circuit m node in
@@ -109,8 +112,8 @@ let unpack = function
 
 let via_obdd_exn ?order q db = unpack (via_obdd ?order q db)
 
-let via_sdd_exn ?budget ?vtree ?minimize q db =
-  unpack (via_sdd ?budget ?vtree ?minimize q db)
+let via_sdd_exn ?budget ?vtree ?minimize ?compact_every q db =
+  unpack (via_sdd ?budget ?vtree ?minimize ?compact_every q db)
 
-let via_dnnf_exn ?budget ?minimize q db =
-  unpack (via_dnnf ?budget ?minimize q db)
+let via_dnnf_exn ?budget ?minimize ?compact_every q db =
+  unpack (via_dnnf ?budget ?minimize ?compact_every q db)

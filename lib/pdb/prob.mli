@@ -35,6 +35,7 @@ val via_sdd :
   ?budget:Budget.t ->
   ?vtree:Vtree.t ->
   ?minimize:bool ->
+  ?compact_every:int ->
   Ucq.t ->
   Pdb.t ->
   (answer, Ctwsdd_error.t) result
@@ -48,12 +49,15 @@ val via_sdd :
     An explicit [vtree] bypasses the pipeline (and its degradation
     ladder: a budget trip is then an [Error]).  [minimize] runs the
     in-manager dynamic vtree search after compilation — anytime under a
-    budget.  Constant lineages (no variables) return size 0 without
-    building a manager. *)
+    budget.  [compact_every] arms generational arena compaction on the
+    compile's manager(s) (explicit-vtree and pipeline routes alike), as
+    on {!Pipeline.compile}.  Constant lineages (no variables) return
+    size 0 without building a manager. *)
 
 val via_dnnf :
   ?budget:Budget.t ->
   ?minimize:bool ->
+  ?compact_every:int ->
   Ucq.t ->
   Pdb.t ->
   (answer, Ctwsdd_error.t) result
@@ -69,6 +73,7 @@ val via_sdd_exn :
   ?budget:Budget.t ->
   ?vtree:Vtree.t ->
   ?minimize:bool ->
+  ?compact_every:int ->
   Ucq.t ->
   Pdb.t ->
   Ratio.t * int
@@ -76,5 +81,10 @@ val via_sdd_exn :
     @raise Budget.Exhausted on any budget trip, degraded or not. *)
 
 val via_dnnf_exn :
-  ?budget:Budget.t -> ?minimize:bool -> Ucq.t -> Pdb.t -> Ratio.t * int
+  ?budget:Budget.t ->
+  ?minimize:bool ->
+  ?compact_every:int ->
+  Ucq.t ->
+  Pdb.t ->
+  Ratio.t * int
 (** {!via_dnnf} with the historical signature. *)

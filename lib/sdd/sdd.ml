@@ -110,6 +110,16 @@ type manager = {
   alloc_mu : Mutex.t;  (* guards store growth, count, elems_len *)
   unique_mu : Mutex.t array;  (* one per unique shard *)
   cache_mu : Mutex.t array;  (* one per cache shard *)
+  (* Lock observability: per-shard acquisition and contended-acquisition
+     counts (an acquisition is contended when the initial [try_lock]
+     fails).  Atomics because they are bumped from every worker domain;
+     they only move inside parallel sections, where the locks are armed. *)
+  lk_unique_acq : int Atomic.t array;
+  lk_unique_cont : int Atomic.t array;
+  lk_cache_acq : int Atomic.t array;
+  lk_cache_cont : int Atomic.t array;
+  lk_alloc_acq : int Atomic.t;
+  lk_alloc_cont : int Atomic.t;
   (* Generational compaction state. *)
   mutable dead_nodes : int;  (* tombstones since the last compaction *)
   mutable dead_elems : int;  (* element pairs those tombstones strand *)
@@ -201,6 +211,12 @@ let manager ?(budget = Budget.unlimited) ?(compact_every = max_int) vt =
       alloc_mu = Mutex.create ();
       unique_mu = Array.init n_shards (fun _ -> Mutex.create ());
       cache_mu = Array.init n_shards (fun _ -> Mutex.create ());
+      lk_unique_acq = Array.init n_shards (fun _ -> Atomic.make 0);
+      lk_unique_cont = Array.init n_shards (fun _ -> Atomic.make 0);
+      lk_cache_acq = Array.init n_shards (fun _ -> Atomic.make 0);
+      lk_cache_cont = Array.init n_shards (fun _ -> Atomic.make 0);
+      lk_alloc_acq = Atomic.make 0;
+      lk_alloc_cont = Atomic.make 0;
       dead_nodes = 0;
       dead_elems = 0;
       generation = 0;
@@ -387,12 +403,86 @@ let census_to_json c =
 
 let census_all () = List.map census (live_managers ())
 
-(* Every postmortem dump carries a census of each live manager. *)
+(* ------------------------------------------------------------------ *)
+(* Lock contention                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type shard_contention = {
+  shard : int;
+  unique_acquisitions : int;
+  unique_contended : int;
+  cache_acquisitions : int;
+  cache_contended : int;
+}
+
+type contention = {
+  shards : shard_contention list;
+  alloc_acquisitions : int;
+  alloc_contended : int;
+}
+
+let contention m =
+  {
+    shards =
+      List.init n_shards (fun s ->
+          {
+            shard = s;
+            unique_acquisitions = Atomic.get m.lk_unique_acq.(s);
+            unique_contended = Atomic.get m.lk_unique_cont.(s);
+            cache_acquisitions = Atomic.get m.lk_cache_acq.(s);
+            cache_contended = Atomic.get m.lk_cache_cont.(s);
+          });
+    alloc_acquisitions = Atomic.get m.lk_alloc_acq;
+    alloc_contended = Atomic.get m.lk_alloc_cont;
+  }
+
+let contention_all () = List.map contention (live_managers ())
+
+let contention_to_json c =
+  Obs.Json.Obj
+    [
+      ("alloc_acquisitions", Obs.Json.Int c.alloc_acquisitions);
+      ("alloc_contended", Obs.Json.Int c.alloc_contended);
+      ( "shards",
+        Obs.Json.List
+          (List.map
+             (fun s ->
+               Obs.Json.Obj
+                 [
+                   ("shard", Obs.Json.Int s.shard);
+                   ("unique_acquisitions", Obs.Json.Int s.unique_acquisitions);
+                   ("unique_contended", Obs.Json.Int s.unique_contended);
+                   ("cache_acquisitions", Obs.Json.Int s.cache_acquisitions);
+                   ("cache_contended", Obs.Json.Int s.cache_contended);
+                 ])
+             c.shards) );
+    ]
+
+(* Every postmortem dump carries a census of each live manager, and the
+   lock-contention picture of any manager that has run a parallel
+   section (all-zero contention blocks are elided to keep dumps small). *)
 let () =
   Postmortem.add_census_provider (fun () ->
       List.mapi
         (fun i c -> (Printf.sprintf "sdd_manager_%d" i, census_to_json c))
         (census_all ()))
+
+let () =
+  Postmortem.add_census_provider (fun () ->
+      List.concat
+        (List.mapi
+           (fun i c ->
+             let nonzero =
+               c.alloc_acquisitions <> 0
+               || List.exists
+                    (fun s ->
+                      s.unique_acquisitions <> 0 || s.cache_acquisitions <> 0)
+                    c.shards
+             in
+             if nonzero then
+               [ (Printf.sprintf "sdd_contention_%d" i, contention_to_json c) ]
+             else [])
+           (contention_all ())))
 
 (* Occupancy gauges for the periodic telemetry exporter: cheap summary
    numbers (no node walk) refreshed whenever occupancy is probed. *)
@@ -469,7 +559,8 @@ let ensure_elems_capacity m st needed =
 let[@inline] after_alloc m count =
   if !Obs.enabled_ref then begin
     Obs.incr "sdd.alloc";
-    Obs.gauge_max "sdd.nodes_allocated" count
+    Obs.gauge_max "sdd.nodes_allocated" count;
+    Attribution.charge_nodes 1
   end;
   (* Occupancy pulse: one flight-recorder note (and gauge refresh) every
      4096 allocations, so a postmortem tail shows growth history without
@@ -508,12 +599,32 @@ let alloc_dec_raw m v sorted k =
   m.elems_len <- base + (2 * k);
   Atomic.set m.count (id + 1);
   after_alloc m (id + 1);
+  if !Obs.enabled_ref then Attribution.charge_elements k;
   id
+
+(* Counted lock acquisition for the parallel sections: an uncontended
+   acquire is one extra branch ([try_lock] succeeds); a failed try is
+   counted as contended and falls back to the blocking [lock].  Hold
+   times are sampled by the bracketing [hold_start]/[hold_end] pair,
+   which only reads the clock while observability is on. *)
+let[@inline] lock_counted mu acq cont =
+  Atomic.incr acq;
+  if not (Mutex.try_lock mu) then begin
+    Atomic.incr cont;
+    Mutex.lock mu
+  end
+
+let[@inline] hold_start () =
+  if !Obs.enabled_ref then Unix.gettimeofday () else 0.
+
+let[@inline] hold_end name t0 =
+  if !Obs.enabled_ref && t0 > 0. then
+    Obs.hist_record name (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
 
 let alloc_dec m v sorted k =
   budget_gate m;
   if m.parallel then begin
-    Mutex.lock m.alloc_mu;
+    lock_counted m.alloc_mu m.lk_alloc_acq m.lk_alloc_cont;
     let id = alloc_dec_raw m v sorted k in
     Mutex.unlock m.alloc_mu;
     id
@@ -536,7 +647,7 @@ let literal_at m leaf polarity =
       id
     end
     else begin
-      Mutex.lock m.alloc_mu;
+      lock_counted m.alloc_mu m.lk_alloc_acq m.lk_alloc_cont;
       let cached = m.lit_tbl.(slot) in
       let id =
         if cached >= 0 then cached
@@ -588,12 +699,14 @@ let cache_find m (shards : int Int_tbl.t array) key =
     | exception Not_found -> -1
   else begin
     let mu = m.cache_mu.(s) in
-    Mutex.lock mu;
+    lock_counted mu m.lk_cache_acq.(s) m.lk_cache_cont.(s);
+    let t0 = hold_start () in
     let r =
       match Int_tbl.find shards.(s) key with
       | r -> r
       | exception Not_found -> -1
     in
+    hold_end "sdd.cache_lock_hold_ns" t0;
     Mutex.unlock mu;
     r
   end
@@ -603,8 +716,10 @@ let cache_put m (shards : int Int_tbl.t array) key v =
   if not m.parallel then Int_tbl.replace shards.(s) key v
   else begin
     let mu = m.cache_mu.(s) in
-    Mutex.lock mu;
+    lock_counted mu m.lk_cache_acq.(s) m.lk_cache_cont.(s);
+    let t0 = hold_start () in
     Int_tbl.replace shards.(s) key v;
+    hold_end "sdd.cache_lock_hold_ns" t0;
     Mutex.unlock mu
   end
 
@@ -700,7 +815,8 @@ and mk_decision m v elems =
          is no cycle.  A budget trip inside [alloc_dec] must release
          the shard. *)
       let mu = m.unique_mu.(shard) in
-      Mutex.lock mu;
+      lock_counted mu m.lk_unique_acq.(shard) m.lk_unique_cont.(shard);
+      let t0 = hold_start () in
       match
         (match Dec_tbl.find tbl key with
         | id ->
@@ -713,9 +829,11 @@ and mk_decision m v elems =
           id)
       with
       | id ->
+        hold_end "sdd.unique_lock_hold_ns" t0;
         Mutex.unlock mu;
         id
       | exception e ->
+        hold_end "sdd.unique_lock_hold_ns" t0;
         Mutex.unlock mu;
         raise e
     end
@@ -758,6 +876,7 @@ and apply m op_and a b =
     end
     else begin
       cache_miss cstat;
+      if !Obs.enabled_ref then Attribution.charge_apply_miss ();
       let va = Option.get (vtree_node m a) in
       let vb = Option.get (vtree_node m b) in
       let r =
@@ -1056,6 +1175,7 @@ let compact_roots m (roots : int array) : int array =
   let pause_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
   if !Obs.enabled_ref then begin
     Obs.incr "sdd.compaction";
+    Attribution.charge_compaction_pause pause_us;
     Obs.event "sdd.compaction"
       [
         ("relocated", Obs.Json.Int relocated);
@@ -1425,8 +1545,33 @@ let apply_parallel ?domains m pairs =
     end;
     prepare_literals m;
     m.parallel <- true;
+    (* Snapshot the contention counters around the section so the delta
+       can be republished as ordinary Obs counters: the per-manager
+       Atomics survive for [contention], while the counters make the
+       section's lock behaviour visible to the metrics/OpenMetrics
+       exporters without holding a manager reference. *)
+    let sum arr = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 arr in
+    let snap () =
+      ( sum m.lk_unique_acq,
+        sum m.lk_unique_cont,
+        sum m.lk_cache_acq,
+        sum m.lk_cache_cont,
+        Atomic.get m.lk_alloc_acq,
+        Atomic.get m.lk_alloc_cont )
+    in
+    let ua0, uc0, ca0, cc0, aa0, ac0 = snap () in
     Fun.protect
-      ~finally:(fun () -> m.parallel <- false)
+      ~finally:(fun () ->
+        m.parallel <- false;
+        if !Obs.enabled_ref then begin
+          let ua, uc, ca, cc, aa, ac = snap () in
+          Obs.incr ~by:(ua - ua0) "sdd.unique_lock.acquisitions";
+          Obs.incr ~by:(uc - uc0) "sdd.unique_lock.contended";
+          Obs.incr ~by:(ca - ca0) "sdd.cache_lock.acquisitions";
+          Obs.incr ~by:(cc - cc0) "sdd.cache_lock.contended";
+          Obs.incr ~by:(aa - aa0) "sdd.alloc_lock.acquisitions";
+          Obs.incr ~by:(ac - ac0) "sdd.alloc_lock.contended"
+        end)
       (fun () ->
         Obs.Worker.parallel_map ~domains (fun (a, b) -> conjoin m a b) pairs)
 

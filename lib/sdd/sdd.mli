@@ -152,6 +152,46 @@ val census_all : unit -> census list
 
 val census_to_json : census -> Obs.Json.t
 
+(** {1 Lock contention}
+
+    Parallel sections ({!apply_parallel}) acquire the sharded unique
+    table, cache and allocation mutexes through a counted [try_lock]
+    fast path: every acquisition bumps a per-shard counter, and an
+    acquisition whose initial [try_lock] fails counts as {e contended}.
+    Hold times are additionally sampled (while observability is on)
+    into the [sdd.unique_lock_hold_ns] / [sdd.cache_lock_hold_ns]
+    histograms, and the per-section deltas are republished as
+    [sdd.*_lock.acquisitions] / [sdd.*_lock.contended] Obs counters —
+    the raw material for the explain report's shard-contention heatmap
+    and for deciding whether a lock-free unique table is worth
+    building.  Counters persist for the manager's lifetime (they are
+    never reset by compaction or dynamic edits) and are all zero until
+    a parallel section runs. *)
+
+type shard_contention = {
+  shard : int;
+  unique_acquisitions : int;
+  unique_contended : int;
+  cache_acquisitions : int;
+  cache_contended : int;
+}
+
+type contention = {
+  shards : shard_contention list;  (** One entry per shard, ascending. *)
+  alloc_acquisitions : int;
+  alloc_contended : int;
+}
+
+val contention : manager -> contention
+
+val contention_all : unit -> contention list
+(** Contention of every live manager (same weak registry as
+    {!census_all}).  A {!Postmortem} provider exposing non-zero
+    contention as [sdd_contention_<i>] objects is registered at
+    module-initialization time. *)
+
+val contention_to_json : contention -> Obs.Json.t
+
 (** {1 Constants, literals, connectives} *)
 
 val true_ : manager -> t

@@ -200,6 +200,88 @@ let parallel_suite =
         check_env "-4" `Error;
         check_env "lots" `Error;
         check_env "" `Error);
+    case "CTWSDD_RING is validated strictly" (fun () ->
+        let check_env v expect =
+          Unix.putenv "CTWSDD_RING" v;
+          let r = Flight_recorder.ring_env () in
+          Unix.putenv "CTWSDD_RING" "4096";
+          match (r, expect) with
+          | Ok got, `Ok want ->
+            checkb (Printf.sprintf "%S accepted" v) true (got = want)
+          | Error _, `Error -> ()
+          | Ok _, `Error -> Alcotest.failf "%S unexpectedly accepted" v
+          | Error msg, `Ok _ ->
+            Alcotest.failf "%S unexpectedly rejected: %s" v msg
+        in
+        check_env "64" (`Ok (Some 64));
+        check_env " 128 " (`Ok (Some 128));
+        check_env "0" `Error;
+        check_env "-1" `Error;
+        check_env "banana" `Error;
+        check_env "" `Error);
+    case "shard lock counters conserve and stay silent sequentially"
+      (fun () ->
+        Obs.set_enabled true;
+        Obs.reset ();
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.reset ();
+            Obs.set_enabled false)
+          (fun () ->
+            let fs = random_functions ~vars:6 ~count:8 in
+            let vars =
+              List.sort_uniq compare (List.concat_map Boolfun.variables fs)
+            in
+            let m = Sdd.manager (Vtree.balanced vars) in
+            let nodes = List.map (Compile.sdd_of_boolfun m) fs in
+            (* Sequential compilation never arms the shard mutexes. *)
+            let c0 = Sdd.contention m in
+            checki "no sequential alloc acq" 0 c0.Sdd.alloc_acquisitions;
+            checkb "no sequential shard acq" true
+              (List.for_all
+                 (fun s ->
+                   s.Sdd.unique_acquisitions = 0 && s.Sdd.cache_acquisitions = 0)
+                 c0.Sdd.shards);
+            let rec pair_up = function
+              | a :: b :: rest -> (a, b) :: pair_up rest
+              | _ -> []
+            in
+            ignore (Sdd.apply_parallel ~domains:4 m (pair_up nodes));
+            let c = Sdd.contention m in
+            let ua =
+              List.fold_left
+                (fun a s -> a + s.Sdd.unique_acquisitions)
+                0 c.Sdd.shards
+            in
+            let ca =
+              List.fold_left
+                (fun a s -> a + s.Sdd.cache_acquisitions)
+                0 c.Sdd.shards
+            in
+            checkb "parallel run acquired locks" true (ua + ca > 0);
+            checki "sixteen shards" 16 (List.length c.Sdd.shards);
+            List.iter
+              (fun s ->
+                checkb "unique contended <= acquired" true
+                  (s.Sdd.unique_contended <= s.Sdd.unique_acquisitions);
+                checkb "cache contended <= acquired" true
+                  (s.Sdd.cache_contended <= s.Sdd.cache_acquisitions))
+              c.Sdd.shards;
+            checkb "alloc contended <= acquired" true
+              (c.Sdd.alloc_contended <= c.Sdd.alloc_acquisitions);
+            (* The epilogue republishes the per-run deltas as ordinary
+               Obs counters; the manager was fresh, so the deltas are
+               the totals. *)
+            checki "unique delta republished" ua
+              (Obs.counter_value "sdd.unique_lock.acquisitions");
+            checki "cache delta republished" ca
+              (Obs.counter_value "sdd.cache_lock.acquisitions");
+            checkb "contention in census JSON" true
+              (match Sdd.contention_to_json c with
+               | Obs.Json.Obj fields ->
+                 List.mem_assoc "shards" fields
+                 && List.mem_assoc "alloc_acquisitions" fields
+               | _ -> false)));
   ]
 
 let suites =

@@ -206,9 +206,13 @@ let postmortem_suite =
                    recorder tail all ride inside the one document. *)
                 checkb "gc live_words" true
                   (Obs.Json.member "live_words" (member_exn "gc" j) <> None);
-                checkb "metrics schema v3" true
+                checkb "metrics schema v4" true
                   (Obs.Json.member "schema" (member_exn "metrics" j)
-                  = Some (Obs.Json.String "ctwsdd-metrics/v3"));
+                  = Some (Obs.Json.String "ctwsdd-metrics/v4"));
+                checkb "top-level attribution" true
+                  (match Obs.Json.member "attribution" j with
+                   | Some (Obs.Json.List _) -> true
+                   | _ -> false);
                 match member_exn "entries" (member_exn "flight_recorder" j) with
                 | Obs.Json.List entries ->
                   checkb "marker in tail" true

@@ -117,7 +117,7 @@ let json_suite =
             | Ok _ -> Alcotest.failf "accepted %S" s
             | Error _ -> ())
           [ "{"; "[1,]"; "\"open"; "tru"; "{\"a\":1,}"; "1 2"; "" ]);
-    case "snapshot follows the ctwsdd-metrics/v3 schema" (fun () ->
+    case "snapshot follows the ctwsdd-metrics/v4 schema" (fun () ->
         with_obs (fun () ->
             Obs.incr ~by:3 "work.items";
             Obs.gauge_max "work.peak" 9;
@@ -132,7 +132,13 @@ let json_suite =
             checkb "schema field" true
               (Obs.Json.member "schema" j
               = Some (Obs.Json.String Obs.schema_version));
-            checks "schema is v3" "ctwsdd-metrics/v3" Obs.schema_version;
+            checks "schema is v4" "ctwsdd-metrics/v4" Obs.schema_version;
+            (* v4 addition: the attribution section (a list, empty when
+               no cost center was ever entered). *)
+            checkb "attribution section" true
+              (match Obs.Json.member "attribution" j with
+               | Some (Obs.Json.List _) -> true
+               | _ -> false);
             checkb "extra field" true
               (Obs.Json.member "run" j = Some (Obs.Json.Int 1));
             (* v3 additions: run attribution and the flight recorder. *)
@@ -464,12 +470,125 @@ let sdd_stats_suite =
                  (Obs.caches ()))));
   ]
 
+let percentile_suite =
+  [
+    case "percentile edge cases: empty, single bucket, p0/p100" (fun () ->
+        let e = Obs.Histogram.create "empty" in
+        checki "empty p0" 0 (Obs.Histogram.percentile e 0.0);
+        checki "empty p50" 0 (Obs.Histogram.percentile e 50.0);
+        checki "empty p100" 0 (Obs.Histogram.percentile e 100.0);
+        (* One value: every percentile collapses onto it (bucket upper
+           bounds clamp to the observed min/max). *)
+        let s = Obs.Histogram.create "single" in
+        Obs.Histogram.record s 5;
+        checki "single p0" 5 (Obs.Histogram.percentile s 0.0);
+        checki "single p50" 5 (Obs.Histogram.percentile s 50.0);
+        checki "single p100" 5 (Obs.Histogram.percentile s 100.0);
+        (* Two buckets: p0 clamps to the min, p100 to the max, and the
+           sequence is monotone in between. *)
+        let h = Obs.Histogram.create "pair" in
+        Obs.Histogram.record h 3;
+        Obs.Histogram.record h 1000;
+        checki "pair p0" 3 (Obs.Histogram.percentile h 0.0);
+        checki "pair p100" 1000 (Obs.Histogram.percentile h 100.0);
+        let p50 = Obs.Histogram.percentile h 50.0 in
+        checkb "pair monotone" true (3 <= p50 && p50 <= 1000));
+  ]
+
+let worker_suite =
+  [
+    case "parallel_map conserves items and steals across domain joins"
+      (fun () ->
+        with_obs (fun () ->
+            let xs = List.init 40 Fun.id in
+            let expect = List.map (fun x -> x * x) xs in
+            let got =
+              Obs.Worker.parallel_map ~domains:4 (fun x -> x * x) xs
+            in
+            checkb "results" true (got = expect);
+            (* Every item is counted exactly once no matter which domain
+               ran it; steals only count items that migrated off the
+               calling domain. *)
+            checki "items conserved" 40 (Obs.counter_value "worker.items");
+            let steals = Obs.counter_value "worker.steals" in
+            checkb "steals bounded" true (steals >= 0 && steals <= 40);
+            (* d=1 short-circuits to List.map: no worker accounting. *)
+            Obs.reset ();
+            let got1 =
+              Obs.Worker.parallel_map ~domains:1 (fun x -> x * x) xs
+            in
+            checkb "d1 results" true (got1 = expect);
+            checki "d1 records nothing" 0 (Obs.counter_value "worker.items");
+            (* d=2 and d=4 agree on the conserved total. *)
+            Obs.reset ();
+            ignore (Obs.Worker.parallel_map ~domains:2 (fun x -> x * x) xs);
+            checki "d2 items conserved" 40
+              (Obs.counter_value "worker.items")));
+    case "parallel_map busy/idle histograms cover every worker" (fun () ->
+        with_obs (fun () ->
+            let xs = List.init 16 Fun.id in
+            ignore
+              (Obs.Worker.parallel_map ~domains:4
+                 (fun x ->
+                   ignore (Sys.opaque_identity (x * x));
+                   x)
+                 xs);
+            (match Obs.hist_value "worker.busy_us" with
+             | None -> Alcotest.fail "busy histogram missing"
+             | Some s -> checki "one sample per worker" 4 s.Obs.Histogram.count);
+            (match Obs.hist_value "worker.idle_us" with
+             | None -> Alcotest.fail "idle histogram missing"
+             | Some s -> checki "idle per worker" 4 s.Obs.Histogram.count);
+            checkb "region span recorded" true
+              (List.exists
+                 (fun t -> t.Obs.span = "worker.parallel_map")
+                 (Obs.span_roots ()))));
+    case "attribution rows merge across capture/absorb" (fun () ->
+        with_obs (fun () ->
+            Attribution.with_center (Attribution.component 0)
+              (fun () -> Attribution.charge_nodes 3);
+            let d =
+              Domain.spawn (fun () ->
+                  Obs.Worker.capture (fun () ->
+                      Attribution.with_center
+                        (Attribution.component 0) (fun () ->
+                          Attribution.charge_nodes 5);
+                      Attribution.with_center
+                        (Attribution.component 1) (fun () ->
+                          Attribution.charge_elements 2)))
+            in
+            let (), cap = Domain.join d in
+            Obs.Worker.absorb cap;
+            let rows = Attribution.rows () in
+            let find lbl =
+              List.find
+                (fun r ->
+                  r.Attribution.kind = "component"
+                  && r.Attribution.label = lbl)
+                rows
+            in
+            let k0 = find "k0" and k1 = find "k1" in
+            checki "k0 nodes merged" 8 k0.Attribution.nodes;
+            checki "k0 enters merged" 2 k0.Attribution.enters;
+            checki "k1 elements" 2 k1.Attribution.elements;
+            checkb "self times non-negative" true
+              (List.for_all (fun r -> r.Attribution.time_s >= 0.) rows)));
+    case "disabled attribution is inert" (fun () ->
+        Obs.set_enabled false;
+        Obs.reset ();
+        Attribution.with_center (Attribution.component 9) (fun () ->
+            Attribution.charge_nodes 100);
+        checki "no rows" 0 (List.length (Attribution.rows ())));
+  ]
+
 let suites =
   [
     ("obs counters", counters_suite);
     ("obs spans", spans_suite);
     ("obs json", json_suite);
     ("obs histograms", hist_suite);
+    ("obs percentiles", percentile_suite);
+    ("obs worker", worker_suite);
     ("obs trace", trace_suite);
     ("obs sdd stats", sdd_stats_suite);
   ]
