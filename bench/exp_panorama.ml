@@ -6,18 +6,23 @@
    width and SDD width grow.  Reproduces the inclusions
    CPW(O(1)) = OBDD(O(1)) ⊆ CTW(O(1)) = SDD(O(1)). *)
 
-let obdd_width_natural f =
-  let vars = Boolfun.variables f in
-  let m = Bdd.manager vars in
-  Bdd.width m (Bdd.of_boolfun m f)
+(* OBDD width through the scalable backend: compile the circuit itself
+   on the right-linear manager over its natural variable order.  The
+   historical [Bdd.of_boolfun] route tabulated 2^n rows and capped the
+   families at ~20 variables; the ITE apply is polynomial in the OBDD
+   it builds, so the bounded-pathwidth families now scale far past
+   that. *)
+let obdd_width_natural circuit =
+  let m = Sdd.Obdd.manager (Circuit.variables circuit) in
+  Sdd.Obdd.width m (Sdd.Obdd.compile_circuit m circuit)
 
-let sdw_lemma1 circuit =
-  let vt, _ = Lemma1.vtree_of_circuit circuit in
-  let f = Circuit.to_boolfun circuit in
-  Compile.sdw f vt
+(* SDD width through the pipeline's treedec vtree (Lemma 1 on the best
+   available decomposition), again without a truth table in sight. *)
+let sdw_compiled circuit =
+  let m, node = Pipeline.compile_exn ~vtree_strategy:`Treedec circuit in
+  Sdd.width m node
 
 let family_row name circuit =
-  let f = Circuit.to_boolfun circuit in
   let g = Circuit.underlying_graph circuit in
   let tw, _ = Treewidth.upper_bound g in
   let pw =
@@ -27,11 +32,11 @@ let family_row name circuit =
   in
   [
     name;
-    Table.fi (Boolfun.num_vars f);
+    Table.fi (Circuit.num_vars circuit);
     Table.fi tw;
     pw;
-    Table.fi (obdd_width_natural f);
-    Table.fi (sdw_lemma1 circuit);
+    Table.fi (obdd_width_natural circuit);
+    Table.fi (sdw_compiled circuit);
   ]
 
 let run () =
@@ -41,13 +46,13 @@ let run () =
       [
         List.map
           (fun n -> family_row (Printf.sprintf "chain-implications") (Generators.chain_implications n))
-          [ 4; 6; 8; 10 ];
+          [ 4; 8; 16; 32; 64 ];
         List.map
           (fun n -> family_row "parity-chain" (Generators.parity_chain n))
-          [ 4; 6; 8; 10 ];
+          [ 4; 8; 16; 32; 64 ];
         List.map
           (fun n -> family_row "band-3-cnf" (Generators.band_cnf ~width:3 n))
-          [ 4; 6; 8; 10 ];
+          [ 4; 8; 16; 32; 64 ];
         List.map
           (fun n ->
             family_row "hidden-weighted-bit"

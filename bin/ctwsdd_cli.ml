@@ -67,17 +67,29 @@ let vtree_of_choice choice circuit =
    fall back on.  [--minimize] runs the in-manager dynamic vtree search
    either way (anytime under a budget).  Returns the manager, the root
    and the degradation flag. *)
-let compile_with_choice ~budget ?compact_every choice ~minimize c =
+let compile_with_choice ~budget ?compact_every ?(backend = `Sdd) choice
+    ~minimize c =
   if Circuit.variables c = [] then
     raise (Cli_usage "the circuit has no variables");
   match choice with
   | (`Right | `Balanced | `Treedec | `Search) as s ->
-    (match Ctwsdd.compile ~budget ~vtree_strategy:s ~minimize ?compact_every c
+    (match
+       Ctwsdd.compile ~budget ~vtree_strategy:s ~backend ~minimize
+         ?compact_every c
      with
      | Error e -> Error e
      | Ok r ->
-       Ok (r.Pipeline.manager, r.Pipeline.root, r.Pipeline.degraded))
+       Ok
+         ( r.Pipeline.manager,
+           r.Pipeline.root,
+           r.Pipeline.degraded,
+           r.Pipeline.backend ))
   | (`Left | `Lemma1) as ch ->
+    if backend <> `Sdd then
+      raise
+        (Cli_usage
+           "--backend works with the pipeline vtree strategies (balanced, \
+            right, treedec, search), not the legacy left/lemma1 kinds");
     Ctwsdd_error.guard @@ fun () ->
     let vt = vtree_of_choice ch c in
     let m = Sdd.manager ~budget ?compact_every vt in
@@ -90,7 +102,7 @@ let compile_with_choice ~budget ?compact_every choice ~minimize c =
       else (node, None)
     in
     Sdd.set_budget m Budget.unlimited;
-    (m, node, degraded)
+    (m, node, degraded, `Sdd)
 
 let circuit_file =
   Arg.(value & opt (some string) None & info [ "file"; "f" ] ~docv:"FILE"
@@ -104,6 +116,25 @@ let vtree_conv =
   Arg.enum
     [ ("balanced", `Balanced); ("right", `Right); ("left", `Left);
       ("lemma1", `Lemma1); ("treedec", `Treedec); ("search", `Search) ]
+
+(* Junk values become Cmdliner's usage error (exit 124) with the same
+   sdd|obdd|dnnf|auto inventory as [Backend.of_string]. *)
+let backend_conv =
+  Arg.enum
+    [ ("sdd", `Sdd); ("obdd", `Obdd); ("dnnf", `Dnnf); ("auto", `Auto) ]
+
+let backend_arg =
+  Arg.(value & opt backend_conv `Sdd & info [ "backend" ] ~docv:"KIND"
+         ~doc:"Compilation target: $(b,sdd) (canonical SDD, the default), \
+               $(b,obdd) (right-linear OBDD specialization), $(b,dnnf) \
+               (counting-only non-canonical d-DNNF — no unique table, no \
+               compression) or $(b,auto) (pick per workload; the choice \
+               and its reason are reported).")
+
+let backend_label = function
+  | `Sdd -> "sdd"
+  | `Obdd -> "obdd"
+  | `Dnnf -> "dnnf"
 
 let minimize_flag =
   Arg.(value & flag & info [ "minimize" ]
@@ -393,27 +424,43 @@ let print_manager_stats m =
 (* ------------------------------------------------------------------ *)
 
 let compile_cmd =
-  let run file inline vtree_choice minimize count validate compact_every
-      timeout max_nodes o =
+  let run file inline vtree_choice backend minimize count validate
+      compact_every timeout max_nodes o =
     run_with_obs o @@ fun () ->
     let budget = budget_of timeout max_nodes in
     let c = read_circuit file inline in
     Printf.printf "circuit : %d gates, %d variables\n" (Circuit.size c)
       (Circuit.num_vars c);
-    match compile_with_choice ~budget ?compact_every vtree_choice ~minimize c
+    match
+      compile_with_choice ~budget ?compact_every ~backend vtree_choice
+        ~minimize c
     with
     | Error e -> report_error e
-    | Ok (m, node, degraded) ->
+    | Ok (m, node, degraded, chosen) ->
+      let (module B : Backend.S) = Backend.impl chosen in
+      if backend <> `Sdd || chosen <> `Sdd then
+        Printf.printf "backend : %s%s\n" (backend_label chosen)
+          (if backend = `Auto then
+             match Backend.last_selection () with
+             | Some (_, _, reason) -> Printf.sprintf " (%s)" reason
+             | None -> ""
+           else "");
       Printf.printf "vtree   : %s\n" (Vtree.to_string (Sdd.vtree m));
-      Printf.printf "SDD     : size %d, width %d, nodes %d\n" (Sdd.size m node)
-        (Sdd.width m node) (Sdd.node_count m node);
+      Printf.printf "%-8s: size %d, width %d, nodes %d\n"
+        (String.uppercase_ascii (backend_label chosen))
+        (B.size m node) (B.width m node) (B.node_count m node);
       if count then
         Printf.printf "models  : %s\n"
           (Bigint.to_string (Sdd.model_count m node));
       if validate then begin
-        match Obs.span "cli.validate" (fun () -> Sdd.validate m node) with
-        | Ok () -> print_endline "validate: ok (canonical SDD conditions hold)"
-        | Error msg -> Printf.printf "validate: FAILED (%s)\n" msg
+        if chosen = `Dnnf then
+          print_endline
+            "validate: skipped (the dnnf backend is intentionally \
+             non-canonical)"
+        else
+          match Obs.span "cli.validate" (fun () -> Sdd.validate m node) with
+          | Ok () -> print_endline "validate: ok (canonical SDD conditions hold)"
+          | Error msg -> Printf.printf "validate: FAILED (%s)\n" msg
       end;
       (* The OBDD comparison is unbudgeted — skip it on budgeted runs
          (it could blow up past the limits the user just set). *)
@@ -426,6 +473,7 @@ let compile_cmd =
           (String.concat "<" order)
       end;
       if o.stats then begin
+        Printf.eprintf "backend : %s\n" (backend_label chosen);
         Printf.eprintf "manager : %d nodes allocated, %d compactions\n"
           (Sdd.num_nodes_allocated m) (Sdd.compactions m);
         print_manager_stats m
@@ -450,8 +498,8 @@ let compile_cmd =
     (Cmd.info "compile" ~exits:exit_code_docs
        ~doc:"Compile a circuit to a canonical SDD and an OBDD")
     Term.(ret (const run $ circuit_file $ circuit_inline $ vtree_choice
-               $ minimize_flag $ count $ validate $ compact_every_arg
-               $ timeout_arg $ max_nodes_arg $ obs_term))
+               $ backend_arg $ minimize_flag $ count $ validate
+               $ compact_every_arg $ timeout_arg $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* treewidth                                                           *)
@@ -518,7 +566,8 @@ let parse_db path =
   Pdb.make (List.rev !entries)
 
 let query_cmd =
-  let run query db_path brute minimize compact_every timeout max_nodes o =
+  let run query db_path backend brute minimize compact_every timeout max_nodes
+      o =
     run_with_obs o @@ fun () ->
     let budget = budget_of timeout max_nodes in
     let q = Ucq.of_string query in
@@ -536,14 +585,23 @@ let query_cmd =
       (List.length (Circuit.variables lineage));
     match
       Obs.span "cli.prob_sdd" (fun () ->
-          Ctwsdd.prob ~budget ~minimize ?compact_every q db)
+          Ctwsdd.prob ~budget ~minimize ?compact_every ~backend q db)
     with
     | Error e -> report_error e
     | Ok a ->
       Printf.printf "P = %s = %.6f\n"
         (Ratio.to_string a.Prob.probability)
         (Ratio.to_float a.Prob.probability);
-      Printf.printf "  via SDD : size %d\n" a.Prob.size;
+      Printf.printf "  via %-4s: size %d%s\n"
+        (String.uppercase_ascii (backend_label a.Prob.backend))
+        a.Prob.size
+        (if backend = `Auto then
+           match Backend.last_selection () with
+           | Some (_, _, reason) -> Printf.sprintf "  (%s)" reason
+           | None -> ""
+         else "");
+      if o.stats then
+        Printf.eprintf "backend : %s\n" (backend_label a.Prob.backend);
       (* The comparison evaluators are unbudgeted; run them only on
          unbudgeted invocations. *)
       if Budget.is_unlimited budget then begin
@@ -583,7 +641,7 @@ let query_cmd =
   Cmd.v
     (Cmd.info "query" ~exits:exit_code_docs
        ~doc:"Probability of a UCQ over a probabilistic database")
-    Term.(ret (const run $ query $ db $ brute $ minimize_flag
+    Term.(ret (const run $ query $ db $ backend_arg $ brute $ minimize_flag
                $ compact_every_arg $ timeout_arg $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
@@ -593,8 +651,8 @@ let query_cmd =
 (* The historical monolithic path: one circuit, one vtree, one manager.
    Selected by an explicit --vtree KIND (or --minimize, which operates
    on a single manager); the scaling pipeline below is the default. *)
-let cnf_monolithic ~budget ~minimize ?compact_every vtree_choice (d : Dimacs.t)
-    o =
+let cnf_monolithic ~budget ~minimize ?compact_every ?backend vtree_choice
+    (d : Dimacs.t) o =
   let c = Dimacs.to_circuit d in
   if Circuit.variables c = [] then begin
     (* no clause mentions a variable: the CNF is a constant *)
@@ -605,12 +663,18 @@ let cnf_monolithic ~budget ~minimize ?compact_every vtree_choice (d : Dimacs.t)
     0
   end
   else begin
-    match compile_with_choice ~budget ?compact_every vtree_choice ~minimize c
+    match
+      compile_with_choice ~budget ?compact_every ?backend vtree_choice
+        ~minimize c
     with
     | Error e -> report_error e
-    | Ok (m, node, degraded) ->
-      Printf.printf "SDD: size %d, width %d\n" (Sdd.size m node)
-        (Sdd.width m node);
+    | Ok (m, node, degraded, chosen) ->
+      let (module B : Backend.S) = Backend.impl chosen in
+      if chosen <> `Sdd then
+        Printf.printf "backend: %s\n" (backend_label chosen);
+      Printf.printf "%s: size %d, width %d\n"
+        (String.uppercase_ascii (backend_label chosen))
+        (B.size m node) (B.width m node);
       let count =
         Obs.span "cli.model_count" @@ fun () ->
         Bigint.mul
@@ -618,19 +682,27 @@ let cnf_monolithic ~budget ~minimize ?compact_every vtree_choice (d : Dimacs.t)
           (Bigint.pow2 (Dimacs.free_var_count d))
       in
       Printf.printf "models: %s\n" (Bigint.to_string count);
-      if o.stats then print_manager_stats m;
+      if o.stats then begin
+        Printf.eprintf "backend : %s\n" (backend_label chosen);
+        print_manager_stats m
+      end;
       report_degraded degraded
   end
 
 (* The scaling path (the default): preprocessing, connected components
    compiled in parallel, treewidth-driven clause scheduling. *)
 let cnf_scaling ~budget ~preprocess ~schedule ~domains ?compact_every
-    ~parallel_apply (d : Dimacs.t) o =
+    ?(backend = `Sdd) ~parallel_apply (d : Dimacs.t) o =
   match
-    Ctwsdd.compile_cnf ~budget ~preprocess ~schedule ?domains ?compact_every d
+    Ctwsdd.compile_cnf ~budget ~preprocess ~schedule ~backend ?domains
+      ?compact_every d
   with
   | Error e -> report_error e
   | Ok r ->
+    if r.Pipeline.cnf_backend <> `Sdd then
+      Printf.printf "backend: %s (%s)\n"
+        (backend_label r.Pipeline.cnf_backend)
+        r.Pipeline.cnf_backend_reason;
     if preprocess then
       Printf.printf "preprocess: %d forced, %d free variables\n"
         r.Pipeline.forced_vars r.Pipeline.free_vars;
@@ -672,12 +744,14 @@ let cnf_scaling ~budget ~preprocess ~schedule ~domains ?compact_every
                   (Sdd.model_count jm jroot)
                   (Bigint.pow2 r.Pipeline.free_vars)));
           if o.stats then print_manager_stats jm));
-    if o.stats then
-      List.iter (fun c -> print_manager_stats c.Pipeline.k_manager) comps;
+    if o.stats then begin
+      Printf.eprintf "backend : %s\n" (backend_label r.Pipeline.cnf_backend);
+      List.iter (fun c -> print_manager_stats c.Pipeline.k_manager) comps
+    end;
     report_degraded r.Pipeline.cnf_degraded
 
 let cnf_cmd =
-  let run path vtree_choice minimize no_preprocess schedule domains
+  let run path vtree_choice backend minimize no_preprocess schedule domains
       compact_every parallel_apply timeout max_nodes o =
     run_with_obs o @@ fun () ->
     let budget = budget_of timeout max_nodes in
@@ -692,7 +766,7 @@ let cnf_cmd =
           (Cli_usage
              "--parallel-apply requires the scaling pipeline (drop --vtree \
               and --minimize)");
-      cnf_monolithic ~budget ~minimize ?compact_every choice d o
+      cnf_monolithic ~budget ~minimize ?compact_every ~backend choice d o
     in
     match vtree_choice with
     | Some choice -> monolithic choice
@@ -702,7 +776,7 @@ let cnf_cmd =
       monolithic `Lemma1
     | None ->
       cnf_scaling ~budget ~preprocess:(not no_preprocess) ~schedule ~domains
-        ?compact_every ~parallel_apply d o
+        ?compact_every ~backend ~parallel_apply d o
   in
   let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let vtree_choice =
@@ -747,17 +821,17 @@ let cnf_cmd =
   Cmd.v
     (Cmd.info "cnf" ~exits:exit_code_docs
        ~doc:"Exact model counting for a DIMACS CNF file")
-    Term.(ret (const run $ path $ vtree_choice $ minimize_flag $ no_preprocess
-               $ schedule $ domains $ compact_every_arg $ parallel_apply
-               $ timeout_arg $ max_nodes_arg $ obs_term))
+    Term.(ret (const run $ path $ vtree_choice $ backend_arg $ minimize_flag
+               $ no_preprocess $ schedule $ domains $ compact_every_arg
+               $ parallel_apply $ timeout_arg $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* explain : attribution report for a CNF compile                      *)
 (* ------------------------------------------------------------------ *)
 
 let explain_cmd =
-  let run path schedule domains no_preprocess compact_every parallel_apply
-      top timeout max_nodes o =
+  let run path schedule backend domains no_preprocess compact_every
+      parallel_apply top timeout max_nodes o =
     (* The report is written from inside the run (it needs the component
        managers' censuses); strip explain_out from the generic exporter
        so it is not overwritten with a census-less collect afterwards. *)
@@ -775,7 +849,7 @@ let explain_cmd =
       (List.length d.Dimacs.clauses);
     match
       Ctwsdd.compile_cnf ~budget ~preprocess:(not no_preprocess) ~schedule
-        ?domains ?compact_every d
+        ~backend ?domains ?compact_every d
     with
     | Error e -> report_error e
     | Ok r ->
@@ -852,9 +926,9 @@ let explain_cmd =
               $(b,--explain-out) additionally writes the report as \
               ctwsdd-explain/v1 JSON.";
          ])
-    Term.(ret (const run $ path $ schedule $ domains $ no_preprocess
-               $ compact_every_arg $ parallel_apply $ top $ timeout_arg
-               $ max_nodes_arg $ obs_term))
+    Term.(ret (const run $ path $ schedule $ backend_arg $ domains
+               $ no_preprocess $ compact_every_arg $ parallel_apply $ top
+               $ timeout_arg $ max_nodes_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* isa                                                                 *)

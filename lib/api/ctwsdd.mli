@@ -32,22 +32,28 @@ module Budget = Budget
 val compile :
   ?budget:Budget.t ->
   ?vtree_strategy:Pipeline.vtree_strategy ->
+  ?backend:Backend.tag ->
   ?minimize:bool ->
   ?max_steps:int ->
   ?domains:int ->
   ?compact_every:int ->
   Circuit.t ->
   (Pipeline.result, Error.t) result
-(** Compile a circuit to a canonical SDD — {!Pipeline.compile}: vtree
-    from the requested strategy, graceful degradation down the
-    [`Search → `Treedec → `Balanced → `Right] ladder on budget trips,
-    optional anytime in-manager minimization, optional generational
-    arena compaction ([compact_every]). *)
+(** Compile a circuit — {!Pipeline.compile}: vtree from the requested
+    strategy, graceful degradation down the [`Search → `Treedec →
+    `Balanced → `Right] ladder on budget trips, optional anytime
+    in-manager minimization, optional generational arena compaction
+    ([compact_every]).  [backend] picks the compilation target
+    ({!Backend}): [`Sdd] (default, canonical SDD), [`Obdd]
+    (right-linear specialization), [`Dnnf] (counting-only,
+    non-canonical) or [`Auto] (per-workload; the choice lands in
+    {!Pipeline.result.backend}). *)
 
 val compile_cnf :
   ?budget:Budget.t ->
   ?preprocess:bool ->
   ?schedule:Pipeline.cnf_schedule ->
+  ?backend:Backend.tag ->
   ?domains:int ->
   ?compact_every:int ->
   Dimacs.t ->
@@ -70,12 +76,31 @@ val prob :
   ?vtree:Vtree.t ->
   ?minimize:bool ->
   ?compact_every:int ->
+  ?backend:Backend.tag ->
   Ucq.t ->
   Pdb.t ->
   (Prob.answer, Error.t) result
 (** Exact probability of a union of conjunctive queries over a
     tuple-independent database, via the compiled lineage —
-    {!Prob.via_sdd}. *)
+    {!Prob.via}.  [backend] defaults to [`Sdd]; [`Auto] resolves from
+    the query's safety level (hierarchical → OBDD, inversion-free →
+    treewidth-derived SDD, otherwise balanced SDD) and reports the
+    choice in {!Prob.answer.backend}. *)
+
+val model_count :
+  ?budget:Budget.t ->
+  ?vtree_strategy:Pipeline.vtree_strategy ->
+  ?domains:int ->
+  ?compact_every:int ->
+  ?backend:Backend.tag ->
+  Circuit.t ->
+  (Bigint.t, Error.t) result
+(** Exact model count of a circuit over its own variables.  [backend]
+    defaults to [`Auto], which resolves with the counting-only hint —
+    the non-canonical d-DNNF fast path (no unique-table find-or-claim,
+    no compression disjunctions).  Constant circuits count without
+    building a manager.  A degraded (anytime) compile still yields the
+    exact count — only its representation is larger. *)
 
 val minimize :
   ?budget:Budget.t ->
@@ -93,16 +118,28 @@ val compile_exn :
   ?minimize:bool ->
   ?max_steps:int ->
   ?domains:int ->
+  ?backend:Backend.tag ->
   ?compact_every:int ->
   Circuit.t ->
   Sdd.manager * Sdd.t
 (** Raising variant of {!compile} ({!Pipeline.compile_exn}). *)
+
+val model_count_exn :
+  ?budget:Budget.t ->
+  ?vtree_strategy:Pipeline.vtree_strategy ->
+  ?domains:int ->
+  ?compact_every:int ->
+  ?backend:Backend.tag ->
+  Circuit.t ->
+  Bigint.t
+(** Raising variant of {!model_count}. *)
 
 val prob_exn :
   ?budget:Budget.t ->
   ?vtree:Vtree.t ->
   ?minimize:bool ->
   ?compact_every:int ->
+  ?backend:Backend.tag ->
   Ucq.t ->
   Pdb.t ->
   Ratio.t * int

@@ -1,0 +1,107 @@
+(** Backend-agnostic compilation interface.
+
+    The paper is a {e panorama}: SDD, OBDD and structured-deterministic
+    NNF classes related under circuit treewidth/pathwidth bounds
+    (Figures 1–3).  This module is the engine-side counterpart — one
+    first-class-module signature ({!S}) over compile, conjoin, counting,
+    WMC, size/width census, budget polling and stats, with three
+    implementations sharing the arena manager:
+
+    - [`Sdd] — the canonical SDD apply ({!Sdd.compile_circuit});
+    - [`Obdd] — the right-linear ITE specialization ({!Sdd.Obdd}),
+      whose width is the OBDD width of the pathwidth claims;
+    - [`Dnnf] — the counting-only non-canonical fast path
+      ({!Sdd.dnnf_manager}): no unique-table find-or-claim, no
+      compression disjunctions, exact counts.
+
+    [`Auto] resolves a backend per workload (pathwidth-shaped inputs →
+    OBDD, treewidth-bounded → SDD, counting-only → d-DNNF); every
+    resolution is recorded as a [backend.selected] metrics event, kept
+    for the explain report ({!last_selection}) and exposed to
+    postmortem dumps. *)
+
+type tag = [ `Sdd | `Obdd | `Dnnf | `Auto ]
+type resolved = [ `Sdd | `Obdd | `Dnnf ]
+
+val name : tag -> string
+(** ["sdd"], ["obdd"], ["dnnf"], ["auto"]. *)
+
+val resolved_name : resolved -> string
+
+val of_string : string -> (tag, Ctwsdd_error.t) result
+(** Parses a backend name.  The error is the normalized
+    [Invalid_input "unknown backend …"] every surface (API, CLI) shares. *)
+
+val of_string_exn : string -> tag
+(** @raise Ctwsdd_error.Error with the normalized message. *)
+
+(** The backend signature.  All three implementations share
+    {!Sdd.manager}/{!Sdd.t} (an OBDD {e is} an SDD on a right-linear
+    vtree; the d-DNNF manager is the same arena without canonicity), so
+    the types are concrete and results from any backend flow into the
+    generic census, postmortem and import machinery. *)
+module type S = sig
+  val backend : resolved
+  val name : string
+
+  val create_manager :
+    ?budget:Budget.t -> ?compact_every:int -> Vtree.t -> Sdd.manager
+  (** For [`Obdd] the vtree is right-linearized over its leaf order
+      (so a treedec-derived vtree contributes its variable order). *)
+
+  val compile_circuit : Sdd.manager -> Circuit.t -> Sdd.t
+
+  val conjoin : Sdd.manager -> Sdd.t -> Sdd.t -> Sdd.t
+  val disjoin : Sdd.manager -> Sdd.t -> Sdd.t -> Sdd.t
+  val negate : Sdd.manager -> Sdd.t -> Sdd.t
+  val literal : Sdd.manager -> string -> bool -> Sdd.t
+
+  val model_count : Sdd.manager -> Sdd.t -> Bigint.t
+  val probability : Sdd.manager -> Sdd.t -> (string -> float) -> float
+
+  val probability_ratio :
+    Sdd.manager -> Sdd.t -> (string -> Ratio.t) -> Ratio.t
+  (** Exact WMC; on the d-DNNF backend this is the linear counting walk
+      run directly on the arena (no NNF-circuit export). *)
+
+  val size : Sdd.manager -> Sdd.t -> int
+  val node_count : Sdd.manager -> Sdd.t -> int
+
+  val width : Sdd.manager -> Sdd.t -> int
+  (** SDD width (Definition 5) for [`Sdd]/[`Dnnf]; OBDD width
+      (nodes per level) for [`Obdd]. *)
+
+  val poll : Sdd.manager -> unit
+  (** One cooperative budget poll against the manager's budget. *)
+
+  val stats : Sdd.manager -> (string * int) list
+  (** Serial-friendly flat counters (cache hits/misses/entries),
+      safe to read from any domain. *)
+end
+
+val impl : resolved -> (module S)
+
+(** {1 Selection} *)
+
+val resolve_circuit :
+  ?budget:Budget.t -> ?counting_only:bool -> tag -> Circuit.t ->
+  resolved * string
+(** Resolve a requested backend for a circuit workload, with the reason.
+    Explicit tags resolve to themselves ("requested"); [`Auto] picks
+    [`Dnnf] when [counting_only] (default [false]), [`Obdd] when the
+    natural linear layout's vertex-separation width stays within +2 of
+    the treewidth bound (a pathwidth-shaped input, measured on the very
+    order the OBDD compile uses), and [`Sdd] otherwise.  The resolution
+    is recorded (event + {!last_selection}). *)
+
+val resolve_cnf : tag -> resolved * string
+(** Same for the CNF counting pipeline, whose workload is
+    counting-only by construction: [`Auto] resolves to [`Dnnf]. *)
+
+val note_selection : requested:tag -> chosen:resolved -> reason:string -> unit
+(** Record a selection made by a caller that resolved the backend
+    itself (e.g. the query evaluator's safety-based choice). *)
+
+val last_selection : unit -> (string * string * string) option
+(** [(requested, chosen, reason)] of the most recent resolution in this
+    process — what [ctwsdd explain] and the postmortem provider show. *)

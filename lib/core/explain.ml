@@ -43,6 +43,8 @@ type t = {
   cache_hold : Obs.Histogram.snapshot option;
   par : parallelism option;
   critical_path : crit_step list;
+  backend_sel : (string * string * string) option;
+      (* (requested, chosen, reason) of the last backend resolution *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -192,6 +194,7 @@ let collect ?(top = 10) ?censuses () =
     cache_hold = Obs.hist_value "sdd.cache_lock_hold_ns";
     par = collect_parallelism ();
     critical_path = collect_critical_path ();
+    backend_sel = Backend.last_selection ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -283,10 +286,22 @@ let to_json t =
           ("steals", Obs.Json.Int p.par_steals);
         ]
   in
+  let backend =
+    match t.backend_sel with
+    | None -> Obs.Json.Null
+    | Some (requested, chosen, reason) ->
+      Obs.Json.Obj
+        [
+          ("requested", Obs.Json.String requested);
+          ("chosen", Obs.Json.String chosen);
+          ("reason", Obs.Json.String reason);
+        ]
+  in
   Obs.Json.Obj
     [
       ("schema", Obs.Json.String schema_version);
       ("run_id", Obs.Json.String t.run);
+      ("backend", backend);
       ("wall_s", Obs.Json.Float t.wall_s);
       ("attributed_s", Obs.Json.Float t.attributed_s);
       ("cost_centers", Obs.Json.List (List.map row_json t.rows));
@@ -332,9 +347,15 @@ let write t path =
 let pp ppf t =
   let open Format in
   fprintf ppf "explain report (%s)  run %s@." schema_version t.run;
-  fprintf ppf "wall %.4fs  attributed %.4fs (%.1f%%)@.@." t.wall_s
+  fprintf ppf "wall %.4fs  attributed %.4fs (%.1f%%)@." t.wall_s
     t.attributed_s
     (if t.wall_s > 0. then 100. *. t.attributed_s /. t.wall_s else 0.);
+  (match t.backend_sel with
+  | None -> fprintf ppf "backend: (no backend resolution recorded)@.@."
+  | Some (requested, chosen, reason) ->
+    if requested = chosen then
+      fprintf ppf "backend: %s (%s)@.@." chosen reason
+    else fprintf ppf "backend: %s (requested %s: %s)@.@." chosen requested reason);
   (* Ranked cost centers. *)
   fprintf ppf "top cost centers (self time)@.";
   fprintf ppf "  %-10s %-14s %10s %10s %10s %8s@." "kind" "label" "time_ms"

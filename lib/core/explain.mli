@@ -30,7 +30,9 @@ val collect : ?top:int -> ?censuses:Sdd.census list -> unit -> t
     dilute the coverage ratio. *)
 
 val to_json : t -> Obs.Json.t
-(** The [ctwsdd-explain/v1] document: [schema], [run_id], [wall_s]
+(** The [ctwsdd-explain/v1] document: [schema], [run_id], [backend]
+    (requested/chosen/reason of the last {!Backend} resolution, [null]
+    when none was recorded), [wall_s]
     (root-inclusive seconds of pipeline centers), [attributed_s] (sum
     of self times over all centers — equal to [wall_s] up to float
     rounding for single-domain runs), [cost_centers] (every row,

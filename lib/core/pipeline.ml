@@ -10,6 +10,8 @@ type result = {
   manager : Sdd.manager;
   root : Sdd.t;
   strategy : vtree_strategy;
+  backend : Backend.resolved;
+  backend_reason : string;
   degraded : Budget.reason option;
   minimize_steps : int;
 }
@@ -61,17 +63,42 @@ let treedec_vtree ?budget c =
   end;
   (Lemma1.vtree_of_decomposition c td, Treedec.width td)
 
-let compile_with_vtree ?budget ?compact_every vt c =
-  let m = Sdd.manager ?budget ?compact_every vt in
-  (m, Sdd.compile_circuit m c)
+(* Backend-parametric single-vtree compile: the backend decides the
+   manager flavour ([`Obdd] right-linearizes the proposed vtree over
+   its leaf order, [`Dnnf] drops canonicity) and the apply used. *)
+let compile_with_vtree (module B : Backend.S) ?budget ?compact_every vt c =
+  let m = B.create_manager ?budget ?compact_every vt in
+  (m, B.compile_circuit m c)
+
+(* The vtree the [`Treedec] rung proposes, per backend.  The canonical
+   SDD wants the Lemma 1 shape; the linear backends want a {e linear}
+   layout with decomposition locality instead — the nice-decomposition
+   walk scrambles the leaf order (odd leaves down one flank, even up
+   the other), which is exactly what an OBDD order must not do (it
+   turns a bandwidth-3 CNF into exponentially many distinct
+   subfunctions), and what the non-canonical d-DNNF apply cannot
+   absorb either (no unique table to re-share the divergence).
+   [Lemma1.obdd_order_of_circuit] is the pathwidth layout order both
+   need. *)
+let treedec_rung_vtree (module B : Backend.S) ~budget c =
+  match B.backend with
+  | `Sdd -> fst (treedec_vtree ~budget c)
+  | `Obdd | `Dnnf -> Vtree.right_linear (Lemma1.obdd_order_of_circuit c)
 
 (* One rung of the degradation ladder: compile [c] with the given
    strategy under [budget], raising [Budget.Exhausted] on a trip. *)
-let compile_rung ~budget ?compact_every ?domains vars c = function
-  | `Right -> compile_with_vtree ~budget ?compact_every (Vtree.right_linear vars) c
-  | `Balanced -> compile_with_vtree ~budget ?compact_every (Vtree.balanced vars) c
+let compile_rung (module B : Backend.S) ~budget ?compact_every ?domains vars c
+    = function
+  | `Right ->
+    compile_with_vtree (module B) ~budget ?compact_every
+      (Vtree.right_linear vars) c
+  | `Balanced ->
+    compile_with_vtree (module B) ~budget ?compact_every (Vtree.balanced vars)
+      c
   | `Treedec ->
-    compile_with_vtree ~budget ?compact_every (fst (treedec_vtree ~budget c)) c
+    compile_with_vtree (module B) ~budget ?compact_every
+      (treedec_rung_vtree (module B) ~budget c)
+      c
   | `Search ->
     (* Compile the deterministic candidate set in parallel and keep the
        smallest result; the tie-break (first minimum in candidate order)
@@ -86,7 +113,7 @@ let compile_rung ~budget ?compact_every ?domains vars c = function
     let vt_candidates =
       [ (fun () -> Vtree.balanced vars);
         (fun () -> Vtree.right_linear vars);
-        (fun () -> fst (treedec_vtree ~budget c)) ]
+        (fun () -> treedec_rung_vtree (module B) ~budget c) ]
     in
     let per_candidate =
       Budget.split_nodes budget (List.length vt_candidates)
@@ -100,9 +127,11 @@ let compile_rung ~budget ?compact_every ?domains vars c = function
       Vtree_search.parallel_map ~domains
         (fun mk_vt ->
           match
-            let m = Sdd.manager ~budget:per_candidate ?compact_every (mk_vt ()) in
-            let n = Sdd.compile_circuit m c in
-            (m, n, Sdd.size m n)
+            let m =
+              B.create_manager ~budget:per_candidate ?compact_every (mk_vt ())
+            in
+            let n = B.compile_circuit m c in
+            (m, n, B.size m n)
           with
           | r -> Ok r
           | exception Budget.Exhausted r -> Error r)
@@ -152,7 +181,8 @@ let compile_rung ~budget ?compact_every ?domains vars c = function
 let compile_seq = Atomic.make 0
 
 let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
-    ?(minimize = false) ?max_steps ?domains ?compact_every c =
+    ?(backend = `Sdd) ?(minimize = false) ?max_steps ?domains ?compact_every c
+    =
   Ctwsdd_error.guard @@ fun () ->
   let rid =
     Printf.sprintf "%s/c%d" (Obs.run_id ())
@@ -164,10 +194,18 @@ let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
   let vars = Circuit.variables c in
   if vars = [] then invalid_arg "Pipeline.compile: circuit has no variables";
   Budget.check budget;
+  let chosen, backend_reason = Backend.resolve_circuit ~budget backend c in
+  let (module B : Backend.S) = Backend.impl chosen in
+  if minimize && chosen <> `Sdd then
+    Ctwsdd_error.throw
+      (Ctwsdd_error.Invalid_input
+         (Printf.sprintf "minimize is supported only by the sdd backend (got %s)"
+            (Backend.resolved_name chosen)));
   if !Obs.enabled_ref then
     Obs.event "pipeline.compile"
       [
         ("strategy", Obs.Json.String (strategy_name vtree_strategy));
+        ("backend", Obs.Json.String B.name);
         ("minimize", Obs.Json.Bool minimize);
         ("budgeted", Obs.Json.Bool (not (Budget.is_unlimited budget)));
         ("vars", Obs.Json.Int (List.length vars));
@@ -192,7 +230,9 @@ let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
     | rung :: rest ->
       (match
          Attribution.with_center (Attribution.rung (strategy_name rung))
-           (fun () -> compile_rung ~budget ?compact_every ?domains vars c rung)
+           (fun () ->
+             compile_rung (module B) ~budget ?compact_every ?domains vars c
+               rung)
        with
        | m, n -> (m, n, rung, last)
        | exception Budget.Exhausted r ->
@@ -224,7 +264,15 @@ let compile ?(budget = Budget.unlimited) ?(vtree_strategy = `Treedec)
   let degraded =
     match ladder_trip with Some _ -> ladder_trip | None -> minimize_trip
   in
-  { manager = m; root; strategy; degraded; minimize_steps }
+  {
+    manager = m;
+    root;
+    strategy;
+    backend = chosen;
+    backend_reason;
+    degraded;
+    minimize_steps;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* SAT-scale CNF compilation: preprocessing, component decomposition,  *)
@@ -252,6 +300,8 @@ type cnf_result = {
   forced_vars : int;
   preprocessed : bool;
   cnf_schedule : cnf_schedule;
+  cnf_backend : Backend.resolved;
+  cnf_backend_reason : string;
   cnf_degraded : Budget.reason option;
 }
 
@@ -416,7 +466,7 @@ let bag_schedule rt clauses =
    clauses in the scheduled order.  Raises [Budget.Exhausted] on a trip
    (the manager is dropped whole, so a mid-component trip never leaks a
    half-built state). *)
-let compile_component_rung ~budget ~comp ?compact_every
+let compile_component_rung (module B : Backend.S) ~budget ~comp ?compact_every
     (names : string array) (d : Dimacs.t) rung =
   let unscheduled clauses = List.map (fun c -> (-1, 0, c)) clauses in
   let vt, sched =
@@ -434,17 +484,18 @@ let compile_component_rung ~budget ~comp ?compact_every
     | `Right ->
       (Vtree.right_linear (Array.to_list names), unscheduled d.Dimacs.clauses)
   in
-  let m = Sdd.manager ~budget ?compact_every vt in
+  let m = B.create_manager ~budget ?compact_every vt in
   let conjoin_clause acc clause =
     Budget.poll budget;
     let cl =
-      Sdd.disjoin_list m
-        (List.map (fun l -> Sdd.literal m names.(abs l - 1) (l > 0)) clause)
+      List.fold_left
+        (fun acc l -> B.disjoin m acc (B.literal m names.(abs l - 1) (l > 0)))
+        (Sdd.false_ m) clause
     in
     (* Compaction checkpoint (opt-in): the running conjunction is the
        only live root between clauses, so dead apply intermediates
        from earlier clauses can be reclaimed here. *)
-    Sdd.maybe_compact m (Sdd.conjoin m acc cl)
+    Sdd.maybe_compact m (B.conjoin m acc cl)
   in
   let idx = ref (-1) in
   let root =
@@ -481,8 +532,8 @@ let cnf_rung_name = function
 (* Compile one component under its budget share, degrading through
    cheaper vtrees/schedules on budget trips (mirror of the circuit
    ladder): treedec+schedule → balanced → right-linear. *)
-let compile_component ~budget ~schedule ~comp ?compact_every
-    (names : string array) (d : Dimacs.t) =
+let compile_component (module B : Backend.S) ~budget ~schedule ~comp
+    ?compact_every (names : string array) (d : Dimacs.t) =
   let ladder =
     match schedule with
     | `Bags -> [ `Bags; `Balanced; `Right ]
@@ -494,7 +545,8 @@ let compile_component ~budget ~schedule ~comp ?compact_every
       (match
          Attribution.with_center (Attribution.rung (cnf_rung_name rung))
            (fun () ->
-             compile_component_rung ~budget ~comp ?compact_every names d rung)
+             compile_component_rung (module B) ~budget ~comp ?compact_every
+               names d rung)
        with
        | m, root -> (m, root, last)
        | exception Budget.Exhausted r ->
@@ -514,7 +566,8 @@ let compile_component ~budget ~schedule ~comp ?compact_every
   descend None ladder
 
 let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
-    ?(schedule = `Bags) ?domains ?compact_every (d : Dimacs.t) =
+    ?(schedule = `Bags) ?(backend = `Sdd) ?domains ?compact_every
+    (d : Dimacs.t) =
   Ctwsdd_error.guard @@ fun () ->
   let rid =
     Printf.sprintf "%s/c%d" (Obs.run_id ())
@@ -524,6 +577,8 @@ let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
   Obs.span "pipeline.compile_cnf" @@ fun () ->
   Attribution.with_center (Attribution.pipeline "compile_cnf") @@ fun () ->
   Budget.check budget;
+  let chosen, backend_reason = Backend.resolve_cnf backend in
+  let (module B : Backend.S) = Backend.impl chosen in
   if !Obs.enabled_ref then
     Obs.event "pipeline.compile_cnf"
       [
@@ -531,6 +586,7 @@ let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
         ("clauses", Obs.Json.Int (List.length d.Dimacs.clauses));
         ("preprocess", Obs.Json.Bool preprocess);
         ("schedule", Obs.Json.String (schedule_name schedule));
+        ("backend", Obs.Json.String B.name);
       ];
   let unsat =
     {
@@ -540,6 +596,8 @@ let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
       forced_vars = 0;
       preprocessed = preprocess;
       cnf_schedule = schedule;
+      cnf_backend = chosen;
+      cnf_backend_reason = backend_reason;
       cnf_degraded = None;
     }
   in
@@ -578,8 +636,8 @@ let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
               Obs.hist_record "cnf.component_size" cnf.Dimacs.num_vars;
             match
               Attribution.with_center (Attribution.component i) (fun () ->
-                  compile_component ~budget:per_budget ~schedule ~comp:i
-                    ?compact_every names cnf)
+                  compile_component (module B) ~budget:per_budget ~schedule
+                    ~comp:i ?compact_every names cnf)
             with
             | m, root, degraded ->
               let size = Sdd.size m root in
@@ -638,6 +696,8 @@ let compile_cnf ?(budget = Budget.unlimited) ?(preprocess = true)
         forced_vars;
         preprocessed = preprocess;
         cnf_schedule = schedule;
+        cnf_backend = chosen;
+        cnf_backend_reason = backend_reason;
         cnf_degraded =
           List.find_map (fun c -> c.k_degraded) components;
       }
@@ -695,9 +755,9 @@ let conjoin_components ?domains r =
     Some (m, root)
 
 let compile_exn ?budget ?vtree_strategy ?minimize ?max_steps ?domains
-    ?compact_every c =
+    ?backend ?compact_every c =
   match
-    compile ?budget ?vtree_strategy ?minimize ?max_steps ?domains
+    compile ?budget ?vtree_strategy ?minimize ?max_steps ?domains ?backend
       ?compact_every c
   with
   | Error e -> Ctwsdd_error.throw e

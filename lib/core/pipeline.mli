@@ -32,10 +32,18 @@ type result = {
       (** Holds the compiled SDD.  Returned with an unlimited budget
           installed — the compile's budget does not outlive the
           compile; reinstall one with [Sdd.set_budget] if needed. *)
-  root : Sdd.t;  (** The canonical SDD of the circuit. *)
+  root : Sdd.t;
+      (** The compiled circuit: a canonical SDD under the [`Sdd] and
+          [`Obdd] backends, a counting-only d-DNNF under [`Dnnf]. *)
   strategy : vtree_strategy;
       (** The rung that actually produced the SDD — the requested
           strategy, or a lower one after degradation. *)
+  backend : Backend.resolved;
+      (** The backend that compiled the circuit — the requested one, or
+          what [`Auto] resolved to. *)
+  backend_reason : string;
+      (** Why that backend was chosen (["requested"] for explicit
+          tags). *)
   degraded : Budget.reason option;
       (** [None] for an unconstrained run.  [Some r] when the budget
           tripped along the way (a ladder step-down, or a minimization
@@ -68,15 +76,25 @@ val treedec_vtree : ?budget:Budget.t -> Circuit.t -> Vtree.t * int
 val compile :
   ?budget:Budget.t ->
   ?vtree_strategy:vtree_strategy ->
+  ?backend:Backend.tag ->
   ?minimize:bool ->
   ?max_steps:int ->
   ?domains:int ->
   ?compact_every:int ->
   Circuit.t ->
   (result, Ctwsdd_error.t) Stdlib.result
-(** [compile c] builds the canonical SDD of [c] in a fresh manager.
+(** [compile c] builds the compiled form of [c] in a fresh manager.
     Defaults: [budget = Budget.unlimited], [vtree_strategy = `Treedec],
-    [minimize = false].  When [minimize] is set, the result is
+    [backend = `Sdd], [minimize = false].  [backend] selects the
+    compilation target (see {!Backend}): [`Sdd] (canonical SDD, the
+    historical behaviour), [`Obdd] (right-linear specialization — the
+    ladder's vtrees contribute their variable order), [`Dnnf]
+    (counting-only, no canonicity) or [`Auto] (resolved per workload;
+    the choice and reason land in {!result.backend} /
+    {!result.backend_reason}).  [minimize] requires the [`Sdd] backend
+    ([Error (Invalid_input _)] otherwise — dynamic vtree edits assume
+    canonicity and general vtree shapes).  When [minimize] is set, the
+    result is
     post-processed with {!Vtree_search.minimize_manager} ([max_steps]
     forwarded, default 50), mutating the returned manager's vtree in
     place; under a budget the pass is anytime.  [domains] bounds the
@@ -133,6 +151,10 @@ type cnf_result = {
   forced_vars : int;  (** Variables fixed by unit propagation. *)
   preprocessed : bool;
   cnf_schedule : cnf_schedule;
+  cnf_backend : Backend.resolved;
+      (** Backend that compiled every component ([`Auto] resolves to
+          [`Dnnf]: the CNF pipeline is counting-only by construction). *)
+  cnf_backend_reason : string;
   cnf_degraded : Budget.reason option;  (** First degraded component. *)
 }
 
@@ -140,16 +162,21 @@ val compile_cnf :
   ?budget:Budget.t ->
   ?preprocess:bool ->
   ?schedule:cnf_schedule ->
+  ?backend:Backend.tag ->
   ?domains:int ->
   ?compact_every:int ->
   Dimacs.t ->
   (cnf_result, Ctwsdd_error.t) Stdlib.result
-(** [compile_cnf d] compiles each connected component of [d] to a
-    canonical SDD and multiplies the exact model counts.  Defaults:
+(** [compile_cnf d] compiles each connected component of [d] and
+    multiplies the exact model counts.  Defaults:
     [budget = Budget.unlimited], [preprocess = true] (count-preserving
     level — pure-literal elimination is {e not} applied),
-    [schedule = `Bags], [domains = min components
-    (Vtree_search.default_domains ())].  The budget's node allowance is
+    [schedule = `Bags], [backend = `Sdd], [domains = min components
+    (Vtree_search.default_domains ())].  [backend] selects the
+    per-component compilation target; counting is all this pipeline
+    does, so [`Auto] resolves to the [`Dnnf] fast path.  Note
+    {!conjoin_components} re-canonicalizes on import, so it remains
+    sound for every backend.  The budget's node allowance is
     split equally across components ({!Budget.split_nodes}); shared
     resources (clock, cancellation, memory) are polled by all.
 
@@ -184,6 +211,7 @@ val compile_exn :
   ?minimize:bool ->
   ?max_steps:int ->
   ?domains:int ->
+  ?backend:Backend.tag ->
   ?compact_every:int ->
   Circuit.t ->
   Sdd.manager * Sdd.t

@@ -1,6 +1,7 @@
 type answer = {
   probability : Ratio.t;
   size : int;
+  backend : Backend.resolved;
   degraded : Budget.reason option;
 }
 
@@ -29,6 +30,7 @@ let via_obdd ?order q db =
   {
     probability = Bdd.probability_ratio m node (weight_fun db);
     size = Bdd.size m node;
+    backend = `Obdd;
     degraded = None;
   }
 
@@ -43,8 +45,8 @@ let constant_lineage c =
 (* Either a constant probability or a compiled manager/root with the
    budget-degradation flag.  Raises [Budget.Exhausted] (for the guard in
    the callers) when even the degradation ladder could not finish. *)
-let compile_lineage ?(budget = Budget.unlimited) ?vtree ?(minimize = false)
-    ?compact_every q db =
+let compile_lineage (module B : Backend.S) ?(budget = Budget.unlimited) ?vtree
+    ?(minimize = false) ?compact_every q db =
   let c = Lineage.circuit q db in
   match constant_lineage c with
   | Some p -> Error p
@@ -54,8 +56,8 @@ let compile_lineage ?(budget = Budget.unlimited) ?vtree ?(minimize = false)
        | Some vt ->
          (* An explicit vtree pins the shape: no ladder to fall back on,
             so a budget trip during the compile escapes to the caller. *)
-         let m = Sdd.manager ~budget ?compact_every vt in
-         let node = Sdd.compile_circuit m c in
+         let m = B.create_manager ~budget ?compact_every vt in
+         let node = B.compile_circuit m c in
          let node, degraded =
            if minimize then
              let a = Vtree_search.minimize_manager ~budget m node in
@@ -75,35 +77,75 @@ let compile_lineage ?(budget = Budget.unlimited) ?vtree ?(minimize = false)
            if Qsafety.inversion_free q then `Treedec else `Balanced
          in
          (match
-            Pipeline.compile ~budget ~vtree_strategy:strategy ~minimize
-              ?compact_every c
+            Pipeline.compile ~budget ~vtree_strategy:strategy
+              ~backend:(B.backend :> Backend.tag) ~minimize ?compact_every c
           with
           | Error e -> Ctwsdd_error.throw e
           | Ok r ->
             (r.Pipeline.manager, r.Pipeline.root, r.Pipeline.degraded)))
 
-let via_sdd ?budget ?vtree ?minimize ?compact_every q db =
+(* Query-level backend resolution: the dichotomy levels of the paper's
+   introduction map onto compilation targets.  Hierarchical queries have
+   OBDD lineages on the hierarchical variable order; inversion-free
+   queries have treewidth-bounded lineages, i.e. SDDs via the Lemma 1
+   vtree; beyond that the canonical SDD on a balanced vtree is the
+   robust default. *)
+let resolve_query (backend : Backend.tag) ?vtree q db =
+  match backend with
+  | #Backend.resolved as b -> (b, "requested", vtree)
+  | `Auto ->
+    (match vtree with
+     | Some _ -> (`Sdd, "explicit vtree: canonical SDD on it", vtree)
+     | None ->
+       (match q with
+        | [ cq ] ->
+          (match Qsafety.hierarchical_variable_order cq db with
+           | Some order ->
+             ( `Obdd,
+               "hierarchical query: OBDD on the hierarchical order",
+               Some (Vtree.right_linear order) )
+           | None ->
+             if Qsafety.inversion_free q then
+               (`Sdd, "inversion-free query: treewidth-bounded SDD", None)
+             else (`Sdd, "query with inversions: balanced-vtree SDD", None))
+        | _ ->
+          if Qsafety.inversion_free q then
+            (`Sdd, "inversion-free query: treewidth-bounded SDD", None)
+          else (`Sdd, "query with inversions: balanced-vtree SDD", None)))
+
+let via ?budget ?vtree ?minimize ?compact_every ?(backend = `Sdd) q db =
   Ctwsdd_error.guard @@ fun () ->
-  match compile_lineage ?budget ?vtree ?minimize ?compact_every q db with
-  | Error p -> { probability = p; size = 0; degraded = None }
+  let chosen, reason, vtree = resolve_query backend ?vtree q db in
+  Backend.note_selection ~requested:backend ~chosen ~reason;
+  if minimize = Some true && chosen <> `Sdd then
+    Ctwsdd_error.throw
+      (Ctwsdd_error.Invalid_input
+         (Printf.sprintf "minimize is supported only by the sdd backend (got %s)"
+            (Backend.resolved_name chosen)));
+  let (module B : Backend.S) = Backend.impl chosen in
+  match
+    compile_lineage (module B) ?budget ?vtree ?minimize ?compact_every q db
+  with
+  | Error p -> { probability = p; size = 0; backend = chosen; degraded = None }
   | Ok (m, node, degraded) ->
-    {
-      probability = Sdd.probability_ratio m node (weight_fun db);
-      size = Sdd.size m node;
-      degraded;
-    }
+    let answer =
+      {
+        probability = B.probability_ratio m node (weight_fun db);
+        size = B.size m node;
+        backend = chosen;
+        degraded;
+      }
+    in
+    (* The pipeline re-notes its (explicit) selection; restore the
+       query-level reason so [ctwsdd explain] shows why. *)
+    Backend.note_selection ~requested:backend ~chosen ~reason;
+    answer
+
+let via_sdd ?budget ?vtree ?minimize ?compact_every ?backend q db =
+  via ?budget ?vtree ?minimize ?compact_every ?backend q db
 
 let via_dnnf ?budget ?minimize ?compact_every q db =
-  Ctwsdd_error.guard @@ fun () ->
-  match compile_lineage ?budget ?minimize ?compact_every q db with
-  | Error p -> { probability = p; size = 0; degraded = None }
-  | Ok (m, node, degraded) ->
-    let c = Sdd.to_nnf_circuit m node in
-    {
-      probability = Snnf.probability_ratio c (weight_fun db);
-      size = Circuit.size c;
-      degraded;
-    }
+  via ?budget ?minimize ?compact_every ~backend:`Dnnf q db
 
 let unpack = function
   | Error e -> Ctwsdd_error.throw e
@@ -112,8 +154,8 @@ let unpack = function
 
 let via_obdd_exn ?order q db = unpack (via_obdd ?order q db)
 
-let via_sdd_exn ?budget ?vtree ?minimize ?compact_every q db =
-  unpack (via_sdd ?budget ?vtree ?minimize ?compact_every q db)
+let via_sdd_exn ?budget ?vtree ?minimize ?compact_every ?backend q db =
+  unpack (via_sdd ?budget ?vtree ?minimize ?compact_every ?backend q db)
 
 let via_dnnf_exn ?budget ?minimize ?compact_every q db =
   unpack (via_dnnf ?budget ?minimize ?compact_every q db)

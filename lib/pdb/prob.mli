@@ -15,6 +15,9 @@ type answer = {
   size : int;
       (** Size of the compiled representation (0 for a constant
           lineage, which needs no manager). *)
+  backend : Backend.resolved;
+      (** The backend that compiled the lineage — the requested one, or
+          what [`Auto] resolved to from the query's safety level. *)
   degraded : Budget.reason option;
       (** Set when a budget trip forced a strategy step-down or cut a
           minimization short; the probability is still exact — only the
@@ -31,16 +34,37 @@ val via_obdd :
     answer carries the OBDD size.  The OBDD backend is not budgeted;
     errors are limited to [Invalid_input]. *)
 
+val via :
+  ?budget:Budget.t ->
+  ?vtree:Vtree.t ->
+  ?minimize:bool ->
+  ?compact_every:int ->
+  ?backend:Backend.tag ->
+  Ucq.t ->
+  Pdb.t ->
+  (answer, Ctwsdd_error.t) result
+(** Evaluate through the backend-agnostic pipeline ({!Backend}).
+    Default [backend = `Sdd] — the historical {!via_sdd} behaviour.
+    [`Auto] resolves from the query's safety level: hierarchical
+    single-CQ queries compile to an OBDD on the hierarchical variable
+    order ({!Qsafety.hierarchical_variable_order}), inversion-free
+    queries to a canonical SDD on the treewidth-derived vtree, and the
+    rest to a canonical SDD on a balanced vtree; the choice is recorded
+    ({!Backend.last_selection}) and reported in {!answer.backend}.
+    [minimize] requires the [`Sdd] backend
+    ([Error (Invalid_input _)] otherwise). *)
+
 val via_sdd :
   ?budget:Budget.t ->
   ?vtree:Vtree.t ->
   ?minimize:bool ->
   ?compact_every:int ->
+  ?backend:Backend.tag ->
   Ucq.t ->
   Pdb.t ->
   (answer, Ctwsdd_error.t) result
-(** Same through the canonical SDD; the answer carries the SDD size.
-    By default inversion-free queries are compiled with
+(** {!via} under its historical name; the answer carries the compiled
+    size.  By default inversion-free queries are compiled with
     {!Pipeline.compile} on a treewidth-derived vtree ([`Treedec]) — the
     paper's pipeline, exponentially better than the balanced vtree that
     used to be the default here on bounded-treewidth lineages; queries
@@ -61,10 +85,12 @@ val via_dnnf :
   Ucq.t ->
   Pdb.t ->
   (answer, Ctwsdd_error.t) result
-(** Same through a deterministic structured NNF circuit (the SDD exported
-    as a d-SDNNF), counted by the linear-time d-DNNF algorithm of
-    [Snnf].  Compiles via the same pipeline as {!via_sdd}.  The answer
-    carries the NNF circuit size. *)
+(** [{!via} ~backend:`Dnnf]: the counting-only non-canonical arena
+    ({!Sdd.dnnf_manager}) — no unique-table find-or-claim, no
+    compression disjunctions — with the exact WMC read directly off the
+    arena (no NNF-circuit export).  The answer carries the arena node
+    size.  [minimize] is rejected ([Invalid_input]): dynamic vtree
+    edits assume canonicity. *)
 
 val via_obdd_exn : ?order:string list -> Ucq.t -> Pdb.t -> Ratio.t * int
 (** {!via_obdd} with the historical signature. *)
@@ -74,6 +100,7 @@ val via_sdd_exn :
   ?vtree:Vtree.t ->
   ?minimize:bool ->
   ?compact_every:int ->
+  ?backend:Backend.tag ->
   Ucq.t ->
   Pdb.t ->
   Ratio.t * int

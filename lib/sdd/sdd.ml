@@ -97,6 +97,12 @@ type manager = {
   count : int Atomic.t;  (* node slots handed out *)
   mutable elems_len : int;  (* words used in [store.elems] *)
   mutable budget : Budget.t;
+  canonical : bool;
+      (* [false] only for counting-only (d-DNNF) managers: decisions are
+         allocated without the unique-table find-or-claim, so handle
+         equality is no longer function equality — but determinism,
+         decomposability and structuredness still hold, which is all the
+         counting walks need. *)
   unique : int Dec_tbl.t array;  (* sharded by [dec_shard vnode] *)
   mutable lit_tbl : int array;  (* 2*leaf + polarity -> node id, -1 free *)
   and_cache : int Int_tbl.t array;  (* sharded by key hash *)
@@ -186,7 +192,8 @@ let tbl_entries shards =
 let unique_entries_of m =
   Array.fold_left (fun acc t -> acc + Dec_tbl.length t) 0 m.unique
 
-let manager ?(budget = Budget.unlimited) ?(compact_every = max_int) vt =
+let create_manager ~canonical ?(budget = Budget.unlimited)
+    ?(compact_every = max_int) vt =
   if compact_every < 1 then
     invalid_arg "Sdd.manager: compact_every must be positive";
   let unique = Array.init n_shards (fun _ -> Dec_tbl.create 128) in
@@ -201,6 +208,7 @@ let manager ?(budget = Budget.unlimited) ?(compact_every = max_int) vt =
       count = Atomic.make 2;
       elems_len = 0;
       budget;
+      canonical;
       unique;
       lit_tbl = Array.make (2 * Vtree.num_nodes vt) (-1);
       and_cache;
@@ -245,6 +253,13 @@ let manager ?(budget = Budget.unlimited) ?(compact_every = max_int) vt =
   register_manager m;
   m
 
+let manager ?budget ?compact_every vt =
+  create_manager ~canonical:true ?budget ?compact_every vt
+
+let dnnf_manager ?budget ?compact_every vt =
+  create_manager ~canonical:false ?budget ?compact_every vt
+
+let canonical m = m.canonical
 let vtree m = m.vt
 let num_nodes_allocated m = Atomic.get m.count
 let budget m = m.budget
@@ -749,10 +764,55 @@ let rec negate m a =
     r
   end
 
+(* Counting-only (non-canonical) decision constructor: no unique-table
+   find-or-claim, no element sort.  Compression by sub {e id} is kept —
+   merging (p₁,s) (p₂,s) into (p₁∨p₂,s) is semantics-preserving
+   whatever the ids mean, and without it conjunction chains double
+   their fanout per clause (exponential blowup on E19-style chains).
+   The primes handed in are pairwise disjoint and jointly exhaustive,
+   which keeps the result deterministic, decomposable and structured —
+   the invariants [model_count] / [probability*] rely on — at the cost
+   of canonicity: equal {e functions} may still get distinct ids.
+   Only id-safe trims are applied; the post-compression singleton trim
+   is sound because the primes' disjunction is ⊤ by exhaustiveness
+   even when its id is not 1. *)
+and mk_decision_nc m v elems =
+  let elems = List.filter (fun (p, _) -> p <> 0) elems in
+  let by_sub = Hashtbl.create 8 in
+  let subs_in_order = ref [] in
+  List.iter
+    (fun (p, s) ->
+      match Hashtbl.find_opt by_sub s with
+      | Some ps -> ps := p :: !ps
+      | None ->
+        Hashtbl.add by_sub s (ref [ p ]);
+        subs_in_order := s :: !subs_in_order)
+    elems;
+  let compressed =
+    List.rev_map
+      (fun s ->
+        match !(Hashtbl.find by_sub s) with
+        | [ p ] -> (p, s)
+        | ps -> (List.fold_left (fun acc p -> disjoin m acc p) 0 ps, s))
+      !subs_in_order
+  in
+  match compressed with
+  | [] -> 0
+  | [ (_, s) ] ->
+    (* Exhaustive primes with one shared sub: ∨ᵢ(pᵢ ∧ s) ≡ s. *)
+    s
+  | [ (p, 1); (_, 0) ] | [ (_, 0); (p, 1) ] -> p
+  | compressed ->
+    let k = List.length compressed in
+    if !Obs.enabled_ref then Obs.hist_record "sdd.decision_fanout" k;
+    alloc_dec m v compressed k
+
 (* Builds the canonical node for a decision at vtree node [v] from an
    element list whose primes are pairwise disjoint and jointly exhaustive
    (some primes may be ⊥). *)
 and mk_decision m v elems =
+  if not m.canonical then mk_decision_nc m v elems
+  else begin
   (* Drop false primes. *)
   let elems = List.filter (fun (p, _) -> p <> 0) elems in
   (* Compression: merge elements sharing a sub (disjoin their primes). *)
@@ -837,6 +897,7 @@ and mk_decision m v elems =
         Mutex.unlock mu;
         raise e
     end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Apply                                                               *)
@@ -982,13 +1043,19 @@ let dec_key_of_store st id =
   key
 
 let rebuild_unique m =
-  Array.iter Dec_tbl.reset m.unique;
-  let st = Atomic.get m.store in
-  let n = Atomic.get m.count in
-  for id = 2 to n - 1 do
-    if Bytes.unsafe_get st.kind id = k_dec then
-      Dec_tbl.add m.unique.(dec_shard st.vnode.(id)) (dec_key_of_store st id) id
-  done
+  (* A non-canonical manager never consults the unique table, and its
+     element lists are not prime-sorted, so there is no table to rebuild
+     after compaction. *)
+  if m.canonical then begin
+    Array.iter Dec_tbl.reset m.unique;
+    let st = Atomic.get m.store in
+    let n = Atomic.get m.count in
+    for id = 2 to n - 1 do
+      if Bytes.unsafe_get st.kind id = k_dec then
+        Dec_tbl.add m.unique.(dec_shard st.vnode.(id)) (dec_key_of_store st id)
+          id
+    done
+  end
 
 let saved_entries shards =
   Array.fold_left
@@ -1255,6 +1322,11 @@ let maybe_compact m root = if compact_due m then compact m root else root
 let subtree_span vt u = (2 * Vtree.num_vars_below vt u) - 1
 
 let dynamic_edit m move root =
+  (* The edit rewrites nodes by unique-table keys; a counting-only
+     manager has none (and no canonicity to restore), so the move is
+     meaningless there. *)
+  if not m.canonical then
+    invalid_arg "Sdd.apply_move: dynamic edits require a canonical manager";
   Obs.span "sdd.edit" @@ fun () ->
   (* The edit is transactional under a budget.  A rotation can rebuild
      affected decisions through [disjoin]/[conjoin], and on adversarial
@@ -1890,6 +1962,225 @@ let compile_circuit m c =
   done;
   if !Obs.enabled_ref then probe_occupancy m;
   res.(Circuit.output c)
+
+(* ------------------------------------------------------------------ *)
+(* OBDD specialization                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* An OBDD is exactly a canonical SDD over a right-linear vtree
+   (Section 2.2 of the paper), so the arena store, budget gate, sharded
+   unique table and compaction machinery are reused as-is; what this
+   module replaces is the generic apply.  On a right-linear vtree every
+   decision has exactly two elements whose primes are the two literals
+   of one variable, so apply reduces to the classic Shannon/ITE
+   recursion — cofactor both operands on the topmost variable, recurse
+   twice, rebuild — with no [elements_at] views, no prime cross
+   products and no prime conjoins.  The nodes built are bit-identical
+   to what the generic apply would intern (same element order, same
+   unique keys), so the generic queries (model_count, size,
+   width_profile, validate, import, compaction) and the shared apply
+   caches remain sound on them. *)
+module Obdd = struct
+  let manager ?budget ?compact_every order =
+    create_manager ~canonical:true ?budget ?compact_every
+      (Vtree.right_linear order)
+
+  let order m = Vtree.leaf_order m.vt
+
+  let check m name =
+    if not (m.canonical && Vtree.is_right_linear m.vt) then
+      invalid_arg
+        (name ^ ": needs a canonical manager over a right-linear vtree")
+
+  (* Pre-order ids of a right-linear vtree: the spine internals are the
+     even ids 0, 2, ..., the leaf deciding level k is 2k+1, and the
+     last variable keeps the final even id — so levels are pure id
+     arithmetic, no per-manager tables. *)
+  let[@inline] level_of st a =
+    let u = st.vnode.(a) in
+    if Bytes.unsafe_get st.kind a = k_dec then u / 2
+    else if u land 1 = 1 then (u - 1) / 2
+    else u / 2
+
+  (* (hi, lo) cofactors of [a] on the variable of [lvl]; [la] is [a]'s
+     own level ([> lvl] means [a] does not mention the variable). *)
+  let cofactors st a la lvl =
+    if la > lvl then (a, a)
+    else if Bytes.unsafe_get st.kind a = k_lit then
+      if st.aux.(a) = 1 then (1, 0) else (0, 1)
+    else begin
+      match elements_list st a with
+      | [ (p1, s1); (_, s2) ] -> if st.aux.(p1) = 1 then (s1, s2) else (s2, s1)
+      | _ -> assert false (* canonical right-linear: exactly 2 elements *)
+    end
+
+  (* Canonical node for ITE(x_lvl, hi, lo): trims mirror [mk_decision]
+     ([hi = lo] merge, literal shortcuts), and the interned element
+     list / unique key match its layout exactly. *)
+  let mk_node m lvl hi lo =
+    if hi = lo then hi
+    else begin
+      let leaf = (2 * lvl) + 1 in
+      if hi = 1 && lo = 0 then literal_at m leaf 1
+      else if hi = 0 && lo = 1 then literal_at m leaf 0
+      else begin
+        let pos = literal_at m leaf 1 and neg = literal_at m leaf 0 in
+        let v = 2 * lvl in
+        let sorted =
+          if pos < neg then [ (pos, hi); (neg, lo) ]
+          else [ (neg, lo); (pos, hi) ]
+        in
+        let key = Array.make 5 v in
+        List.iteri
+          (fun i (p, s) ->
+            key.((2 * i) + 1) <- p;
+            key.((2 * i) + 2) <- s)
+          sorted;
+        let shard = dec_shard v in
+        let tbl = m.unique.(shard) in
+        if not m.parallel then begin
+          match Dec_tbl.find tbl key with
+          | id ->
+            cache_hit m.cs_unique;
+            id
+          | exception Not_found ->
+            cache_miss m.cs_unique;
+            let id = alloc_dec m v sorted 2 in
+            Dec_tbl.add tbl key id;
+            id
+        end
+        else begin
+          let mu = m.unique_mu.(shard) in
+          lock_counted mu m.lk_unique_acq.(shard) m.lk_unique_cont.(shard);
+          match
+            (match Dec_tbl.find tbl key with
+            | id ->
+              cache_hit m.cs_unique;
+              id
+            | exception Not_found ->
+              cache_miss m.cs_unique;
+              let id = alloc_dec m v sorted 2 in
+              Dec_tbl.add tbl key id;
+              id)
+          with
+          | id ->
+            Mutex.unlock mu;
+            id
+          | exception e ->
+            Mutex.unlock mu;
+            raise e
+        end
+      end
+    end
+
+  let rec apply_rec m op_and a b =
+    let neutral = if op_and then 1 else 0 in
+    let absorbing = if op_and then 0 else 1 in
+    if a = absorbing || b = absorbing then absorbing
+    else if a = neutral then b
+    else if b = neutral then a
+    else if a = b then a
+    else if cache_find m m.neg_cache a = b then absorbing
+    else begin
+      let cache = if op_and then m.and_cache else m.or_cache in
+      let cstat = if op_and then m.cs_and else m.cs_or in
+      let key = pair_key (Stdlib.min a b) (Stdlib.max a b) in
+      let cached = cache_find m cache key in
+      if cached >= 0 then begin
+        cache_hit cstat;
+        cached
+      end
+      else begin
+        cache_miss cstat;
+        if !Obs.enabled_ref then Attribution.charge_apply_miss ();
+        let st = Atomic.get m.store in
+        let la = level_of st a and lb = level_of st b in
+        let lvl = Stdlib.min la lb in
+        let ah, al = cofactors st a la lvl in
+        let bh, bl = cofactors st b lb lvl in
+        let hi = apply_rec m op_and ah bh in
+        let lo = apply_rec m op_and al bl in
+        let r = mk_node m lvl hi lo in
+        cache_put m cache key r;
+        r
+      end
+    end
+
+  let conjoin m a b =
+    check m "Sdd.Obdd.conjoin";
+    apply_rec m true a b
+
+  let disjoin m a b =
+    check m "Sdd.Obdd.disjoin";
+    apply_rec m false a b
+
+  let conjoin_list m l =
+    check m "Sdd.Obdd.conjoin_list";
+    List.fold_left (apply_rec m true) 1 l
+
+  let disjoin_list m l =
+    check m "Sdd.Obdd.disjoin_list";
+    List.fold_left (apply_rec m false) 0 l
+
+  let compile_circuit m c =
+    check m "Sdd.Obdd.compile_circuit";
+    Obs.span "sdd.obdd_compile" @@ fun () ->
+    Budget.check m.budget;
+    let n = Circuit.size c in
+    let res = Array.make n 0 in
+    for i = 0 to n - 1 do
+      res.(i) <-
+        (match Circuit.gate c i with
+        | Circuit.Var v -> literal m v true
+        | Circuit.Const b -> if b then 1 else 0
+        | Circuit.Not j -> negate m res.(j)
+        | Circuit.And js ->
+          List.fold_left (fun acc j -> apply_rec m true acc res.(j)) 1 js
+        | Circuit.Or js ->
+          List.fold_left (fun acc j -> apply_rec m false acc res.(j)) 0 js);
+      (* Same per-gate compaction checkpoint as the generic compile. *)
+      if compact_due m then begin
+        let roots = compact_roots m (Array.sub res 0 (i + 1)) in
+        Array.blit roots 0 res 0 (i + 1)
+      end
+    done;
+    if !Obs.enabled_ref then probe_occupancy m;
+    res.(Circuit.output c)
+
+  (* OBDD node census per level: the root plus the hi/lo closure, one
+     node per decision (a literal in node position is the one-decision
+     OBDD of that variable, so it counts too — matching the [Bdd]
+     module's convention).  Primes are encoding, not nodes. *)
+  let level_profile m a =
+    check m "Sdd.Obdd.level_profile";
+    let st = Atomic.get m.store in
+    let vars = Array.of_list (Vtree.leaf_order m.vt) in
+    let counts = Array.make (Array.length vars) 0 in
+    let seen = Hashtbl.create 64 in
+    let stack = ref [ a ] in
+    while !stack <> [] do
+      match !stack with
+      | [] -> ()
+      | x :: rest ->
+        stack := rest;
+        if
+          (not (Hashtbl.mem seen x))
+          && Bytes.unsafe_get st.kind x <> k_const
+        then begin
+          Hashtbl.add seen x ();
+          let lvl = level_of st x in
+          counts.(lvl) <- counts.(lvl) + 1;
+          if Bytes.unsafe_get st.kind x = k_dec then begin
+            let hi, lo = cofactors st x lvl lvl in
+            stack := hi :: lo :: !stack
+          end
+        end
+    done;
+    Array.to_list (Array.mapi (fun i c -> (vars.(i), c)) counts)
+
+  let width m a =
+    List.fold_left (fun acc (_, c) -> Stdlib.max acc c) 0 (level_profile m a)
+end
 
 let of_boolfun_naive m f =
   let terms =

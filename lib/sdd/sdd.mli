@@ -34,6 +34,21 @@ val manager : ?budget:Budget.t -> ?compact_every:int -> Vtree.t -> manager
     pipeline's clause loop) run {!compact} on their live roots.
     @raise Invalid_argument if [compact_every < 1]. *)
 
+val dnnf_manager : ?budget:Budget.t -> ?compact_every:int -> Vtree.t -> manager
+(** A {e counting-only} manager: decisions are allocated without the
+    unique-table find-or-claim and without the compression disjunctions,
+    so node construction skips the canonicity machinery entirely.  The
+    resulting DAGs are still deterministic, decomposable and structured
+    by the vtree — a structured d-DNNF — so {!model_count},
+    {!probability}, {!probability_ratio}, {!size}, {!eval} and
+    {!to_nnf_circuit} stay exact; but {e handle equality is no longer
+    function equality}, {!validate} may report missing compression, and
+    dynamic vtree edits raise [Invalid_argument].  Use it when only the
+    count or probability of the compiled function is needed. *)
+
+val canonical : manager -> bool
+(** [false] exactly for {!dnnf_manager}-created managers. *)
+
 val vtree : manager -> Vtree.t
 val num_nodes_allocated : manager -> int
 
@@ -324,6 +339,49 @@ val any_model : manager -> t -> (string * bool) list option
 val compile_circuit : manager -> Circuit.t -> t
 (** Bottom-up apply compilation; circuit variables must appear in the
     vtree. *)
+
+(** {1 OBDD backend}
+
+    An OBDD is a canonical SDD over a right-linear vtree (paper,
+    Section 2.2), so this backend shares the manager type — and with it
+    the arena store, the budget gate, sharding and compaction — while
+    replacing the generic partition/element apply with the classic
+    Shannon/ITE recursion: cofactor both operands on the topmost
+    variable, recurse on the two halves, rebuild.  The nodes it builds
+    are bit-identical to the generic apply's (same unique keys), so
+    every generic query ({!model_count}, {!size}, {!width},
+    {!validate}, {!import}, {!compact}) works on them unchanged and the
+    apply caches are shared soundly. *)
+module Obdd : sig
+  val manager :
+    ?budget:Budget.t -> ?compact_every:int -> string list -> manager
+  (** Manager over the right-linear vtree of the given variable order;
+      an ordinary {!manager} in every other respect. *)
+
+  val order : manager -> string list
+  (** The variable order (the vtree's leaf order). *)
+
+  val conjoin : manager -> t -> t -> t
+  val disjoin : manager -> t -> t -> t
+  val conjoin_list : manager -> t list -> t
+  val disjoin_list : manager -> t list -> t
+  (** Direct ITE-style apply.  All entry points
+      @raise Invalid_argument if the manager's vtree is not right-linear
+      (or the manager is counting-only). *)
+
+  val compile_circuit : manager -> Circuit.t -> t
+  (** {!Sdd.compile_circuit} through the ITE apply, with the same
+      per-gate budget polling and compaction checkpoints. *)
+
+  val level_profile : manager -> t -> (string * int) list
+  (** OBDD nodes per variable level (root plus hi/lo closure; literals
+      in node position count, primes do not) — the [Bdd] module's
+      convention, now at arena scale. *)
+
+  val width : manager -> t -> int
+  (** Max of {!level_profile}: the OBDD width of Jha–Suciu/Razgon that
+      the paper's pathwidth claims are stated in. *)
+end
 
 val of_boolfun_naive : manager -> Boolfun.t -> t
 (** Apply-compilation of the minterm DNF — exponential, for tests only.
